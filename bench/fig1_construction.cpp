@@ -1,0 +1,84 @@
+// FIG1 — reproduces the structure of Figure 1: one inductive step of the
+// lower-bound construction (read phase -> write phase -> regularization,
+// with erasures), shown as a phase-by-phase log against the adaptive
+// active-set bakery, plus a per-N summary.
+#include <cstdio>
+#include <iostream>
+
+#include "algos/zoo.h"
+#include "lowerbound/construction.h"
+#include "util/table.h"
+
+using namespace tpa;
+using lowerbound::Construction;
+using lowerbound::ConstructionConfig;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+
+namespace {
+
+ScenarioBuilder builder(const std::string& lock, int n) {
+  const auto& f = algos::lock_factory(lock);
+  return [&f, n](Simulator& sim) {
+    auto l = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), l, 1));
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== FIG1: structure of the inductive construction (paper Fig. 1)");
+  std::puts("Adversary vs adaptive-bakery; every phase verified against");
+  std::puts("Definitions 4-6 and every erasure against Lemma 4.\n");
+
+  {
+    const int n = 16;
+    Construction c(n, builder("adaptive-bakery", n), {});
+    const auto r = c.run();
+    std::printf("-- detailed phase log, N=%d --\n", n);
+    TextTable t({"round", "phase", "case", "act before", "act after",
+                 "erased", "events"});
+    for (const auto& ph : r.phases)
+      t.add_row({std::to_string(ph.round), std::string(1, ph.phase),
+                 ph.case_name, std::to_string(ph.active_before),
+                 std::to_string(ph.active_after), std::to_string(ph.erased),
+                 std::to_string(ph.events_after)});
+    t.print(std::cout);
+    std::printf("invariants verified: %s\n\n", r.invariants_ok ? "yes" : "NO");
+  }
+
+  std::puts("-- one full inductive step against plain bakery, N=16 --");
+  std::puts("(read phase Case I -> write phase Cases II/I -> regularization");
+  std::puts(" erases all rivals: the non-adaptive escape hatch)");
+  {
+    const int n = 16;
+    Construction c(n, builder("bakery", n), {});
+    const auto r = c.run();
+    TextTable t({"round", "phase", "case", "act before", "act after",
+                 "erased", "events"});
+    for (const auto& ph : r.phases)
+      t.add_row({std::to_string(ph.round), std::string(1, ph.phase),
+                 ph.case_name, std::to_string(ph.active_before),
+                 std::to_string(ph.active_after), std::to_string(ph.erased),
+                 std::to_string(ph.events_after)});
+    t.print(std::cout);
+    std::printf("invariants verified: %s\n\n", r.invariants_ok ? "yes" : "NO");
+  }
+
+  std::puts("-- summary across N (adaptive-bakery) --");
+  TextTable s({"N", "rounds", "finished", "final active", "min barriers",
+               "events", "replays"});
+  for (int n : {16, 32, 64, 128}) {
+    Construction c(static_cast<std::size_t>(n),
+                   builder("adaptive-bakery", n), {});
+    const auto r = c.run();
+    s.add_row({std::to_string(n), std::to_string(r.rounds),
+               std::to_string(r.finished), std::to_string(r.final_active),
+               std::to_string(r.min_barriers_active),
+               std::to_string(r.total_events), std::to_string(r.replays)});
+  }
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// PERF1 — simulator throughput (google-benchmark): events/second for each
+// zoo lock under round-robin and randomized scheduling, and the cost of
+// awareness tracking / trace recording.
+#include <benchmark/benchmark.h>
+
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+using namespace tpa;
+using tso::SimConfig;
+using tso::Simulator;
+
+namespace {
+
+void run_one(const algos::LockFactory& f, int n, int passages, SimConfig cfg,
+             bool random_sched, benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Simulator sim(static_cast<std::size_t>(n), cfg);
+    auto lock = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+    if (random_sched) {
+      Rng rng(7);
+      tso::run_random(sim, rng, 0.3, 100'000'000);
+    } else {
+      tso::run_round_robin(sim, 100'000'000);
+    }
+    events += sim.num_events();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_RoundRobin(benchmark::State& state) {
+  const auto& f = algos::lock_zoo()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(f.name);
+  run_one(f, 8, 3, {}, false, state);
+}
+
+void BM_Random(benchmark::State& state) {
+  const auto& f = algos::lock_zoo()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(f.name);
+  run_one(f, 8, 3, {}, true, state);
+}
+
+void BM_NoTracking(benchmark::State& state) {
+  const auto& f = algos::lock_zoo()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(f.name + "/lean");
+  SimConfig cfg;
+  cfg.track_awareness = false;
+  cfg.record_trace = false;
+  run_one(f, 8, 3, cfg, true, state);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RoundRobin)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Random)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoTracking)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// SEP — the adaptive/non-adaptive separation, measured.
+//
+// For each lock, k of n=64 processes perform passages under a randomized
+// TSO schedule; we report per-passage barriers (fences + CAS) and critical
+// events as functions of total contention k. Adaptive algorithms' critical
+// events track k; non-adaptive ones pay Θ(n) regardless. Barriers are flat
+// for the bakery family (the paper's "cheap fences" side) and spike for
+// the adaptive lock's registration (its "price").
+#include <algorithm>
+#include <iostream>
+
+#include "algos/zoo.h"
+#include "bounds/estimate.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace tpa;
+using tso::Simulator;
+
+namespace {
+
+struct Costs {
+  double mean_barriers = 0, max_barriers = 0;
+  double mean_critical = 0, max_critical = 0;
+};
+
+Costs measure(const algos::LockFactory& f, int n, int k, int passages,
+              std::uint64_t seed) {
+  Simulator sim(static_cast<std::size_t>(n), {.track_awareness = false});
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < k; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+  Rng rng(seed);
+  tso::run_random(sim, rng, 0.3, 200'000'000);
+
+  Costs c;
+  std::size_t count = 0;
+  for (int p = 0; p < k; ++p) {
+    for (const auto& st : sim.proc(p).finished_passages()) {
+      const double barriers = st.barriers();
+      const double critical = st.critical;
+      c.mean_barriers += barriers;
+      c.mean_critical += critical;
+      c.max_barriers = std::max(c.max_barriers, barriers);
+      c.max_critical = std::max(c.max_critical, critical);
+      ++count;
+    }
+  }
+  if (count) {
+    c.mean_barriers /= static_cast<double>(count);
+    c.mean_critical /= static_cast<double>(count);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 64;
+  const int passages = 2;
+  std::printf(
+      "== SEP: per-passage cost vs total contention k (arena n=%d, %d "
+      "passages, random TSO schedule)\n\n",
+      n, passages);
+
+  for (const auto& f : algos::lock_zoo()) {
+    TextTable t({"k", "barriers mean", "barriers max", "critical mean",
+                 "critical max"});
+    std::vector<bounds::Sample> vs_k;
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+      const Costs c = measure(f, n, k, passages, 42 + static_cast<std::uint64_t>(k));
+      vs_k.push_back({static_cast<double>(k), c.mean_critical});
+      t.add_row({std::to_string(k), fmt_fixed(c.mean_barriers, 2),
+                 fmt_fixed(c.max_barriers, 0), fmt_fixed(c.mean_critical, 2),
+                 fmt_fixed(c.max_critical, 0)});
+    }
+    // Empirical adaptivity classification: work vs k above, work vs n at
+    // fixed k=4 below.
+    std::vector<bounds::Sample> vs_n;
+    for (int arena : {8, 16, 32, 64}) {
+      const Costs c = measure(f, arena, std::min(4, arena), passages, 7);
+      vs_n.push_back({static_cast<double>(arena), c.mean_critical});
+    }
+    const auto cls = bounds::classify_adaptivity(vs_k, vs_n);
+    std::printf("-- %s (declared %s; measured %s, k-exp %.2f, n-exp %.2f) --\n",
+                f.name.c_str(), f.adaptive ? "adaptive" : "non-adaptive",
+                bounds::to_string(cls), bounds::growth_exponent(vs_k),
+                bounds::growth_exponent(vs_n));
+    t.print(std::cout);
+    std::puts("");
+  }
+
+  std::puts("Reading: bakery/tournament/lamport-fast keep critical events at");
+  std::puts("Θ(n) for every k (non-adaptive); adaptive-bakery's critical");
+  std::puts("events track k but its max barriers include the Θ(k)");
+  std::puts("registration CAS — the separation Corollary 1 proves inherent.");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// LEM9 — Lemma 9's complexity parity, measured.
+//
+// A passage of Algorithm 1's one-time mutex performs exactly one counter
+// operation plus O(1) reads/writes/fences — so the mutex's fence/RMR
+// complexity equals the object's, up to an additive constant. We measure
+// solo and contended costs of (a) the raw objects, (b) the derived one-time
+// mutexes over a CAS counter, a seeded Michael-Scott queue, and a seeded
+// Treiber stack.
+#include <iostream>
+
+#include "algos/lock.h"
+#include "objects/lockfree.h"
+#include "objects/reduction.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace tpa;
+using objects::CasCounter;
+using objects::CounterMutex;
+using objects::MichaelScottQueue;
+using objects::QueueCounter;
+using objects::SimCounter;
+using objects::StackCounter;
+using objects::TreiberStack;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+
+namespace {
+
+Task<> one_op(Proc& p, std::shared_ptr<SimCounter> c) {
+  co_await c->fetch_increment(p);
+}
+
+struct Cost {
+  double barriers = 0, critical = 0, rmr_wb = 0;
+};
+
+// Cost of one solo fetch&increment on a fresh counter of the given kind.
+Cost solo_counter_cost(const std::string& kind, int n) {
+  Simulator sim(static_cast<std::size_t>(n));
+  std::shared_ptr<SimCounter> counter;
+  if (kind == "cas") {
+    counter = std::make_shared<CasCounter>(sim);
+  } else if (kind == "queue") {
+    auto q = std::make_shared<MichaelScottQueue>(sim, n, 0, n);
+    std::vector<Value> seed;
+    for (int i = 0; i < n; ++i) seed.push_back(i);
+    q->seed_initial(sim, seed);
+    counter = std::make_shared<QueueCounter>(q);
+  } else {
+    auto s = std::make_shared<TreiberStack>(sim, n, 0, n);
+    std::vector<Value> seed;
+    for (int i = 0; i < n; ++i) seed.push_back(i);
+    s->seed_initial(sim, seed);
+    counter = std::make_shared<StackCounter>(s);
+  }
+  sim.spawn(0, one_op(sim.proc(0), counter));
+  while (!sim.proc(0).done()) sim.deliver(0);
+  const auto& st = sim.proc(0).current_passage();
+  return {static_cast<double>(st.barriers()),
+          static_cast<double>(st.critical), static_cast<double>(st.rmr_wb)};
+}
+
+// Mean passage cost of the derived one-time mutex under full contention.
+Cost mutex_cost(const std::string& kind, int n, std::uint64_t seed) {
+  Simulator sim(static_cast<std::size_t>(n));
+  std::shared_ptr<SimCounter> counter;
+  if (kind == "cas") {
+    counter = std::make_shared<CasCounter>(sim);
+  } else if (kind == "queue") {
+    auto q = std::make_shared<MichaelScottQueue>(sim, n, 0, n);
+    std::vector<Value> sv;
+    for (int i = 0; i < n; ++i) sv.push_back(i);
+    q->seed_initial(sim, sv);
+    counter = std::make_shared<QueueCounter>(q);
+  } else {
+    auto s = std::make_shared<TreiberStack>(sim, n, 0, n);
+    std::vector<Value> sv;
+    for (int i = 0; i < n; ++i) sv.push_back(i);
+    s->seed_initial(sim, sv);
+    counter = std::make_shared<StackCounter>(s);
+  }
+  auto mutex = std::make_shared<CounterMutex>(sim, n, counter);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), mutex, 1));
+  Rng rng(seed);
+  tso::run_random(sim, rng, 0.3, 100'000'000);
+
+  Cost c;
+  std::size_t count = 0;
+  for (int p = 0; p < n; ++p) {
+    for (const auto& st : sim.proc(p).finished_passages()) {
+      c.barriers += st.barriers();
+      c.critical += st.critical;
+      c.rmr_wb += st.rmr_wb;
+      ++count;
+    }
+  }
+  if (count) {
+    c.barriers /= static_cast<double>(count);
+    c.critical /= static_cast<double>(count);
+    c.rmr_wb /= static_cast<double>(count);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== LEM9: object-operation cost vs derived one-time mutex passage cost\n");
+  const int n = 8;
+
+  std::puts("-- solo fetch&increment (the raw object) --");
+  TextTable solo({"counter backend", "barriers", "critical", "RMR (CC-WB)"});
+  for (const char* kind : {"cas", "queue", "stack"}) {
+    const Cost c = solo_counter_cost(kind, n);
+    solo.add_row({kind, fmt_fixed(c.barriers, 1), fmt_fixed(c.critical, 1),
+                  fmt_fixed(c.rmr_wb, 1)});
+  }
+  solo.print(std::cout);
+
+  std::printf(
+      "\n-- Algorithm 1 one-time mutex over each backend, n=%d contending "
+      "(mean per passage) --\n",
+      n);
+  TextTable mux({"counter backend", "barriers", "critical", "RMR (CC-WB)"});
+  for (const char* kind : {"cas", "queue", "stack"}) {
+    const Cost c = mutex_cost(kind, n, 31);
+    mux.add_row({kind, fmt_fixed(c.barriers, 1), fmt_fixed(c.critical, 1),
+                 fmt_fixed(c.rmr_wb, 1)});
+  }
+  mux.print(std::cout);
+
+  std::puts("\nReading: the mutex rows exceed the object rows by a small");
+  std::puts("additive constant (Algorithm 1's own writes/fences) — Lemma 9's");
+  std::puts("parity. Any fence lower bound for the mutex therefore transfers");
+  std::puts("to counters, queues and stacks (Corollary 1).");
+  return 0;
+}

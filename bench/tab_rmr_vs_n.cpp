@@ -1,0 +1,71 @@
+// RMR — remote-memory-reference accounting behind Definition 2.
+//
+// Mean RMRs per passage for the full zoo as n grows, under the three cost
+// models the paper covers: DSM, CC write-through, CC write-back. Shows the
+// classic asymmetries (MCS is local-spin in DSM; CLH only under CC;
+// bakery's Θ(n) scans dominate in every model).
+#include <iostream>
+
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace tpa;
+using tso::Simulator;
+
+namespace {
+
+struct Rmrs {
+  double dsm = 0, wt = 0, wb = 0;
+};
+
+Rmrs measure(const algos::LockFactory& f, int n, std::uint64_t seed) {
+  Simulator sim(static_cast<std::size_t>(n), {.track_awareness = false});
+  auto lock = f.make(sim, n);
+  const int passages = 2;
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+  Rng rng(seed);
+  tso::run_random(sim, rng, 0.3, 200'000'000);
+
+  Rmrs r;
+  std::size_t count = 0;
+  for (int p = 0; p < n; ++p) {
+    for (const auto& st : sim.proc(p).finished_passages()) {
+      r.dsm += st.rmr_dsm;
+      r.wt += st.rmr_wt;
+      r.wb += st.rmr_wb;
+      ++count;
+    }
+  }
+  if (count) {
+    r.dsm /= static_cast<double>(count);
+    r.wt /= static_cast<double>(count);
+    r.wb /= static_cast<double>(count);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== RMR: mean RMRs per passage, all n processes contending\n");
+  for (const auto& f : algos::lock_zoo()) {
+    TextTable t({"n", "DSM", "CC write-through", "CC write-back"});
+    for (int n : {2, 4, 8, 16, 32}) {
+      const Rmrs r = measure(f, n, 7);
+      t.add_row({std::to_string(n), fmt_fixed(r.dsm, 1), fmt_fixed(r.wt, 1),
+                 fmt_fixed(r.wb, 1)});
+    }
+    std::printf("-- %s --\n", f.name.c_str());
+    t.print(std::cout);
+    std::puts("");
+  }
+  std::puts("Reading: MCS spins on variables in the waiter's own DSM segment");
+  std::puts("(flat DSM column); CLH spins on the predecessor's node (flat");
+  std::puts("only under CC); spin locks burn unbounded remote reads in DSM;");
+  std::puts("the bakery family's scans grow linearly in every model.");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// THM3 — Theorem 3's guaranteed active-set size versus the measured
+// survivors of the executable construction.
+//
+//   |Act(H_i)| >= N^{2^-l} / (l! * 4^{l+2i})
+//
+// The analytic bound is a worst-case guarantee over all f-adaptive
+// algorithms; the measured survivor counts for our concrete locks must lie
+// at or above it (for the adaptive lock, far above: its CAS-contended
+// rounds lose only one process per round).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "algos/zoo.h"
+#include "bounds/tradeoff.h"
+#include "lowerbound/construction.h"
+#include "util/table.h"
+
+using namespace tpa;
+using lowerbound::Construction;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+
+namespace {
+
+// Survivors after each completed round (phase records 'X' or 'C' close a
+// round).
+std::vector<std::size_t> survivors_per_round(
+    const lowerbound::ConstructionResult& r) {
+  std::vector<std::size_t> out;
+  int last_round = 0;
+  for (const auto& ph : r.phases) {
+    if ((ph.phase == 'X' || ph.phase == 'C') && ph.round > last_round) {
+      out.push_back(ph.active_after);
+      last_round = ph.round;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== THM3: measured survivors per inductive round vs the analytic bound");
+  std::puts("bound(i) = N^(2^-l) / (l! 4^(l+2i)), evaluated with l = i");
+  std::puts("(each round of our adaptive run adds one critical CAS event).\n");
+
+  for (int n : {32, 128, 512}) {
+    const auto& f = algos::lock_factory("adaptive-bakery");
+    ScenarioBuilder build = [&f, n](Simulator& sim) {
+      auto l = f.make(sim, n);
+      for (int p = 0; p < n; ++p)
+        sim.spawn(p, algos::run_passages(sim.proc(p), l, 1));
+    };
+    lowerbound::ConstructionConfig cfg;
+    cfg.max_rounds = 8;
+    cfg.verify_invariants = n <= 128;  // keep the big run fast
+    Construction c(static_cast<std::size_t>(n), build, cfg);
+    const auto r = c.run();
+    const auto measured = survivors_per_round(r);
+
+    std::printf("-- N = %d (adaptive-bakery, verified=%s) --\n", n,
+                cfg.verify_invariants ? "yes" : "no");
+    TextTable t({"round i", "measured |Act|", "analytic bound",
+                 "log2 bound"});
+    const double log2n = std::log2(static_cast<double>(n));
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      const double lb = bounds::log2_act_lower_bound(
+          static_cast<double>(i + 1), static_cast<int>(i + 1), log2n);
+      const double bound = lb <= 0 ? 0.0 : std::exp2(lb);
+      t.add_row({std::to_string(i + 1), std::to_string(measured[i]),
+                 fmt_fixed(std::max(0.0, bound), 2), fmt_fixed(lb, 2)});
+    }
+    t.print(std::cout);
+    std::puts("");
+  }
+  std::puts("-- the analytic guarantee at paper-scale N (no simulation) --");
+  std::puts("log2 |Act(H_i)| >= 2^-l log2 N - log2(l!) - 2(l+2i), with l = i:\n");
+  TextTable big({"log2 N", "i=1", "i=2", "i=3", "i=4", "i=6", "i=8"});
+  for (double log2n : {1024.0, 65536.0, 1048576.0, 16777216.0, 1073741824.0}) {
+    std::vector<std::string> row = {fmt_fixed(log2n, 0)};
+    for (int i : {1, 2, 3, 4, 6, 8}) {
+      const double lb = bounds::log2_act_lower_bound(i, i, log2n);
+      row.push_back(fmt_fixed(lb, 1));
+    }
+    big.add_row(row);
+  }
+  big.print(std::cout);
+  std::puts("(positive entries: that many *bits* of processes are guaranteed");
+  std::puts(" to survive round i — e.g. log2N=2^30 still guarantees 2^4e6");
+  std::puts(" survivors after 8 rounds.)\n");
+
+  std::puts("Reading: at simulator-scale N the analytic guarantee is loose");
+  std::puts("(it shrinks doubly exponentially); the measured adaptive run");
+  std::puts("keeps nearly all processes because contended CAS rounds cost");
+  std::puts("only the sacrificed winner — the bound is respected everywhere.");
+  return 0;
+}

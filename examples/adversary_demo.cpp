@@ -1,0 +1,59 @@
+// The paper's lower bound, live: run the adversary construction against an
+// adaptive lock and a non-adaptive lock and watch the tradeoff.
+//
+//   ./build/examples/example_adversary_demo [lock] [N]
+//
+// locks: any zoo name (default adaptive-bakery); N defaults to 24.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "algos/zoo.h"
+#include "lowerbound/construction.h"
+
+using namespace tpa;
+using lowerbound::Construction;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+
+int main(int argc, char** argv) {
+  const std::string lock_name = argc > 1 ? argv[1] : "adaptive-bakery";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 24;
+
+  const auto& factory = algos::lock_factory(lock_name);
+  ScenarioBuilder build = [&factory, n](Simulator& sim) {
+    auto lock = factory.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  };
+
+  std::printf("== adversary construction vs %s, N=%d ==\n", lock_name.c_str(),
+              n);
+  std::puts("phases: R=read, W=write, C=cas (extension), X=regularization\n");
+
+  Construction construction(static_cast<std::size_t>(n), build, {});
+  const auto r = construction.run();
+
+  for (const auto& ph : r.phases)
+    std::printf("round %2d  %c %-18s active %3zu -> %3zu  (erased %zu, %llu "
+                "events)\n",
+                ph.round, ph.phase, ph.case_name.c_str(), ph.active_before,
+                ph.active_after, ph.erased,
+                static_cast<unsigned long long>(ph.events_after));
+
+  std::printf("\nstop: %s\n", r.stop_reason.c_str());
+  std::printf("rounds (barriers forced per survivor): %d\n", r.rounds);
+  std::printf("finished processes |Fin|: %zu\n", r.finished);
+  std::printf("erasure replays (each verified against Lemma 4): %llu\n",
+              static_cast<unsigned long long>(r.replays));
+  std::printf("invariants (IN1-IN5, Definitions 4-6): %s\n",
+              r.invariants_ok ? "all verified" : r.invariant_detail.c_str());
+  std::printf(
+      "\nTheorem 1 witness: an execution with total contention %zu in which\n"
+      "one process executes %u barriers during a SINGLE passage.\n",
+      r.witness_contention, r.witness_barriers);
+  if (lock_name == "adaptive-bakery")
+    std::puts("\nThat is the price of being adaptive: barriers scale with\n"
+              "contention, exactly as Theorem 1 predicts for linear f.");
+  return 0;
+}

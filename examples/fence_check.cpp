@@ -1,0 +1,72 @@
+// Exhaustive fence checking: explore every context-bounded TSO schedule of
+// a small scenario and either certify it or print the violating schedule.
+//
+//   ./build/examples/example_fence_check [fencing] [n] [preemptions]
+//
+// fencing: tso | pso | none   (bakery fence placement; default none)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "algos/bakery.h"
+#include "algos/zoo.h"
+#include "tso/explorer.h"
+#include "tso/schedule.h"
+
+using namespace tpa;
+using algos::BakeryFencing;
+using algos::BakeryLock;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+
+int main(int argc, char** argv) {
+  BakeryFencing fencing = BakeryFencing::kNone;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "tso") == 0) fencing = BakeryFencing::kTso;
+    if (std::strcmp(argv[1], "pso") == 0) fencing = BakeryFencing::kPso;
+  }
+  const int n = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int preemptions = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  ScenarioBuilder build = [n, fencing](Simulator& sim) {
+    auto lock = std::make_shared<BakeryLock>(sim, n, fencing);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  };
+
+  const char* fname = fencing == BakeryFencing::kNone  ? "no fences"
+                      : fencing == BakeryFencing::kTso ? "TSO placement"
+                                                       : "PSO placement";
+  std::printf("== exhaustive check: bakery (%s), n=%d, <= %d preemption(s)\n\n",
+              fname, n, preemptions);
+
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = preemptions;
+  const auto r = tso::explore(static_cast<std::size_t>(n), {}, build, cfg);
+
+  std::printf("schedules explored: %llu (truncated: %llu, exhausted: %s)\n",
+              static_cast<unsigned long long>(r.schedules),
+              static_cast<unsigned long long>(r.truncated),
+              r.exhausted ? "yes" : "no");
+  if (!r.violation_found) {
+    std::puts("verdict: no violation within the bound.");
+    return 0;
+  }
+  std::printf("\nVIOLATION: %s\n", r.violation.c_str());
+  std::puts("\nreplaying the witness schedule, event by event:");
+  try {
+    auto sim = tso::replay(static_cast<std::size_t>(n), {}, build, r.witness);
+    (void)sim;
+  } catch (const CheckFailure&) {
+    // expected: the replay trips the same check. Show the trace by
+    // replaying all but the final (fatal) directive.
+    auto prefix = r.witness;
+    prefix.pop_back();
+    auto sim = tso::replay(static_cast<std::size_t>(n), {}, build, prefix);
+    for (const auto& e : sim->execution().events)
+      std::printf("  %s\n", e.to_string().c_str());
+    std::puts("  ... next step enables a second CS: mutual exclusion broken.");
+  }
+  return 1;
+}

@@ -1,0 +1,66 @@
+// Lamport's bakery lock and the adaptive active-set bakery.
+//
+// BakeryLock is the canonical read/write mutual exclusion algorithm: O(1)
+// fences per passage but Θ(n) reads regardless of contention — the
+// *non-adaptive* side of the paper's separation.
+//
+// AdaptiveBakery is the *adaptive* side: processes claim a slot in a
+// grow-only active-set array on their first passage (CAS); every bakery
+// scan then touches only the occupied prefix, so a passage performs O(k)
+// critical events where k is total contention — a linear adaptivity
+// function, exactly Corollary 2's regime. The price predicted by the paper
+// shows up in its registration: claiming a slot under contention costs up
+// to Θ(k) CAS barriers in a single passage, so the algorithm does NOT have
+// O(1) fence complexity. bench/tab_fence_vs_contention measures both sides.
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+/// How the bakery places fences; the paper's premise (citing Attiya et al.
+/// "Laws of Order") is that read/write mutual exclusion *needs* fences —
+/// kNone exists to demonstrate that: the schedule explorer finds a mutual
+/// exclusion violation against it automatically (tests/test_explorer.cpp).
+enum class BakeryFencing {
+  kTso,   ///< the standard placement, correct under TSO
+  kPso,   ///< extra fence between ticket and choosing-reset: correct on PSO
+  kNone,  ///< no fences at all: broken on any buffered-write model
+};
+
+class BakeryLock : public SimLock {
+ public:
+  BakeryLock(Simulator& sim, int n, BakeryFencing fencing = BakeryFencing::kTso);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "bakery"; }
+  bool read_write_only() const override { return true; }
+
+ private:
+  int n_;
+  BakeryFencing fencing_;
+  std::vector<VarId> choosing_;
+  std::vector<VarId> number_;
+};
+
+class AdaptiveBakery : public SimLock {
+ public:
+  AdaptiveBakery(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "adaptive-bakery"; }
+
+  /// Number of slots the given process would scan (for tests).
+  int registered_upper_bound(Simulator& sim) const;
+
+ private:
+  int n_;
+  std::vector<VarId> slots_;    ///< 0 = free, otherwise proc id + 1
+  std::vector<VarId> choosing_;
+  std::vector<VarId> number_;
+  std::vector<int> slot_of_;    ///< process -> claimed slot (private; -1)
+};
+
+}  // namespace tpa::algos

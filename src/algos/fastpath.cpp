@@ -1,0 +1,61 @@
+#include "algos/fastpath.h"
+
+// NOTE: every co_await below is a standalone statement or an initializer —
+// GCC 12 miscompiles co_await inside condition expressions (see
+// spin_locks.cpp and tests/test_coroutine_patterns.cpp).
+
+namespace tpa::algos {
+
+LamportFastLock::LamportFastLock(Simulator& sim, int n)
+    : n_(n), x_(sim.alloc_var(kNone)), y_(sim.alloc_var(kNone)) {
+  b_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) b_.push_back(sim.alloc_var(0));
+}
+
+Task<> LamportFastLock::acquire(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+  while (true) {
+    co_await p.write(b_[me], 1);
+    co_await p.write(x_, p.id());
+    co_await p.fence();  // x must be visible before reading y
+    const Value y1 = co_await p.read(y_);
+    if (y1 != kNone) {
+      co_await p.write(b_[me], 0);
+      co_await p.fence();
+      while (true) {
+        const Value y = co_await p.read(y_);
+        if (y == kNone) break;  // wait for the holder to leave
+      }
+      continue;  // restart the doorway
+    }
+    co_await p.write(y_, p.id());
+    co_await p.fence();  // y must be visible before re-reading x
+    const Value x = co_await p.read(x_);
+    if (x == p.id()) co_return;  // fast path
+
+    // Slow path: step back, wait for all doorways to settle, and check
+    // whether we ended up the winner.
+    co_await p.write(b_[me], 0);
+    co_await p.fence();
+    for (int j = 0; j < n_; ++j) {
+      while (true) {
+        const Value bj = co_await p.read(b_[static_cast<std::size_t>(j)]);
+        if (bj == 0) break;
+      }
+    }
+    const Value y2 = co_await p.read(y_);
+    if (y2 == p.id()) co_return;  // slow-path win
+    while (true) {
+      const Value y = co_await p.read(y_);
+      if (y == kNone) break;  // lost: wait for the winner's release
+    }
+  }
+}
+
+Task<> LamportFastLock::release(Proc& p) {
+  co_await p.write(y_, kNone);
+  co_await p.write(b_[static_cast<std::size_t>(p.id())], 0);
+  co_await p.fence();
+}
+
+}  // namespace tpa::algos

@@ -1,0 +1,33 @@
+// Lamport's fast mutual exclusion algorithm (1987).
+//
+// A read/write lock whose uncontended fast path costs O(1) operations and
+// O(1) fences; under contention it falls back to an Θ(n) scan. It is
+// "adaptive" only in the weak doorway sense — the slow path depends on n,
+// not on contention k — which makes it a useful middle point between
+// BakeryLock and AdaptiveBakery in the separation tables. Deadlock-free but
+// not starvation-free; satisfies the paper's weak obstruction-freedom.
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+class LamportFastLock : public SimLock {
+ public:
+  LamportFastLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "lamport-fast"; }
+  bool read_write_only() const override { return true; }
+
+ private:
+  static constexpr Value kNone = -1;
+  int n_;
+  VarId x_;
+  VarId y_;
+  std::vector<VarId> b_;
+};
+
+}  // namespace tpa::algos

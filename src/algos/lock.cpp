@@ -1,0 +1,19 @@
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+Task<> run_passage(Proc& p, std::shared_ptr<SimLock> lock) {
+  co_await p.enter();
+  co_await lock->acquire(p);
+  co_await p.cs();
+  co_await lock->release(p);
+  co_await p.exit();
+}
+
+Task<> run_passages(Proc& p, std::shared_ptr<SimLock> lock, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await run_passage(p, lock);
+  }
+}
+
+}  // namespace tpa::algos

@@ -1,0 +1,51 @@
+// SimLock — the interface simulated mutual-exclusion algorithms implement,
+// plus the passage driver that wraps entry/exit code in the paper's
+// transition events (Enter, CS, Exit).
+//
+// A passage is: Enter (ncs -> entry), the lock's entry section (acquire),
+// the instantaneous CS event (entry -> exit), the lock's exit section
+// (release), and Exit (exit -> ncs). The simulator asserts mutual exclusion
+// at every enabled CS event, so any scenario driving passages doubles as a
+// correctness check of the algorithm under the exercised schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tso/proc.h"
+#include "tso/sim.h"
+#include "tso/task.h"
+
+namespace tpa::algos {
+
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+class SimLock {
+ public:
+  virtual ~SimLock() = default;
+
+  /// The lock's entry section. Runs with the process' status == entry.
+  virtual Task<> acquire(Proc& p) = 0;
+
+  /// The lock's exit section. Runs with the process' status == exit.
+  virtual Task<> release(Proc& p) = 0;
+
+  /// Human-readable algorithm name for tables.
+  virtual std::string name() const = 0;
+
+  /// True if the algorithm uses only reads and writes (no CAS) — the class
+  /// the paper's construction primarily targets.
+  virtual bool read_write_only() const { return false; }
+};
+
+/// One passage through the critical section.
+Task<> run_passage(Proc& p, std::shared_ptr<SimLock> lock);
+
+/// `count` back-to-back passages.
+Task<> run_passages(Proc& p, std::shared_ptr<SimLock> lock, int count);
+
+}  // namespace tpa::algos

@@ -1,0 +1,95 @@
+#include "algos/queue_locks.h"
+
+// NOTE: every co_await below is a standalone statement or an initializer —
+// GCC 12 miscompiles co_await inside condition expressions (see
+// spin_locks.cpp and tests/test_coroutine_patterns.cpp).
+
+namespace tpa::algos {
+
+McsLock::McsLock(Simulator& sim, int n) : tail_(sim.alloc_var(kNil)) {
+  locked_.reserve(static_cast<std::size_t>(n));
+  next_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    locked_.push_back(sim.alloc_var(0, static_cast<tso::ProcId>(i)));
+    next_.push_back(sim.alloc_var(kNil, static_cast<tso::ProcId>(i)));
+  }
+}
+
+Task<> McsLock::acquire(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+  co_await p.write(next_[me], kNil);
+  // swap(tail, me) via a CAS loop; the CAS also drains the buffer, making
+  // the next_ reset visible before we are reachable via tail.
+  Value pred = kNil;
+  while (true) {
+    pred = co_await p.read(tail_);
+    const Value old = co_await p.cas(tail_, pred, p.id());
+    if (old == pred) break;
+  }
+  if (pred != kNil) {
+    co_await p.write(locked_[me], 1);
+    co_await p.fence();  // our locked flag must be visible before the link
+    co_await p.write(next_[static_cast<std::size_t>(pred)], p.id());
+    co_await p.fence();  // publish the link so the predecessor can hand off
+    while (true) {
+      // local spin: locked_[me] lives in our own segment
+      const Value flag = co_await p.read(locked_[me]);
+      if (flag == 0) break;
+    }
+  }
+}
+
+Task<> McsLock::release(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+  Value succ = co_await p.read(next_[me]);
+  if (succ == kNil) {
+    const Value old = co_await p.cas(tail_, p.id(), kNil);
+    if (old == p.id()) co_return;  // nobody queued behind us
+    // Someone is mid-enqueue: wait for the link.
+    while (true) {
+      succ = co_await p.read(next_[me]);
+      if (succ != kNil) break;
+    }
+  }
+  co_await p.write(locked_[static_cast<std::size_t>(succ)], 0);
+  co_await p.fence();
+}
+
+ClhLock::ClhLock(Simulator& sim, int n)
+    : node_idx_(static_cast<std::size_t>(n)),
+      pred_idx_(static_cast<std::size_t>(n), -1) {
+  // n per-process nodes plus one released dummy the tail starts at.
+  flag_.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n + 1; ++i) flag_.push_back(sim.alloc_var(0));
+  tail_ = sim.alloc_var(n);  // dummy node index
+  for (int i = 0; i < n; ++i) node_idx_[static_cast<std::size_t>(i)] = i;
+}
+
+Task<> ClhLock::acquire(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+  const int my_node = node_idx_[me];
+  co_await p.write(flag_[static_cast<std::size_t>(my_node)], 1);
+  // swap(tail, my_node); the CAS drains the flag write.
+  Value pred = 0;
+  while (true) {
+    pred = co_await p.read(tail_);
+    const Value old = co_await p.cas(tail_, pred, my_node);
+    if (old == pred) break;
+  }
+  pred_idx_[me] = static_cast<int>(pred);
+  while (true) {
+    // spin on the predecessor's node (local under CC, remote under DSM)
+    const Value flag = co_await p.read(flag_[static_cast<std::size_t>(pred)]);
+    if (flag == 0) break;
+  }
+}
+
+Task<> ClhLock::release(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+  co_await p.write(flag_[static_cast<std::size_t>(node_idx_[me])], 0);
+  co_await p.fence();
+  // Recycle: take the predecessor's node for our next acquisition.
+  node_idx_[me] = pred_idx_[me];
+}
+
+}  // namespace tpa::algos

@@ -1,0 +1,49 @@
+// Queue-based local-spin locks: MCS and CLH.
+//
+// MCS spins on a per-process flag that lives in the waiter's own memory
+// segment — O(1) RMR per passage in both the DSM and CC models, constant
+// barrier count, but non-adaptive in the paper's read/write sense (it is
+// built on swap/CAS). CLH spins on the predecessor's node: local under CC,
+// remote under DSM — the classic CC/DSM asymmetry, visible in the RMR
+// tables produced by bench/tab_rmr_vs_n.
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+/// Mellor-Crummey & Scott queue lock.
+class McsLock : public SimLock {
+ public:
+  /// `n` processes; per-process qnode variables are placed in each process'
+  /// local segment (DSM ownership) so spins are local.
+  McsLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "mcs"; }
+
+ private:
+  static constexpr Value kNil = -1;
+  VarId tail_;
+  std::vector<VarId> locked_;  ///< locked_[i]: i spins here; owned by i
+  std::vector<VarId> next_;    ///< next_[i]: successor of i; owned by i
+};
+
+/// Craig / Landin-Hagersten queue lock with node recycling.
+class ClhLock : public SimLock {
+ public:
+  ClhLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "clh"; }
+
+ private:
+  VarId tail_;                  ///< holds a node index
+  std::vector<VarId> flag_;     ///< n+1 nodes; flag==1 while held
+  std::vector<int> node_idx_;   ///< process -> its current node (private)
+  std::vector<int> pred_idx_;   ///< process -> predecessor node (private)
+};
+
+}  // namespace tpa::algos

@@ -1,0 +1,75 @@
+// Centralized spin locks: test-and-set, test-and-test-and-set, and the
+// ticket lock. All three use CAS (a comparison primitive — covered by the
+// paper's tradeoff) and have constant *barrier* complexity per passage in
+// uncontended runs, but they are not adaptive: their time/RMR behaviour
+// under contention depends on n (and on the coherence protocol), and they
+// spin on globally shared variables (no local spinning in the DSM model).
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+/// Test-and-set lock: acquire loops on CAS(lock, 0, 1).
+class TasLock : public SimLock {
+ public:
+  explicit TasLock(Simulator& sim, bool release_fence = true);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "tas"; }
+
+ private:
+  VarId lock_;
+  bool release_fence_;
+};
+
+/// Test-and-test-and-set: spin with plain reads, CAS only when free.
+class TtasLock : public SimLock {
+ public:
+  explicit TtasLock(Simulator& sim, bool release_fence = true);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "ttas"; }
+
+ private:
+  VarId lock_;
+  bool release_fence_;
+};
+
+/// Ticket lock: FIFO via a fetch&increment (CAS loop) on `next`, spinning on
+/// `serving`.
+class TicketLock : public SimLock {
+ public:
+  explicit TicketLock(Simulator& sim, bool release_fence = true);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "ticket"; }
+
+ private:
+  VarId next_;
+  VarId serving_;
+  bool release_fence_;
+};
+
+/// Anderson's array-based queue lock: fetch&increment (CAS loop) hands out
+/// slot indices; each waiter spins on its own array slot. Local spinning
+/// under CC (each slot is a distinct cache line analogue); still remote in
+/// DSM (slot ownership cannot follow the dynamic ticket assignment) — the
+/// classic contrast with MCS visible in bench/tab_rmr_vs_n.
+class AndersonLock : public SimLock {
+ public:
+  AndersonLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "anderson"; }
+
+ private:
+  int n_;
+  VarId tail_;
+  std::vector<VarId> slots_;   ///< slots_[i] == 1: ticket i may enter
+  std::vector<Value> my_slot_; ///< private per-process ticket
+};
+
+}  // namespace tpa::algos

@@ -1,0 +1,154 @@
+#include "algos/splitter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+// NOTE: every co_await is a standalone statement or an initializer (GCC 12
+// miscompiles co_await inside condition expressions; see tso/task.h).
+
+namespace tpa::algos {
+
+SimSplitter::SimSplitter(Simulator& sim)
+    : x_(sim.alloc_var(kNobody)), y_(sim.alloc_var(0)) {}
+
+Task<SimSplitter::Outcome> SimSplitter::visit(Proc& p) {
+  co_await p.write(x_, p.id());
+  co_await p.fence();  // X must be visible before reading Y
+  const Value y = co_await p.read(y_);
+  if (y == 1) co_return Outcome::kRight;
+  co_await p.write(y_, 1);
+  co_await p.fence();  // Y must be visible before re-reading X
+  const Value x = co_await p.read(x_);
+  if (x == p.id()) co_return Outcome::kStop;
+  co_return Outcome::kDown;
+}
+
+MoirAndersonGrid::MoirAndersonGrid(Simulator& sim, int n) : n_(n) {
+  const int cells = n * (n + 1) / 2;
+  x_.reserve(static_cast<std::size_t>(cells));
+  y_.reserve(static_cast<std::size_t>(cells));
+  touched_.reserve(static_cast<std::size_t>(cells));
+  present_.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    x_.push_back(sim.alloc_var(-1));
+    y_.push_back(sim.alloc_var(0));
+    touched_.push_back(sim.alloc_var(0));
+    present_.push_back(sim.alloc_var(0));
+  }
+}
+
+int MoirAndersonGrid::cell_index(int r, int c) const {
+  const int d = r + c;
+  TPA_CHECK(d < n_, "grid walk left the triangle: r=" << r << " c=" << c);
+  return d * (d + 1) / 2 + r;
+}
+
+int MoirAndersonGrid::diagonal_of(Value cell) const {
+  int d = 0;
+  while ((d + 1) * (d + 2) / 2 <= cell) ++d;
+  return d;
+}
+
+Task<Value> MoirAndersonGrid::acquire_name(Proc& p) {
+  int r = 0, c = 0;
+  while (true) {
+    const auto cell = static_cast<std::size_t>(cell_index(r, c));
+    // Leave a trail for the adaptive collector; the splitter's first fence
+    // publishes it together with X.
+    co_await p.write(touched_[cell], 1);
+    co_await p.write(x_[cell], p.id());
+    co_await p.fence();
+    const Value y = co_await p.read(y_[cell]);
+    if (y == 1) {
+      ++c;  // RIGHT
+      continue;
+    }
+    co_await p.write(y_[cell], 1);
+    co_await p.fence();
+    const Value x = co_await p.read(x_[cell]);
+    if (x == p.id()) co_return static_cast<Value>(cell);  // STOP
+    ++r;  // DOWN
+  }
+}
+
+Task<> MoirAndersonGrid::collect(
+    Proc& p, std::vector<std::pair<Value, Value>>* out) const {
+  for (int d = 0; d < n_; ++d) {
+    bool any_touched = false;
+    for (int r = 0; r <= d; ++r) {
+      const auto cell = static_cast<std::size_t>(d * (d + 1) / 2 + r);
+      const Value t = co_await p.read(touched_[cell]);
+      if (t == 0) continue;
+      any_touched = true;
+      const Value who = co_await p.read(present_[cell]);
+      if (who != 0) out->emplace_back(static_cast<Value>(cell), who - 1);
+    }
+    // Every registrant marked one cell on each diagonal of its path, so a
+    // fully-untouched diagonal means nobody ever went further.
+    if (!any_touched) break;
+  }
+}
+
+AdaptiveSplitterLock::AdaptiveSplitterLock(Simulator& sim, int n)
+    : n_(n), grid_(sim, n), cell_of_(static_cast<std::size_t>(n), -1) {
+  choosing_.reserve(static_cast<std::size_t>(n));
+  number_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    choosing_.push_back(sim.alloc_var(0));
+    number_.push_back(sim.alloc_var(0));
+  }
+}
+
+Task<> AdaptiveSplitterLock::acquire(Proc& p) {
+  const auto me = static_cast<std::size_t>(p.id());
+
+  // One-time registration: Θ(k) splitter visits, each costing two fences —
+  // the pure read/write price of adaptivity.
+  if (cell_of_[me] < 0) {
+    const Value cell = co_await grid_.acquire_name(p);
+    co_await p.write(grid_.present_[static_cast<std::size_t>(cell)],
+                     p.id() + 1);
+    co_await p.fence();
+    cell_of_[me] = cell;
+  }
+
+  // Bakery doorway over the adaptively-collected participants.
+  co_await p.write(choosing_[me], 1);
+  co_await p.fence();
+  std::vector<std::pair<Value, Value>> seen;
+  co_await grid_.collect(p, &seen);
+  Value mx = 0;
+  for (const auto& [cell, who] : seen) {
+    const Value v = co_await p.read(number_[static_cast<std::size_t>(who)]);
+    mx = std::max(mx, v);
+  }
+  const Value my_number = mx + 1;
+  co_await p.write(number_[me], my_number);
+  co_await p.write(choosing_[me], 0);
+  co_await p.fence();
+
+  // Wait scan over a fresh collect (the participant set may have grown).
+  seen.clear();
+  co_await grid_.collect(p, &seen);
+  for (const auto& [cell, who] : seen) {
+    const int j = static_cast<int>(who);
+    if (j == p.id()) continue;
+    const auto ju = static_cast<std::size_t>(j);
+    while (true) {
+      const Value choosing = co_await p.read(choosing_[ju]);
+      if (choosing != 1) break;
+    }
+    while (true) {
+      const Value nj = co_await p.read(number_[ju]);
+      if (nj == 0 || nj > my_number || (nj == my_number && j > p.id())) break;
+    }
+  }
+}
+
+Task<> AdaptiveSplitterLock::release(Proc& p) {
+  co_await p.write(number_[static_cast<std::size_t>(p.id())], 0);
+  co_await p.fence();
+}
+
+}  // namespace tpa::algos

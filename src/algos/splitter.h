@@ -1,0 +1,100 @@
+// Moir-Anderson splitter grid and a pure read/write adaptive lock.
+//
+// The paper's Theorem 1 is about read/write (+CAS) algorithms; the
+// AdaptiveBakery in bakery.h registers via CAS. This file provides the
+// *pure read/write* counterpart: processes acquire a one-shot name by
+// walking a triangular grid of Lamport splitters (Moir-Anderson renaming),
+// then run a bakery over the adaptively-collected set of names.
+//
+//   splitter visit (reads/writes + 2 fences on TSO):
+//     touched = 1; X = p; fence;
+//     if (Y) move RIGHT;
+//     Y = 1; fence;
+//     if (X == p) STOP else move DOWN;
+//
+// With k participants every process stops within diagonal k-1, and every
+// diagonal on its path is marked `touched`, so a collector may scan
+// diagonals until the first fully-untouched one — O(k^2) reads, independent
+// of n. The price: registration costs Θ(k) *fences* in the worst case — the
+// paper's currency, paid by a pure read/write linearly-adaptive algorithm,
+// exactly as Theorem 1 says it must be.
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+/// One Lamport splitter on the simulator. At most one visitor STOPs; with
+/// k visitors at most k-1 go right and at most k-1 go down.
+class SimSplitter {
+ public:
+  enum class Outcome { kStop, kRight, kDown };
+
+  explicit SimSplitter(Simulator& sim);
+
+  /// One visit; 2 fences. The result is deterministic per schedule.
+  Task<Outcome> visit(Proc& p);
+
+ private:
+  static constexpr Value kNobody = -1;
+  VarId x_;
+  VarId y_;
+
+  // Task<T> cannot be awaited through a virtual-free helper without the
+  // outcome value, so visit() returns the enum via Task<Value> internally.
+};
+
+/// The triangular splitter grid: cell (r, c) exists when r + c < n.
+/// acquire_name walks from (0,0), marking every visited cell as touched,
+/// and returns the index of the cell where the walker stopped.
+class MoirAndersonGrid {
+ public:
+  MoirAndersonGrid(Simulator& sim, int n);
+
+  /// Grid walk: O(k) splitter visits and fences when k processes
+  /// participate. Returns the claimed cell index.
+  Task<Value> acquire_name(Proc& p);
+
+  /// Adaptively collects the ids of all processes that announced a name:
+  /// scans diagonals until the first fully-untouched diagonal. O(k^2)
+  /// reads. Appends discovered (cell, proc-id) pairs to *out.
+  Task<> collect(Proc& p, std::vector<std::pair<Value, Value>>* out) const;
+
+  int cells() const { return static_cast<int>(present_.size()); }
+  int diagonal_of(Value cell) const;
+
+ private:
+  friend class AdaptiveSplitterLock;
+
+  int cell_index(int r, int c) const;
+
+  int n_;
+  std::vector<VarId> x_;        ///< per-cell splitter X
+  std::vector<VarId> y_;        ///< per-cell splitter Y
+  std::vector<VarId> touched_;  ///< set by every visitor of the cell
+  std::vector<VarId> present_;  ///< proc id + 1, set by the stopper
+};
+
+/// Pure read/write adaptive mutual exclusion: Moir-Anderson renaming for
+/// registration + bakery over the collected names. Linear-in-k fence cost
+/// on first passage, O(1) fences afterwards; O(k^2) critical events per
+/// passage — an f-adaptive read/write algorithm with f(k) = O(k^2).
+class AdaptiveSplitterLock : public SimLock {
+ public:
+  AdaptiveSplitterLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "adaptive-splitter"; }
+  bool read_write_only() const override { return true; }
+
+ private:
+  int n_;
+  MoirAndersonGrid grid_;
+  std::vector<VarId> choosing_;  ///< per process id
+  std::vector<VarId> number_;
+  std::vector<Value> cell_of_;   ///< private: claimed cell or -1
+};
+
+}  // namespace tpa::algos

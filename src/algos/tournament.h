@@ -1,0 +1,43 @@
+// Peterson tournament tree — a read/write lock with Θ(log n) fences.
+//
+// Each internal node of a complete binary tree is a two-sided Peterson
+// lock; a process climbs from its leaf to the root, winning each node. On
+// TSO every level needs one fence (the flag/turn writes must be visible
+// before reading the opponent), so the passage costs Θ(log n) fences and
+// Θ(log n) RMRs — the naive non-adaptive baseline the paper's predecessor
+// [Attiya-Hendler-Levy 2013] improved to O(1) fences. Contrast with
+// BakeryLock (O(1) fences, Θ(n) reads) in bench/tab_fence_vs_contention.
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+class TournamentLock : public SimLock {
+ public:
+  TournamentLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "tournament"; }
+  bool read_write_only() const override { return true; }
+
+  int levels() const { return levels_; }
+
+ private:
+  // Nodes are stored heap-style: node 1 is the root; node i has children
+  // 2i and 2i+1. A process entering from leaf slot s competes at node
+  // (leaf_base_ + s) / 2 first.
+  struct Node {
+    VarId flag[2];
+    VarId turn;
+  };
+
+  int n_;
+  int levels_;
+  int leaf_base_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tpa::algos

@@ -1,0 +1,118 @@
+#include "algos/yang_anderson.h"
+
+#include "util/check.h"
+
+// NOTE: every co_await is a standalone statement or an initializer (GCC 12
+// miscompiles co_await inside condition expressions; see tso/task.h).
+
+namespace tpa::algos {
+
+YangAndersonLock::YangAndersonLock(Simulator& sim, int n) : n_(n) {
+  TPA_CHECK(n >= 1, "Yang-Anderson lock needs at least one process");
+  levels_ = 0;
+  int leaves = 1;
+  while (leaves < n) {
+    leaves *= 2;
+    ++levels_;
+  }
+  leaf_base_ = leaves;
+  nodes_.resize(static_cast<std::size_t>(leaves));
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    nodes_[i].c[0] = sim.alloc_var(kNobody);
+    nodes_[i].c[1] = sim.alloc_var(kNobody);
+    nodes_[i].t = sim.alloc_var(kNobody);
+  }
+  const int lv = levels_ == 0 ? 1 : levels_;
+  spin_.reserve(static_cast<std::size_t>(n * lv));
+  for (int i = 0; i < n; ++i)
+    for (int l = 0; l < lv; ++l)
+      spin_.push_back(sim.alloc_var(0, static_cast<tso::ProcId>(i)));
+}
+
+VarId YangAndersonLock::spin_var(Value proc, int level) const {
+  const int lv = levels_ == 0 ? 1 : levels_;
+  return spin_[static_cast<std::size_t>(proc) * static_cast<std::size_t>(lv) +
+               static_cast<std::size_t>(level)];
+}
+
+Task<> YangAndersonLock::node_enter(Proc& p, const Node& node, int side,
+                                    int level) {
+  const VarId mine_var = spin_var(p.id(), level);
+  co_await p.write(node.c[side], p.id());
+  co_await p.write(node.t, p.id());
+  co_await p.write(mine_var, 0);
+  co_await p.fence();  // announce before inspecting the rival
+  const Value rival = co_await p.read(node.c[1 - side]);
+  if (rival != kNobody) {
+    const Value t1 = co_await p.read(node.t);
+    if (t1 == p.id()) {
+      // We arrived second: hand the rival its entry handshake (it may be
+      // blocked on the same T==self check), then wait on our own local
+      // flag.
+      const VarId rival_var = spin_var(rival, level);
+      const Value rp = co_await p.read(rival_var);
+      if (rp == 0) {
+        co_await p.write(rival_var, 1);
+        co_await p.fence();
+      }
+      while (true) {
+        const Value mine = co_await p.read(mine_var);
+        if (mine != 0) break;  // local spin (our own DSM segment)
+      }
+      const Value t2 = co_await p.read(node.t);
+      if (t2 == p.id()) {
+        // Still the loser: the 1 was only the handshake — wait for the
+        // rival's exit release (value 2).
+        while (true) {
+          const Value mine = co_await p.read(mine_var);
+          if (mine > 1) break;
+        }
+      }
+    }
+  }
+}
+
+Task<> YangAndersonLock::node_exit(Proc& p, const Node& node, int side,
+                                   int level) {
+  co_await p.write(node.c[side], kNobody);
+  co_await p.fence();  // retract before reading who waits
+  const Value rival = co_await p.read(node.t);
+  if (rival != p.id() && rival != kNobody) {
+    co_await p.write(spin_var(rival, level), 2);
+    co_await p.fence();
+  }
+}
+
+Task<> YangAndersonLock::acquire(Proc& p) {
+  int pos = leaf_base_ + p.id();
+  int level = 0;
+  while (pos > 1) {
+    const int node = pos / 2;
+    const int side = pos % 2;
+    co_await node_enter(p, nodes_[static_cast<std::size_t>(node)], side,
+                        level);
+    pos = node;
+    ++level;
+  }
+}
+
+Task<> YangAndersonLock::release(Proc& p) {
+  // Release top-down: the root frees first, mirroring the usual arbiter-
+  // tree exit order.
+  std::vector<std::pair<int, int>> path;  // (tree position, level)
+  int pos = leaf_base_ + p.id();
+  int level = 0;
+  while (pos > 1) {
+    path.emplace_back(pos, level);
+    pos /= 2;
+    ++level;
+  }
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const int node = path[i].first / 2;
+    const int side = path[i].first % 2;
+    co_await node_exit(p, nodes_[static_cast<std::size_t>(node)], side,
+                       path[i].second);
+  }
+}
+
+}  // namespace tpa::algos

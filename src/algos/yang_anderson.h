@@ -1,0 +1,58 @@
+// Yang & Anderson's local-spin mutual exclusion tree ([28] in the paper).
+//
+// The first read/write algorithm with O(log n) RMRs per passage in both the
+// DSM and CC models: an arbiter tree of two-process components in which
+// every busy-wait spins on P[p] — a variable in the waiting process' own
+// memory segment — and rivals wake each other through it with a two-stage
+// handshake (values 0 = waiting, 1 = entry handshake, 2 = exit release).
+// On TSO each tree level costs one fence in the entry section and one in
+// the exit section: Θ(log n) fences, Θ(log n) RMRs, non-adaptive — the
+// classic baseline whose fence bill [Attiya-Hendler-Levy 2013] later cut to
+// O(1), prompting the question this paper answers.
+//
+// Correctness of the port is checked three ways: randomized TSO schedules
+// (zoo sweeps), exhaustive context-bounded exploration
+// (tests/test_explorer.cpp), and DSM RMR flatness (tests/test_locks.cpp).
+#pragma once
+
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+class YangAndersonLock : public SimLock {
+ public:
+  YangAndersonLock(Simulator& sim, int n);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override { return "yang-anderson"; }
+  bool read_write_only() const override { return true; }
+
+  int levels() const { return levels_; }
+
+ private:
+  static constexpr Value kNobody = -1;
+
+  struct Node {
+    VarId c[2];  ///< C[side]: competing process id, kNobody when free
+    VarId t;     ///< T: the later arriver (it waits)
+  };
+
+  Task<> node_enter(Proc& p, const Node& node, int side, int level);
+  Task<> node_exit(Proc& p, const Node& node, int side, int level);
+
+  VarId spin_var(Value proc, int level) const;
+
+  int n_;
+  int levels_;
+  int leaf_base_;
+  std::vector<Node> nodes_;
+  /// P[p][level]: p's spin flag for its (fixed) node at that tree level;
+  /// local to p in the DSM model. Per-level flags keep releases at one
+  /// node from waking waits at another (the tree version of the paper's
+  /// two-process P array).
+  std::vector<VarId> spin_;
+};
+
+}  // namespace tpa::algos

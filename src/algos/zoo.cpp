@@ -1,0 +1,64 @@
+#include "algos/zoo.h"
+
+#include "algos/bakery.h"
+#include "algos/fastpath.h"
+#include "algos/queue_locks.h"
+#include "algos/spin_locks.h"
+#include "algos/splitter.h"
+#include "algos/tournament.h"
+#include "algos/yang_anderson.h"
+#include "util/check.h"
+
+namespace tpa::algos {
+
+const std::vector<LockFactory>& lock_zoo() {
+  static const std::vector<LockFactory> kZoo = {
+      {"tas", false, false,
+       [](Simulator& sim, int) { return std::make_shared<TasLock>(sim); }},
+      {"ttas", false, false,
+       [](Simulator& sim, int) { return std::make_shared<TtasLock>(sim); }},
+      {"ticket", false, false,
+       [](Simulator& sim, int) { return std::make_shared<TicketLock>(sim); }},
+      {"anderson", false, false,
+       [](Simulator& sim, int n) {
+         return std::make_shared<AndersonLock>(sim, n);
+       }},
+      {"mcs", false, false,
+       [](Simulator& sim, int n) { return std::make_shared<McsLock>(sim, n); }},
+      {"clh", false, false,
+       [](Simulator& sim, int n) { return std::make_shared<ClhLock>(sim, n); }},
+      {"tournament", true, false,
+       [](Simulator& sim, int n) {
+         return std::make_shared<TournamentLock>(sim, n);
+       }},
+      {"yang-anderson", true, false,
+       [](Simulator& sim, int n) {
+         return std::make_shared<YangAndersonLock>(sim, n);
+       }},
+      {"bakery", true, false,
+       [](Simulator& sim, int n) {
+         return std::make_shared<BakeryLock>(sim, n);
+       }},
+      {"adaptive-bakery", false, true,
+       [](Simulator& sim, int n) {
+         return std::make_shared<AdaptiveBakery>(sim, n);
+       }},
+      {"lamport-fast", true, false,
+       [](Simulator& sim, int n) {
+         return std::make_shared<LamportFastLock>(sim, n);
+       }},
+      {"adaptive-splitter", true, true,
+       [](Simulator& sim, int n) {
+         return std::make_shared<AdaptiveSplitterLock>(sim, n);
+       }},
+  };
+  return kZoo;
+}
+
+const LockFactory& lock_factory(const std::string& name) {
+  for (const auto& f : lock_zoo())
+    if (f.name == name) return f;
+  TPA_FAIL("unknown lock '" << name << "'");
+}
+
+}  // namespace tpa::algos

@@ -1,0 +1,27 @@
+// The lock zoo: a registry of every simulated mutual-exclusion algorithm,
+// so tests and benches can sweep "all locks" uniformly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+struct LockFactory {
+  std::string name;
+  bool read_write_only;  ///< uses only reads/writes (no CAS)
+  bool adaptive;         ///< per-passage work depends on contention k, not n
+  std::function<std::shared_ptr<SimLock>(Simulator&, int)> make;
+};
+
+/// All registered lock algorithms.
+const std::vector<LockFactory>& lock_zoo();
+
+/// Looks up a factory by name; throws CheckFailure if unknown.
+const LockFactory& lock_factory(const std::string& name);
+
+}  // namespace tpa::algos

@@ -1,0 +1,45 @@
+#include "bounds/estimate.h"
+
+#include <cmath>
+
+namespace tpa::bounds {
+
+double growth_exponent(const std::vector<Sample>& samples) {
+  // Least squares on (log x, log cost).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (const auto& s : samples) {
+    if (s.x <= 0 || s.cost <= 0) continue;
+    const double lx = std::log(s.x);
+    const double ly = std::log(s.cost);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double denom = static_cast<double>(m) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (static_cast<double>(m) * sxy - sx * sy) / denom;
+}
+
+const char* to_string(AdaptivityClass c) {
+  return c == AdaptivityClass::kAdaptive ? "adaptive" : "non-adaptive";
+}
+
+AdaptivityClass classify_adaptivity(const std::vector<Sample>& cost_vs_k,
+                                    const std::vector<Sample>& cost_vs_n,
+                                    double threshold) {
+  const double bk = growth_exponent(cost_vs_k);
+  const double bn = growth_exponent(cost_vs_n);
+  // Adaptive: depends on contention but not on the arena. Anything whose
+  // cost scales with n — regardless of k-dependence — is non-adaptive.
+  if (bn >= threshold) return AdaptivityClass::kNonAdaptive;
+  if (bk >= threshold) return AdaptivityClass::kAdaptive;
+  // Flat in both (e.g. a centralized lock's solo cost): not adaptive in the
+  // paper's sense — its cost simply never was a function of contention.
+  return AdaptivityClass::kNonAdaptive;
+}
+
+}  // namespace tpa::bounds

@@ -1,0 +1,45 @@
+// Empirical adaptivity estimation.
+//
+// The paper's definitions quantify over all executions; for concrete
+// algorithms we can *measure* per-passage cost against contention k (arena
+// size n held fixed) and against n (k held fixed), and classify:
+//
+//   adaptive      — cost grows with k and is flat in n;
+//   non-adaptive  — cost is flat in k but grows with n (e.g. bakery), or
+//                   flat in both (e.g. a centralized CAS lock).
+//
+// The growth exponent is estimated by least-squares in log-log space
+// (cost ~ a * x^b), which also recovers the adaptivity function's shape:
+// b ≈ 1 for the active-set bakery (linear f), b ≈ 2 for the splitter
+// lock's quadratic collect.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tpa::bounds {
+
+struct Sample {
+  double x;     ///< contention k, or arena size n
+  double cost;  ///< measured per-passage cost (critical events, RMRs, ...)
+};
+
+/// Least-squares fit of log(cost) = log(a) + b*log(x); returns the exponent
+/// b. Samples with non-positive x or cost are ignored; fewer than two
+/// usable samples yield 0.
+double growth_exponent(const std::vector<Sample>& samples);
+
+enum class AdaptivityClass {
+  kAdaptive,     ///< cost tracks contention, not arena size
+  kNonAdaptive,  ///< cost tracks arena size (or is flat in both)
+};
+
+const char* to_string(AdaptivityClass c);
+
+/// Classifies from two sweeps: cost vs k (n fixed) and cost vs n (k fixed).
+/// `threshold` is the growth exponent above which a dependence counts.
+AdaptivityClass classify_adaptivity(const std::vector<Sample>& cost_vs_k,
+                                    const std::vector<Sample>& cost_vs_n,
+                                    double threshold = 0.5);
+
+}  // namespace tpa::bounds

@@ -1,0 +1,86 @@
+#include "bounds/tradeoff.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa::bounds {
+
+AdaptivityFn linear_adaptivity(double c) {
+  TPA_CHECK(c > 0, "adaptivity coefficient must be positive");
+  return [c](int i) { return c * i; };
+}
+
+AdaptivityFn exponential_adaptivity(double c) {
+  TPA_CHECK(c > 0, "adaptivity coefficient must be positive");
+  return [c](int i) { return std::exp2(c * i); };
+}
+
+AdaptivityFn constant_adaptivity(double c) {
+  TPA_CHECK(c > 0, "adaptivity constant must be positive");
+  return [c](int) { return c; };
+}
+
+double log2_factorial(double x) {
+  if (x < 1.0) return 0.0;
+  return std::lgamma(x + 1.0) / std::log(2.0);
+}
+
+bool theorem1_condition(double f_i, int i, double log2_n) {
+  return min_log2_n(f_i, i) <= log2_n;
+}
+
+double min_log2_n(double f_i, int i) {
+  // f <= N^{2^-f} / (f! 4^{f+2i})
+  // <=> log2 f + log2 f! + 2(f + 2i) <= 2^{-f} log2 N
+  // <=> log2 N >= 2^f (log2 f + log2 f! + 2f + 4i).
+  if (f_i < 1.0) f_i = 1.0;  // f(i) >= 1 once any critical event happens
+  const double inner =
+      std::log2(f_i) + log2_factorial(f_i) + 2.0 * f_i + 4.0 * i;
+  return std::exp2(f_i) * inner;
+}
+
+int forced_fences(const AdaptivityFn& f, double log2_n, int i_cap) {
+  int best = 0;
+  for (int i = 1; i <= i_cap; ++i) {
+    const double fi = f(i);
+    if (!std::isfinite(fi)) break;
+    if (theorem1_condition(fi, i, log2_n))
+      best = i;
+    else
+      break;  // min_log2_n is increasing in i for non-decreasing f
+  }
+  return best;
+}
+
+double corollary2_fences(double c, double log2_n) {
+  TPA_CHECK(c > 0 && log2_n > 1, "need c>0 and N>2");
+  const double ll = std::log2(log2_n);
+  return std::max(0.0, ll / (3.0 * c));
+}
+
+double corollary3_fences(double c, double log2_n) {
+  TPA_CHECK(c > 0 && log2_n > 1, "need c>0 and N>2");
+  if (log2_n <= 2.0) return 0.0;
+  const double lll = std::log2(std::log2(log2_n));
+  return std::max(0.0, (lll - 1.0) / c);
+}
+
+double log2_act_lower_bound(double l, int i, double log2_n) {
+  return std::exp2(-l) * log2_n - log2_factorial(l) - 2.0 * (l + 2.0 * i);
+}
+
+BigNat theorem1_lhs_exact(std::uint32_t f, std::uint32_t i) {
+  TPA_CHECK(f >= 1, "f must be at least 1");
+  TPA_CHECK(f <= 20, "exact mode supports f <= 20 (use the log domain)");
+  BigNat base = BigNat(f) * BigNat::factorial(f);
+  base = base * BigNat(4).pow(f + 2ull * i);
+  return base.pow(1ull << f);
+}
+
+bool theorem1_condition_exact(std::uint32_t f, std::uint32_t i,
+                              const BigNat& n) {
+  return theorem1_lhs_exact(f, i) <= n;
+}
+
+}  // namespace tpa::bounds

@@ -1,0 +1,74 @@
+// The quantitative content of the paper: Theorem 1's condition, Theorem 3's
+// active-set bound, and the Corollary 2/3 closed forms.
+//
+// Theorem 1: if  f(i) <= N^{2^{-f(i)}} / (f(i)! * 4^{f(i)+2i})  then some
+// execution with total contention i+1 forces i fences on one passage.
+//
+// Two evaluation modes:
+//   * log2-domain (double): works for astronomically large N given log2(N),
+//     e.g. log2N = 2^20 — the regime where the loglog/logloglog asymptotics
+//     of Corollaries 2 and 3 become visible;
+//   * exact (BigNat): the condition rewritten over the integers as
+//       ( f * f! * 4^{f+2i} )^{2^f} <= N,
+//     used to cross-validate the log-domain arithmetic for moderate f.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bignum.h"
+
+namespace tpa::bounds {
+
+/// An adaptivity function i -> f(i). Must be non-decreasing.
+using AdaptivityFn = std::function<double(int)>;
+
+/// f(i) = c * i (Corollary 2's regime).
+AdaptivityFn linear_adaptivity(double c);
+
+/// f(i) = 2^{c*i} (Corollary 3's regime).
+AdaptivityFn exponential_adaptivity(double c);
+
+/// f(i) = c (a constant-adaptivity straw man; Kim-Anderson rule out
+/// sub-linear adaptivity, so this is used in tests only).
+AdaptivityFn constant_adaptivity(double c);
+
+/// log2(x!) via lgamma; exact enough for the bound tables.
+double log2_factorial(double x);
+
+/// log2-domain check of Theorem 1's condition for fence count f_i at round
+/// i with log2(N) bits of processes.
+bool theorem1_condition(double f_i, int i, double log2_n);
+
+/// Smallest log2(N) for which the condition holds at (f_i, i):
+/// log2 N >= 2^{f} * (log2 f + log2 f! + 2f + 4i).
+double min_log2_n(double f_i, int i);
+
+/// Largest i such that theorem1_condition(f(i), i, log2_n) holds — the
+/// number of fences Theorem 1 forces for an f-adaptive algorithm on N =
+/// 2^log2_n processes. Scans i upward; stops at i_cap.
+int forced_fences(const AdaptivityFn& f, double log2_n, int i_cap = 1 << 20);
+
+/// Corollary 2's closed form: for f(i) = c*i the condition holds up to
+/// i = log2(log2 N) / (3c), i.e. fence complexity is Omega(log log N).
+double corollary2_fences(double c, double log2_n);
+
+/// Corollary 3's closed form: for f(i) = 2^{c*i} the condition holds up to
+/// i = (log2(log2(log2 N)) - 1) / c, i.e. Omega(log log log N).
+double corollary3_fences(double c, double log2_n);
+
+/// Theorem 3: log2 of the guaranteed active-set size after round i with
+/// critical-event count l (= l_i):
+/// log2 |Act(H_i)| >= 2^{-l} * log2 N - log2(l!) - 2*(l + 2i).
+double log2_act_lower_bound(double l, int i, double log2_n);
+
+/// Exact integer form of Theorem 1's condition:
+/// (f * f! * 4^{f+2i})^{2^f} <= N. Intended for f <= ~16 (the left side has
+/// about 2^f * (log2 f + log2 f! + 2f + 4i) bits).
+bool theorem1_condition_exact(std::uint32_t f, std::uint32_t i,
+                              const BigNat& n);
+
+/// The left side of the exact condition, for tests/tables.
+BigNat theorem1_lhs_exact(std::uint32_t f, std::uint32_t i);
+
+}  // namespace tpa::bounds

@@ -1,0 +1,507 @@
+#include "lowerbound/construction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lowerbound/turan.h"
+#include "trace/analyzer.h"
+#include "trace/inset.h"
+#include "util/check.h"
+
+namespace tpa::lowerbound {
+
+using tso::Mode;
+using tso::PendingClass;
+using tso::Status;
+using tso::VarId;
+
+Construction::Construction(std::size_t n_procs, ScenarioBuilder build,
+                           ConstructionConfig config, SimConfig sim_config)
+    : n_(n_procs),
+      build_(std::move(build)),
+      cfg_(config),
+      sim_cfg_(sim_config),
+      erased_(n_procs, false) {
+  sim_ = std::make_unique<Simulator>(n_, sim_cfg_);
+  build_(*sim_);
+  result_.initial_procs = n_;
+}
+
+std::vector<ProcId> Construction::active() const {
+  std::vector<ProcId> out;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (erased_[p]) continue;
+    const auto& proc = sim_->proc(static_cast<ProcId>(p));
+    if (proc.done()) continue;
+    if (proc.status() == Status::kNcs) continue;
+    out.push_back(static_cast<ProcId>(p));
+  }
+  return out;
+}
+
+bool Construction::is_active(ProcId p) const {
+  if (erased_[static_cast<std::size_t>(p)]) return false;
+  const auto& proc = sim_->proc(p);
+  return !proc.done() && proc.status() != Status::kNcs;
+}
+
+void Construction::erase(const std::vector<ProcId>& victims) {
+  if (victims.empty()) return;
+  const tso::Execution before = sim_->execution();  // copy for verification
+  for (ProcId v : victims) {
+    TPA_CHECK(!erased_[static_cast<std::size_t>(v)],
+              "double erasure of p" << v);
+    erased_[static_cast<std::size_t>(v)] = true;
+  }
+  auto replayed = tso::replay(n_, sim_cfg_, build_, before.directives,
+                              &erased_);
+  result_.replays++;
+  if (cfg_.verify_invariants) {
+    const auto check = tso::verify_replay_equivalence(
+        before, replayed->execution(), erased_);
+    if (!check.ok) {
+      result_.invariants_ok = false;
+      result_.invariant_detail = "Lemma 4 violated on erasure: " + check.detail;
+      TPA_FAIL(result_.invariant_detail);
+    }
+  }
+  sim_ = std::move(replayed);
+}
+
+void Construction::advance_to_special(ProcId p) {
+  std::uint64_t steps = 0;
+  while (true) {
+    const PendingClass cls = sim_->classify_pending(p);
+    if (cls == PendingClass::kNone || tso::is_special(cls)) return;
+    sim_->deliver(p);
+    TPA_CHECK(++steps <= cfg_.max_solo_steps,
+              "p" << p << " does not reach a special event (weak "
+                       "obstruction-freedom violated?)");
+  }
+}
+
+void Construction::solo_finish(ProcId p) {
+  std::uint64_t steps = 0;
+  while (!sim_->proc(p).done()) {
+    const PendingClass cls = sim_->classify_pending(p);
+    // Before a critical access of variable u, erase the (at most one,
+    // Claim 4.3.2) active process that is visible on u or owns u.
+    VarId u = tso::kNoVar;
+    if (cls == PendingClass::kCriticalRead || cls == PendingClass::kCas) {
+      u = sim_->proc(p).pending().var;
+    } else if (cls == PendingClass::kCommitCritical) {
+      u = sim_->proc(p).buffer().front().var;
+    }
+    if (u != tso::kNoVar) {
+      std::vector<ProcId> victims;
+      const ProcId writer = sim_->last_writer(u);
+      if (writer != tso::kNoProc && writer != p && is_active(writer))
+        victims.push_back(writer);
+      const ProcId owner = sim_->var_owner(u);
+      if (owner != tso::kNoProc && owner != p && is_active(owner) &&
+          owner != writer)
+        victims.push_back(owner);
+      erase(victims);
+    }
+    sim_->deliver(p);
+    TPA_CHECK(++steps <= cfg_.max_solo_steps,
+              "p" << p << " does not finish its passage solo");
+  }
+}
+
+void Construction::note(char phase, const std::string& case_name,
+                        std::size_t active_before, std::size_t erased) {
+  PhaseRecord rec;
+  rec.round = round_;
+  rec.phase = phase;
+  rec.case_name = case_name;
+  rec.active_before = active_before;
+  rec.active_after = active().size();
+  rec.erased = erased;
+  rec.events_after = sim_->num_events();
+  result_.phases.push_back(std::move(rec));
+}
+
+bool Construction::should_stop(const char* why) {
+  if (active().size() <= cfg_.min_active) {
+    result_.stop_reason = std::string("active set exhausted (") + why + ")";
+    stopping_ = true;
+    return true;
+  }
+  return false;
+}
+
+void Construction::verify_phase(char phase) {
+  if (!cfg_.verify_invariants) return;
+  const trace::VarLayout layout{sim_->var_owners()};
+  const auto analysis =
+      trace::analyze(sim_->execution(), n_, layout);
+  trace::InsetReport report;
+  switch (phase) {
+    case 'R':
+    case 'X':
+      report = trace::check_regular(sim_->execution(), analysis, layout);
+      break;
+    case 'W':
+      report = trace::check_semi_regular(sim_->execution(), analysis, layout);
+      if (report.ok)
+        report = trace::check_ordered(sim_->execution(), analysis, layout);
+      break;
+    case 'C':
+      // CAS rounds leave awareness of *finished* processes only; the active
+      // set must still be an IN-set.
+      report = trace::check_regular(sim_->execution(), analysis, layout);
+      break;
+    default:
+      break;
+  }
+  if (!report.ok) {
+    result_.invariants_ok = false;
+    result_.invariant_detail =
+        "phase " + std::string(1, phase) + ": " + report.detail;
+    TPA_FAIL(result_.invariant_detail);
+  }
+}
+
+namespace {
+
+/// Completes a pending barrier (fence drain or CAS incl. its drain) for p.
+void deliver_barrier(Simulator& sim, ProcId p, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (true) {
+    const PendingClass cls = sim.classify_pending(p);
+    if (cls == PendingClass::kNone) return;
+    const bool mid_fence = sim.proc(p).mode() == Mode::kWrite;
+    const bool is_barrier_start =
+        cls == PendingClass::kBeginFence || cls == PendingClass::kCas;
+    if (!mid_fence && !is_barrier_start) return;
+    sim.deliver(p);
+    TPA_CHECK(++steps <= max_steps, "barrier of p" << p << " does not drain");
+  }
+}
+
+}  // namespace
+
+bool Construction::read_phase() {
+  while (!stopping_) {
+    if (should_stop("read phase")) return false;
+    auto act = active();
+    for (ProcId p : act) advance_to_special(p);
+
+    std::vector<ProcId> fence_list, cas_list, read_list, cs_list;
+    for (ProcId p : act) {
+      switch (sim_->classify_pending(p)) {
+        case PendingClass::kBeginFence:
+          fence_list.push_back(p);
+          break;
+        case PendingClass::kCas:
+          cas_list.push_back(p);
+          break;
+        case PendingClass::kCriticalRead:
+          read_list.push_back(p);
+          break;
+        case PendingClass::kCs:
+          cs_list.push_back(p);
+          break;
+        case PendingClass::kExit:
+          // Exit is special but trivial: deliver it (the process finishes).
+          sim_->deliver(p);
+          break;
+        default:
+          TPA_FAIL("unexpected pending class for p"
+                   << p << ": "
+                   << tso::to_string(sim_->classify_pending(p)));
+      }
+    }
+    act = active();
+    if (act.empty()) {
+      should_stop("read phase classification");
+      return false;
+    }
+
+    // Case I (Lemma 6, Z1 majority): fences begin — move to the write phase.
+    if (!fence_list.empty() && fence_list.size() >= cas_list.size() &&
+        fence_list.size() >= read_list.size()) {
+      std::vector<ProcId> victims;
+      std::set<ProcId> keep(fence_list.begin(), fence_list.end());
+      for (ProcId p : act)
+        if (!keep.count(p)) victims.push_back(p);
+      erase(victims);
+      for (ProcId p : fence_list) sim_->deliver(p);  // BeginFence
+      note('R', "I:fence", act.size(), victims.size());
+      return true;  // proceed to write phase
+    }
+
+    // Case II (Z2 majority): critical reads through a Turán independent set.
+    if (read_list.size() >= cas_list.size()) {
+      std::vector<std::pair<int, int>> edges;
+      for (std::size_t i = 0; i < read_list.size(); ++i) {
+        const VarId v = sim_->proc(read_list[i]).pending().var;
+        const ProcId owner = sim_->var_owner(v);
+        const ProcId writer = sim_->last_writer(v);
+        for (std::size_t j = 0; j < read_list.size(); ++j) {
+          if (i == j) continue;
+          if (read_list[j] == owner || read_list[j] == writer)
+            edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+      const auto inds =
+          greedy_independent_set(static_cast<int>(read_list.size()), edges);
+      std::set<ProcId> keep;
+      for (int idx : inds) keep.insert(read_list[static_cast<std::size_t>(idx)]);
+      std::vector<ProcId> victims;
+      for (ProcId p : act)
+        if (!keep.count(p)) victims.push_back(p);
+      erase(victims);
+      for (ProcId p : keep) sim_->deliver(p);  // the critical reads
+      note('R', "II:read", act.size(), victims.size());
+      verify_phase('R');
+      continue;
+    }
+
+    // CAS case (extension; see header). Group pending CAS by target.
+    std::map<VarId, std::vector<ProcId>> groups;
+    for (ProcId p : cas_list)
+      groups[sim_->proc(p).pending().var].push_back(p);
+    auto largest = groups.begin();
+    for (auto it = groups.begin(); it != groups.end(); ++it)
+      if (it->second.size() > largest->second.size()) largest = it;
+
+    if (largest->second.size() >= 2) {
+      // Contended CAS: contenders execute their barrier in increasing ID
+      // order. A contender whose CAS succeeds becomes visible on v, so it
+      // is immediately driven to finish its passage — awareness of it is
+      // then awareness of a *finished* process, which IN1 permits. The
+      // contenders whose CAS fails pay a barrier and stay invisible.
+      const VarId v = largest->first;
+      std::vector<ProcId> grp = largest->second;
+      std::sort(grp.begin(), grp.end());
+      for (ProcId q : grp) {
+        if (!is_active(q)) continue;  // may have been erased meanwhile
+        deliver_barrier(*sim_, q, cfg_.max_solo_steps);
+        if (is_active(q) && sim_->last_writer(v) == q) solo_finish(q);
+      }
+      round_++;
+      note('C', "cas-contended", act.size(), 0);
+      verify_phase('C');
+      if (cfg_.max_rounds >= 0 && round_ >= cfg_.max_rounds) {
+        result_.stop_reason = "max rounds reached";
+        stopping_ = true;
+        return false;
+      }
+      continue;
+    }
+
+    // Uncontended CAS: like Case II, one process per variable.
+    std::vector<ProcId> cas_sorted = cas_list;
+    std::sort(cas_sorted.begin(), cas_sorted.end());
+    std::vector<std::pair<int, int>> edges;
+    for (std::size_t i = 0; i < cas_sorted.size(); ++i) {
+      const VarId v = sim_->proc(cas_sorted[i]).pending().var;
+      const ProcId owner = sim_->var_owner(v);
+      const ProcId writer = sim_->last_writer(v);
+      for (std::size_t j = 0; j < cas_sorted.size(); ++j) {
+        if (i == j) continue;
+        if (cas_sorted[j] == owner || cas_sorted[j] == writer)
+          edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+    const auto inds =
+        greedy_independent_set(static_cast<int>(cas_sorted.size()), edges);
+    std::set<ProcId> keep;
+    for (int idx : inds) keep.insert(cas_sorted[static_cast<std::size_t>(idx)]);
+    std::vector<ProcId> victims;
+    for (ProcId p : act)
+      if (!keep.count(p)) victims.push_back(p);
+    erase(victims);
+    for (ProcId p : keep) deliver_barrier(*sim_, p, cfg_.max_solo_steps);
+    note('C', "cas-distinct", act.size(), victims.size());
+    verify_phase('C');
+  }
+  return false;
+}
+
+bool Construction::write_phase() {
+  while (!stopping_) {
+    if (should_stop("write phase")) return false;
+    auto act = active();
+    std::sort(act.begin(), act.end());
+
+    // Let each process (in increasing ID order) commit its non-critical
+    // writes until its next special event.
+    for (ProcId p : act) {
+      std::uint64_t steps = 0;
+      while (sim_->classify_pending(p) == PendingClass::kCommitNonCritical) {
+        sim_->deliver(p);
+        TPA_CHECK(++steps <= cfg_.max_solo_steps,
+                  "p" << p << " commits forever");
+      }
+    }
+
+    std::vector<ProcId> end_list, commit_list;
+    for (ProcId p : act) {
+      switch (sim_->classify_pending(p)) {
+        case PendingClass::kEndFence:
+          end_list.push_back(p);
+          break;
+        case PendingClass::kCommitCritical:
+          commit_list.push_back(p);
+          break;
+        default:
+          TPA_FAIL("write phase: unexpected pending class for p"
+                   << p << ": "
+                   << tso::to_string(sim_->classify_pending(p)));
+      }
+    }
+
+    // Case I (Lemma 7): enough processes finished draining — EndFence.
+    if (end_list.size() * 2 >= act.size()) {
+      std::set<ProcId> keep(end_list.begin(), end_list.end());
+      std::vector<ProcId> victims;
+      for (ProcId p : act)
+        if (!keep.count(p)) victims.push_back(p);
+      erase(victims);
+      for (ProcId p : end_list) sim_->deliver(p);  // EndFence
+      note('W', "I:end-fence", act.size(), victims.size());
+      return true;  // proceed to regularization
+    }
+
+    // Which variable does each contender commit to next?
+    std::map<VarId, std::vector<ProcId>> by_var;
+    for (ProcId p : commit_list)
+      by_var[sim_->proc(p).buffer().front().var].push_back(p);
+
+    const double sqrt_z2 = std::sqrt(static_cast<double>(commit_list.size()));
+    if (static_cast<double>(by_var.size()) >= sqrt_z2) {
+      // Case II: low contention — one process per variable, then an
+      // independent set avoiding owners and prior critical accessors.
+      std::vector<ProcId> z;
+      for (auto& [v, procs] : by_var) {
+        std::sort(procs.begin(), procs.end());
+        z.push_back(procs.front());
+      }
+      std::sort(z.begin(), z.end());
+
+      // Prior critical accesses per variable (for the edge rule).
+      std::map<VarId, std::set<ProcId>> crit_access;
+      for (const auto& e : sim_->execution().events)
+        if (e.critical && e.var != tso::kNoVar)
+          crit_access[e.var].insert(e.proc);
+
+      std::vector<std::pair<int, int>> edges;
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const VarId v = sim_->proc(z[i]).buffer().front().var;
+        const ProcId owner = sim_->var_owner(v);
+        const auto it = crit_access.find(v);
+        for (std::size_t j = 0; j < z.size(); ++j) {
+          if (i == j) continue;
+          const bool accessor =
+              it != crit_access.end() && it->second.count(z[j]) != 0;
+          if (z[j] == owner || accessor)
+            edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+      const auto inds =
+          greedy_independent_set(static_cast<int>(z.size()), edges);
+      std::set<ProcId> keep;
+      for (int idx : inds) keep.insert(z[static_cast<std::size_t>(idx)]);
+      std::vector<ProcId> victims;
+      for (ProcId p : act)
+        if (!keep.count(p)) victims.push_back(p);
+      erase(victims);
+      for (ProcId p : keep) sim_->deliver(p);  // the critical commits
+      note('W', "II:low-contention", act.size(), victims.size());
+    } else {
+      // Case III: high contention — all survivors commit to one variable in
+      // increasing ID order (the largest-ID process ends up visible).
+      auto largest = by_var.begin();
+      for (auto it = by_var.begin(); it != by_var.end(); ++it)
+        if (it->second.size() > largest->second.size()) largest = it;
+      std::vector<ProcId> grp = largest->second;
+      std::sort(grp.begin(), grp.end());
+      std::set<ProcId> keep(grp.begin(), grp.end());
+      std::vector<ProcId> victims;
+      for (ProcId p : act)
+        if (!keep.count(p)) victims.push_back(p);
+      erase(victims);
+      for (ProcId p : grp) sim_->deliver(p);  // commits to v, ID order
+      note('W', "III:high-contention", act.size(), victims.size());
+    }
+    verify_phase('W');
+  }
+  return false;
+}
+
+bool Construction::regularization() {
+  auto act = active();
+  if (act.empty()) {
+    should_stop("regularization");
+    return false;
+  }
+  const ProcId p_max = *std::max_element(act.begin(), act.end());
+  solo_finish(p_max);
+  result_.finished = sim_->finished().size();
+  round_++;
+  note('X', "regularize", act.size(), 0);
+  verify_phase('X');
+  return !should_stop("after regularization");
+}
+
+ConstructionResult Construction::run() {
+  // H_0: every process executes its Enter event.
+  for (std::size_t p = 0; p < n_; ++p) {
+    TPA_CHECK(sim_->classify_pending(static_cast<ProcId>(p)) ==
+                  PendingClass::kEnter,
+              "process p" << p << " must start with a pending Enter");
+    sim_->deliver(static_cast<ProcId>(p));
+  }
+  verify_phase('R');
+
+  while (!stopping_) {
+    if (cfg_.max_rounds >= 0 && round_ >= cfg_.max_rounds) {
+      result_.stop_reason = "max rounds reached";
+      break;
+    }
+    if (!read_phase()) break;
+    if (!write_phase()) break;
+    if (!regularization()) break;
+  }
+
+  result_.rounds = round_;
+  result_.finished = sim_->finished().size();
+  result_.total_events = sim_->num_events();
+  const auto act = active();
+  result_.final_active = act.size();
+
+  // Forced-barrier accounting and the Theorem 1 witness.
+  if (!act.empty()) {
+    std::uint32_t min_barriers = UINT32_MAX;
+    ProcId best = act.front();
+    std::uint32_t best_barriers = 0;
+    for (ProcId p : act) {
+      const auto barriers = sim_->proc(p).current_passage().barriers();
+      min_barriers = std::min(min_barriers, barriers);
+      if (barriers >= best_barriers) {
+        best_barriers = barriers;
+        best = p;
+      }
+    }
+    result_.min_barriers_active = min_barriers;
+
+    // Erase every active process except the best witness (Lemma 4) and
+    // measure the total contention of the resulting execution.
+    std::vector<ProcId> victims;
+    for (ProcId p : act)
+      if (p != best) victims.push_back(p);
+    erase(victims);
+    result_.witness_barriers = sim_->proc(best).current_passage().barriers();
+    result_.witness_contention = sim_->total_contention();
+  }
+  if (result_.stop_reason.empty()) result_.stop_reason = "completed";
+  return result_;
+}
+
+}  // namespace tpa::lowerbound

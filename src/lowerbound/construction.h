@@ -1,0 +1,150 @@
+// The paper's lower-bound adversary construction, executable.
+//
+// Given any mutual-exclusion algorithm plugged into the TSO simulator, the
+// Construction builds the executions H_0, H_1, ... of Section 4: at each
+// inductive round every surviving active process is forced to complete one
+// more fence/barrier, at the price of one process finishing its passage and
+// a (bounded) fraction of processes being erased to preserve invisibility.
+//
+// Each round is
+//   read phase          (Lemma 6: critical reads, Turán independent sets),
+//   write phase         (Lemma 7: critical commits, low/high contention),
+//   regularization      (Lemma 8: p_max runs solo to completion).
+//
+// Erasure E^{-Y} is realized by deterministic replay of the recorded
+// schedule with Y's directives dropped; every erasure is verified against
+// Lemma 4 (surviving processes re-execute identical events with identical
+// criticality — that is IN1/IN3 at work). Phase invariants (Definitions
+// 4-6) are checked with the offline analyzer when `verify_invariants` is
+// set.
+//
+// Extension beyond the paper (documented in DESIGN.md): algorithms that use
+// CAS get a "CAS case" in the read phase. Uncontended CAS is handled like a
+// critical read (one process per variable, independent set). Contended CAS
+// — several processes about to CAS the same variable — is inherently
+// visibility-creating: the adversary lets the lowest-ID contender win,
+// drives it to finish its passage (so awareness of it is awareness of a
+// *finished* process, which IN1 permits), then delivers the losers' failing
+// CAS barriers. Each such round costs every surviving contender one barrier
+// — the concrete mechanism behind the "price of being adaptive" for our
+// active-set-based adaptive lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tso/schedule.h"
+#include "tso/sim.h"
+
+namespace tpa::lowerbound {
+
+using tso::ProcId;
+using tso::ScenarioBuilder;
+using tso::SimConfig;
+using tso::Simulator;
+
+struct ConstructionConfig {
+  /// Stop after this many inductive rounds (fences forced); <0 = unlimited.
+  int max_rounds = -1;
+  /// Stop when the active set would shrink to or below this size.
+  std::size_t min_active = 1;
+  /// Verify Definitions 4-6 with the offline analyzer at phase boundaries
+  /// and Lemma 4 on every erasure (replay equivalence).
+  bool verify_invariants = true;
+  /// Safety bound on deliveries in any single "run to next special event".
+  std::uint64_t max_solo_steps = 1'000'000;
+};
+
+/// One erasure/delivery step of a phase, for reporting.
+struct PhaseRecord {
+  int round = 0;
+  char phase = '?';        ///< 'R'ead, 'W'rite, 'X' regularization, 'C'as
+  std::string case_name;   ///< which case of the phase fired
+  std::size_t active_before = 0;
+  std::size_t active_after = 0;
+  std::size_t erased = 0;
+  std::uint64_t events_after = 0;
+};
+
+struct ConstructionResult {
+  /// Rounds completed = fences/barriers forced on every surviving process.
+  int rounds = 0;
+  std::size_t initial_procs = 0;
+  std::size_t final_active = 0;
+  std::size_t finished = 0;        ///< |Fin| at the end
+  std::uint64_t total_events = 0;
+  std::uint64_t replays = 0;       ///< number of erasure replays performed
+  std::string stop_reason;
+  std::vector<PhaseRecord> phases;
+
+  /// Minimum barriers (fences + CAS) completed by a surviving active
+  /// process during its (single) passage — the forced lower bound.
+  std::uint32_t min_barriers_active = 0;
+
+  /// Witness (Theorem 1): after erasing all active processes but one, the
+  /// witness execution has this total contention while the surviving
+  /// process completed `witness_barriers` barriers in one passage.
+  std::size_t witness_contention = 0;
+  std::uint32_t witness_barriers = 0;
+
+  bool invariants_ok = true;
+  std::string invariant_detail;
+};
+
+class Construction {
+ public:
+  /// `build` must reconstruct the scenario deterministically: allocate the
+  /// same variables in the same order and spawn every process' program
+  /// (one passage per process — the paper's one-time mutual exclusion).
+  Construction(std::size_t n_procs, ScenarioBuilder build,
+               ConstructionConfig config = {}, SimConfig sim_config = {});
+
+  /// Runs the inductive construction to exhaustion (or configured limits)
+  /// and returns the statistics. The final simulator state remains
+  /// available through sim().
+  ConstructionResult run();
+
+  const Simulator& sim() const { return *sim_; }
+
+ private:
+  std::vector<ProcId> active() const;
+  bool is_active(ProcId p) const;
+
+  /// Erases `victims` by replaying the schedule without them; verifies
+  /// Lemma 4 when configured. Updates sim_.
+  void erase(const std::vector<ProcId>& victims);
+
+  /// Delivers p's non-special events until its pending op is special.
+  void advance_to_special(ProcId p);
+
+  /// Runs p until its passage completes, erasing the (at most one) active
+  /// writer/owner of each remote variable p is about to critically access
+  /// (the regularization phase's Case II bookkeeping).
+  void solo_finish(ProcId p);
+
+  /// One full read phase; returns false if the construction must stop.
+  bool read_phase();
+  /// One full write phase (entered with all active processes mid-fence).
+  bool write_phase();
+  /// Regularization: finish p_max.
+  bool regularization();
+
+  void verify_phase(char phase);
+  void note(char phase, const std::string& case_name,
+            std::size_t active_before, std::size_t erased);
+
+  bool should_stop(const char* why);
+
+  std::size_t n_;
+  ScenarioBuilder build_;
+  ConstructionConfig cfg_;
+  SimConfig sim_cfg_;
+  std::unique_ptr<Simulator> sim_;
+  std::vector<bool> erased_;
+  ConstructionResult result_;
+  int round_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace tpa::lowerbound

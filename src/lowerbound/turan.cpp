@@ -1,0 +1,67 @@
+#include "lowerbound/turan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace tpa::lowerbound {
+
+std::size_t turan_bound(int n, std::size_t m) {
+  if (n <= 0) return 0;
+  // ceil(n / (2m/n + 1)) = ceil(n^2 / (2m + n)).
+  const std::size_t nn = static_cast<std::size_t>(n);
+  return (nn * nn + 2 * m + nn - 1) / (2 * m + nn);
+}
+
+std::vector<int> greedy_independent_set(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  TPA_CHECK(n >= 0, "negative vertex count");
+  if (n == 0) return {};
+
+  // Deduplicated adjacency.
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    TPA_CHECK(a >= 0 && a < n && b >= 0 && b < n,
+              "edge (" << a << "," << b << ") out of range n=" << n);
+    if (a == b) continue;
+    adj[static_cast<std::size_t>(a)].insert(b);
+    adj[static_cast<std::size_t>(b)].insert(a);
+  }
+
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    degree[static_cast<std::size_t>(v)] =
+        static_cast<int>(adj[static_cast<std::size_t>(v)].size());
+
+  std::vector<int> result;
+  int remaining = n;
+  while (remaining > 0) {
+    // Min-degree vertex among the remaining ones.
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      if (best < 0 || degree[static_cast<std::size_t>(v)] <
+                          degree[static_cast<std::size_t>(best)])
+        best = v;
+    }
+    result.push_back(best);
+    // Remove `best` and its neighbourhood.
+    auto drop = [&](int v) {
+      if (removed[static_cast<std::size_t>(v)]) return;
+      removed[static_cast<std::size_t>(v)] = true;
+      --remaining;
+      for (int u : adj[static_cast<std::size_t>(v)])
+        if (!removed[static_cast<std::size_t>(u)])
+          --degree[static_cast<std::size_t>(u)];
+    };
+    const auto neighbours = adj[static_cast<std::size_t>(best)];
+    drop(best);
+    for (int u : neighbours) drop(u);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace tpa::lowerbound

@@ -1,0 +1,25 @@
+// Greedy independent set with the Turán guarantee.
+//
+// Theorem 2 (Turán, as used by the paper): a graph with average degree d has
+// an independent set of at least ceil(|V| / (d+1)) vertices. The classic
+// min-degree greedy algorithm achieves this bound; the construction uses it
+// to pick conflict-free subsets of processes in the read and write phases.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tpa::lowerbound {
+
+/// Vertices are 0..n-1; edges are unordered pairs (self-loops and duplicate
+/// edges are tolerated and ignored/deduplicated). Returns an independent set
+/// of size >= ceil(n / (avg_degree + 1)), in ascending order.
+std::vector<int> greedy_independent_set(
+    int n, const std::vector<std::pair<int, int>>& edges);
+
+/// The Turán lower bound ceil(n / (d+1)) for n vertices and m (deduplicated)
+/// edges, d = 2m/n. Exposed for tests.
+std::size_t turan_bound(int n, std::size_t m);
+
+}  // namespace tpa::lowerbound

@@ -1,0 +1,185 @@
+#include "objects/lockfree.h"
+
+#include "util/check.h"
+
+namespace tpa::objects {
+
+CasCounter::CasCounter(Simulator& sim, Value initial)
+    : v_(sim.alloc_var(initial)) {}
+
+Task<Value> CasCounter::fetch_increment(Proc& p) {
+  while (true) {
+    const Value cur = co_await p.read(v_);
+    const Value old = co_await p.cas(v_, cur, cur + 1);
+    if (old == cur) co_return cur;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NodePool
+// ---------------------------------------------------------------------------
+
+NodePool::NodePool(Simulator& sim, int n_procs, int per_proc, int extra)
+    : next_free_(static_cast<std::size_t>(n_procs), 0),
+      range_base_(static_cast<std::size_t>(n_procs), 0),
+      per_proc_(per_proc),
+      shared_cursor_(0),
+      shared_count_(extra) {
+  const int total = n_procs * per_proc + extra;
+  value_vars_.reserve(static_cast<std::size_t>(total));
+  next_vars_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    value_vars_.push_back(sim.alloc_var(0));
+    next_vars_.push_back(sim.alloc_var(kNilNode));
+  }
+  for (int p = 0; p < n_procs; ++p)
+    range_base_[static_cast<std::size_t>(p)] = p * per_proc;
+  shared_base_ = n_procs * per_proc;
+}
+
+Value NodePool::take(Proc& p) {
+  const auto pid = static_cast<std::size_t>(p.id());
+  TPA_CHECK(next_free_[pid] < per_proc_,
+            "node pool of p" << p.id() << " exhausted (" << per_proc_
+                             << " nodes)");
+  return range_base_[pid] + next_free_[pid]++;
+}
+
+Value NodePool::take_shared() {
+  TPA_CHECK(shared_cursor_ < shared_count_, "shared node pool exhausted");
+  return shared_base_ + shared_cursor_++;
+}
+
+VarId NodePool::value_var(Value node) const {
+  TPA_CHECK(node >= 0 && node < static_cast<Value>(value_vars_.size()),
+            "invalid node " << node);
+  return value_vars_[static_cast<std::size_t>(node)];
+}
+
+VarId NodePool::next_var(Value node) const {
+  TPA_CHECK(node >= 0 && node < static_cast<Value>(next_vars_.size()),
+            "invalid node " << node);
+  return next_vars_[static_cast<std::size_t>(node)];
+}
+
+void NodePool::seed(Simulator& sim, Value node, Value value, Value next) {
+  sim.poke(value_var(node), value);
+  sim.poke(next_var(node), next);
+}
+
+// ---------------------------------------------------------------------------
+// TreiberStack
+// ---------------------------------------------------------------------------
+
+TreiberStack::TreiberStack(Simulator& sim, int n_procs, int per_proc_ops,
+                           int seed_capacity)
+    : pool_(sim, n_procs, per_proc_ops, /*extra=*/seed_capacity),
+      top_(sim.alloc_var(NodePool::kNilNode)) {}
+
+void TreiberStack::seed_initial(Simulator& sim,
+                                const std::vector<Value>& values) {
+  // values.front() must pop first, i.e. be the top of the stack.
+  Value below = NodePool::kNilNode;
+  for (std::size_t i = values.size(); i-- > 0;) {
+    const Value node = pool_.take_shared();
+    pool_.seed(sim, node, values[i], below);
+    below = node;
+  }
+  sim.poke(top_, below);
+}
+
+Task<> TreiberStack::push(Proc& p, Value v) {
+  const Value node = pool_.take(p);
+  co_await p.write(pool_.value_var(node), v);
+  while (true) {
+    const Value old_top = co_await p.read(top_);
+    co_await p.write(pool_.next_var(node), old_top);
+    // The CAS drains our buffer, publishing value/next before the node
+    // becomes reachable.
+    const Value seen = co_await p.cas(top_, old_top, node);
+    if (seen == old_top) co_return;
+  }
+}
+
+Task<Value> TreiberStack::pop(Proc& p) {
+  while (true) {
+    const Value old_top = co_await p.read(top_);
+    if (old_top == NodePool::kNilNode) co_return kEmpty;
+    const Value next = co_await p.read(pool_.next_var(old_top));
+    const Value seen = co_await p.cas(top_, old_top, next);
+    if (seen == old_top) {
+      const Value v = co_await p.read(pool_.value_var(old_top));
+      co_return v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MichaelScottQueue
+// ---------------------------------------------------------------------------
+
+MichaelScottQueue::MichaelScottQueue(Simulator& sim, int n_procs,
+                                     int per_proc_ops, int seed_capacity)
+    : pool_(sim, n_procs, per_proc_ops, /*extra=*/1 + seed_capacity),
+      seed_capacity_(seed_capacity) {
+  const Value dummy = pool_.take_shared();
+  head_ = sim.alloc_var(dummy);
+  tail_ = sim.alloc_var(dummy);
+}
+
+void MichaelScottQueue::seed_initial(Simulator& sim,
+                                     const std::vector<Value>& values) {
+  TPA_CHECK(values.size() <= static_cast<std::size_t>(seed_capacity_),
+            "seed larger than seed_capacity");
+  // Chain the seeded nodes behind the dummy; values.front() dequeues first.
+  Value prev = sim.value(head_);  // the dummy node
+  for (const Value v : values) {
+    const Value node = pool_.take_shared();
+    pool_.seed(sim, node, v, NodePool::kNilNode);
+    sim.poke(pool_.next_var(prev), node);
+    prev = node;
+  }
+  sim.poke(tail_, prev);
+}
+
+Task<> MichaelScottQueue::enqueue(Proc& p, Value v) {
+  const Value node = pool_.take(p);
+  co_await p.write(pool_.value_var(node), v);
+  co_await p.write(pool_.next_var(node), NodePool::kNilNode);
+  while (true) {
+    const Value last = co_await p.read(tail_);
+    const Value next = co_await p.read(pool_.next_var(last));
+    const Value last2 = co_await p.read(tail_);
+    if (last != last2) continue;  // tail moved under us
+    if (next == NodePool::kNilNode) {
+      const Value seen = co_await p.cas(pool_.next_var(last),
+                                        NodePool::kNilNode, node);
+      if (seen == NodePool::kNilNode) {
+        co_await p.cas(tail_, last, node);  // swing tail (may fail, fine)
+        co_return;
+      }
+    } else {
+      co_await p.cas(tail_, last, next);  // help a lagging enqueuer
+    }
+  }
+}
+
+Task<Value> MichaelScottQueue::dequeue(Proc& p) {
+  while (true) {
+    const Value first = co_await p.read(head_);
+    const Value last = co_await p.read(tail_);
+    const Value next = co_await p.read(pool_.next_var(first));
+    const Value first2 = co_await p.read(head_);
+    if (first != first2) continue;
+    if (first == last) {
+      if (next == NodePool::kNilNode) co_return kEmpty;
+      co_await p.cas(tail_, last, next);  // help
+      continue;
+    }
+    const Value v = co_await p.read(pool_.value_var(next));
+    const Value seen = co_await p.cas(head_, first, next);
+    if (seen == first) co_return v;
+  }
+}
+
+}  // namespace tpa::objects

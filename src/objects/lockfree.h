@@ -1,0 +1,104 @@
+// Obstruction-free (in fact lock-free) object implementations on the TSO
+// simulator: a CAS counter, a Treiber stack, and a Michael-Scott queue.
+//
+// Nodes for the linked structures come from *per-process pre-allocated
+// pools* with deterministic variable ids — allocation order must not depend
+// on the schedule, or the construction's erasure-replay (E^{-Y}) would
+// change node identities for surviving processes and break Lemma 4.
+#pragma once
+
+#include <vector>
+
+#include "objects/objects.h"
+
+namespace tpa::objects {
+
+/// fetch&increment by CAS loop on a single variable. Lock-free.
+class CasCounter : public SimCounter {
+ public:
+  explicit CasCounter(Simulator& sim, Value initial = 0);
+  Task<Value> fetch_increment(Proc& p) override;
+  std::string name() const override { return "cas-counter"; }
+
+  VarId var() const { return v_; }
+
+ private:
+  VarId v_;
+};
+
+/// Node pool shared by the linked structures: node i is a (value, next)
+/// pair of simulator variables. Node ids are Values; kNilNode is the null
+/// pointer. Per-process free-lists keep allocation deterministic.
+class NodePool {
+ public:
+  static constexpr Value kNilNode = -1;
+
+  /// Pre-allocates `per_proc` nodes for each of n processes, plus `extra`
+  /// shared nodes usable by the constructor (e.g. queue dummies).
+  NodePool(Simulator& sim, int n_procs, int per_proc, int extra = 1);
+
+  /// Takes the next free node of process p (private bookkeeping; never
+  /// recycled — sufficient for bounded test/bench scenarios).
+  Value take(Proc& p);
+
+  /// One of the `extra` nodes, for initial-state construction.
+  Value take_shared();
+
+  VarId value_var(Value node) const;
+  VarId next_var(Value node) const;
+
+  /// Directly seeds a node (used to build initial object states).
+  void seed(Simulator& sim, Value node, Value value, Value next);
+
+ private:
+  std::vector<VarId> value_vars_;
+  std::vector<VarId> next_vars_;
+  std::vector<int> next_free_;   ///< per-process cursor into its range
+  std::vector<int> range_base_;  ///< per-process first node id
+  int per_proc_;
+  int shared_cursor_;
+  int shared_base_;
+  int shared_count_;
+};
+
+/// Treiber's lock-free stack.
+class TreiberStack : public SimStack {
+ public:
+  /// `per_proc_ops` bounds the number of push operations per process;
+  /// `seed_capacity` reserves nodes for seed_initial.
+  TreiberStack(Simulator& sim, int n_procs, int per_proc_ops,
+               int seed_capacity = 0);
+  Task<> push(Proc& p, Value v) override;
+  Task<Value> pop(Proc& p) override;
+  std::string name() const override { return "treiber-stack"; }
+
+  /// Pre-populates the stack so that pops return `values` in order
+  /// (values.front() popped first). Must be called before any operation.
+  void seed_initial(Simulator& sim, const std::vector<Value>& values);
+
+ private:
+  NodePool pool_;
+  VarId top_;
+};
+
+/// Michael & Scott's lock-free queue (with dummy node).
+class MichaelScottQueue : public SimQueue {
+ public:
+  MichaelScottQueue(Simulator& sim, int n_procs, int per_proc_ops,
+                    int seed_capacity = 0);
+  Task<> enqueue(Proc& p, Value v) override;
+  Task<Value> dequeue(Proc& p) override;
+  std::string name() const override { return "ms-queue"; }
+
+  /// Pre-populates the queue so that dequeues return `values` in order.
+  /// Must be called before any operation; capacity set via seed_capacity.
+  void seed_initial(Simulator& sim, const std::vector<Value>& values);
+
+ private:
+  NodePool pool_;
+  VarId head_;
+  VarId tail_;
+  int seed_capacity_;
+};
+
+}  // namespace tpa::objects

@@ -1,0 +1,51 @@
+// Shared-object interfaces from Section 5 of the paper: counter, stack,
+// queue — the objects whose adaptive implementations inherit the paper's
+// fence lower bound through the Lemma 9 reduction.
+#pragma once
+
+#include <limits>
+
+#include "tso/proc.h"
+#include "tso/sim.h"
+#include "tso/task.h"
+
+namespace tpa::objects {
+
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+/// Returned by pop/dequeue on an empty container.
+inline constexpr Value kEmpty = std::numeric_limits<Value>::min();
+
+/// Counter: fetch&increment atomically returns the pre-increment value.
+class SimCounter {
+ public:
+  virtual ~SimCounter() = default;
+  virtual Task<Value> fetch_increment(Proc& p) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// LIFO stack of Values.
+class SimStack {
+ public:
+  virtual ~SimStack() = default;
+  virtual Task<> push(Proc& p, Value v) = 0;
+  /// Returns kEmpty when the stack is empty.
+  virtual Task<Value> pop(Proc& p) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// FIFO queue of Values.
+class SimQueue {
+ public:
+  virtual ~SimQueue() = default;
+  virtual Task<> enqueue(Proc& p, Value v) = 0;
+  /// Returns kEmpty when the queue is empty.
+  virtual Task<Value> dequeue(Proc& p) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace tpa::objects

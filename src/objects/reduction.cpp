@@ -1,0 +1,156 @@
+#include "objects/reduction.h"
+
+#include "util/check.h"
+
+namespace tpa::objects {
+
+// ---------------------------------------------------------------------------
+// CounterMutex — Algorithm 1 of the paper.
+// ---------------------------------------------------------------------------
+
+CounterMutex::CounterMutex(Simulator& sim, int n,
+                           std::shared_ptr<SimCounter> counter)
+    : n_(n),
+      counter_(std::move(counter)),
+      ticket_(static_cast<std::size_t>(n), -1) {
+  // release[0..N], waiting[0..N] (ticket N-1's exit touches index N),
+  // spin[p] local to p in the DSM model.
+  release_.reserve(static_cast<std::size_t>(n) + 1);
+  waiting_.reserve(static_cast<std::size_t>(n) + 1);
+  spin_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i <= n; ++i) {
+    release_.push_back(sim.alloc_var(i == 0 ? 1 : 0));
+    waiting_.push_back(sim.alloc_var(0));  // 0 = ⊥; process p stored as p+1
+  }
+  for (int i = 0; i < n; ++i)
+    spin_.push_back(sim.alloc_var(0, static_cast<tso::ProcId>(i)));
+}
+
+Task<> CounterMutex::acquire(Proc& p) {
+  const Value v = co_await counter_->fetch_increment(p);
+  TPA_CHECK(v >= 0 && v < n_, "counter returned out-of-range ticket " << v);
+  ticket_[static_cast<std::size_t>(p.id())] = v;
+  // Paper: every write is followed by a fence (omitted there for brevity).
+  co_await p.write(waiting_[static_cast<std::size_t>(v)], p.id() + 1);
+  co_await p.fence();
+  const Value rel = co_await p.read(release_[static_cast<std::size_t>(v)]);
+  if (rel == 0) {
+    while (true) {
+      const Value s =
+          co_await p.read(spin_[static_cast<std::size_t>(p.id())]);
+      if (s != 0) break;  // local spin (spin[p] lives in p's segment)
+    }
+  }
+}
+
+Task<> CounterMutex::release(Proc& p) {
+  const Value v = ticket_[static_cast<std::size_t>(p.id())];
+  TPA_CHECK(v >= 0, "release without a ticket for p" << p.id());
+  co_await p.write(release_[static_cast<std::size_t>(v + 1)], 1);
+  co_await p.fence();
+  const Value q = co_await p.read(waiting_[static_cast<std::size_t>(v + 1)]);
+  if (q != 0) {
+    co_await p.write(spin_[static_cast<std::size_t>(q - 1)], 1);
+    co_await p.fence();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters from queue / stack.
+// ---------------------------------------------------------------------------
+
+Task<Value> QueueCounter::fetch_increment(Proc& p) {
+  const Value v = co_await queue_->dequeue(p);
+  TPA_CHECK(v != kEmpty, "limited-use queue counter exhausted");
+  co_return v;
+}
+
+Task<Value> StackCounter::fetch_increment(Proc& p) {
+  const Value v = co_await stack_->pop(p);
+  TPA_CHECK(v != kEmpty, "limited-use stack counter exhausted");
+  co_return v;
+}
+
+// ---------------------------------------------------------------------------
+// Objects from a lock (the easy direction).
+// ---------------------------------------------------------------------------
+
+LockedCounter::LockedCounter(Simulator& sim,
+                             std::shared_ptr<algos::SimLock> lock)
+    : lock_(std::move(lock)), value_(sim.alloc_var(0)) {}
+
+Task<Value> LockedCounter::fetch_increment(Proc& p) {
+  co_await lock_->acquire(p);
+  const Value v = co_await p.read(value_);
+  co_await p.write(value_, v + 1);
+  co_await p.fence();
+  co_await lock_->release(p);
+  co_return v;
+}
+
+LockedQueue::LockedQueue(Simulator& sim,
+                         std::shared_ptr<algos::SimLock> lock, int capacity)
+    : lock_(std::move(lock)),
+      capacity_(capacity),
+      head_(sim.alloc_var(0)),
+      tail_(sim.alloc_var(0)) {
+  slots_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i) slots_.push_back(sim.alloc_var(0));
+}
+
+Task<> LockedQueue::enqueue(Proc& p, Value v) {
+  co_await lock_->acquire(p);
+  const Value t = co_await p.read(tail_);
+  const Value h = co_await p.read(head_);
+  TPA_CHECK(t - h < capacity_, "locked queue overflow");
+  co_await p.write(slots_[static_cast<std::size_t>(t % capacity_)], v);
+  co_await p.write(tail_, t + 1);
+  co_await p.fence();
+  co_await lock_->release(p);
+}
+
+Task<Value> LockedQueue::dequeue(Proc& p) {
+  co_await lock_->acquire(p);
+  const Value h = co_await p.read(head_);
+  const Value t = co_await p.read(tail_);
+  Value out = kEmpty;
+  if (h < t) {
+    out = co_await p.read(slots_[static_cast<std::size_t>(h % capacity_)]);
+    co_await p.write(head_, h + 1);
+    co_await p.fence();
+  }
+  co_await lock_->release(p);
+  co_return out;
+}
+
+LockedStack::LockedStack(Simulator& sim,
+                         std::shared_ptr<algos::SimLock> lock, int capacity)
+    : lock_(std::move(lock)), capacity_(capacity), top_(sim.alloc_var(0)) {
+  slots_.reserve(static_cast<std::size_t>(capacity));
+  for (int i = 0; i < capacity; ++i) slots_.push_back(sim.alloc_var(0));
+}
+
+Task<> LockedStack::push(Proc& p, Value v) {
+  co_await lock_->acquire(p);
+  const Value t = co_await p.read(top_);
+  TPA_CHECK(t < capacity_, "locked stack overflow");
+  co_await p.write(slots_[static_cast<std::size_t>(t)], v);
+  co_await p.write(top_, t + 1);
+  co_await p.fence();
+  co_await lock_->release(p);
+}
+
+Task<Value> LockedStack::pop(Proc& p) {
+  co_await lock_->acquire(p);
+  const Value t = co_await p.read(top_);
+  Value out = kEmpty;
+  if (t > 0) {
+    out = co_await p.read(slots_[static_cast<std::size_t>(t - 1)]);
+    co_await p.write(top_, t - 1);
+    co_await p.fence();
+  }
+  co_await lock_->release(p);
+  co_return out;
+}
+
+}  // namespace tpa::objects

@@ -1,0 +1,116 @@
+// Section 5 reductions.
+//
+// Lemma 9 (the direction that transfers the lower bound): a one-time
+// mutual-exclusion lock built from a counter (Algorithm 1 of the paper),
+// with counters in turn built from a queue (seed 0..N, fetch&increment =
+// dequeue) or a stack (seed N..0, fetch&increment = pop). Each passage
+// invokes exactly one object operation and adds only O(1) fences/RMRs, so a
+// fence lower bound on the lock is a fence lower bound on the object.
+//
+// The converse (easy) direction: counter/stack/queue protected by any
+// SimLock, giving object implementations with the lock's complexities.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/lock.h"
+#include "objects/objects.h"
+
+namespace tpa::objects {
+
+/// Algorithm 1: N-process one-time mutual exclusion from an N-limited-use
+/// counter. Every passage performs a single fetch&increment plus O(1) reads,
+/// writes and fences. In the DSM model spin[p] is local to p.
+class CounterMutex : public algos::SimLock {
+ public:
+  CounterMutex(Simulator& sim, int n, std::shared_ptr<SimCounter> counter);
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override {
+    return "mutex<" + counter_->name() + ">";
+  }
+
+ private:
+  int n_;
+  std::shared_ptr<SimCounter> counter_;
+  std::vector<VarId> release_;  ///< release[v]: ticket v may enter
+  std::vector<VarId> waiting_;  ///< waiting[v]: which process holds ticket v
+  std::vector<VarId> spin_;     ///< spin[p]: p's local spin flag
+  std::vector<Value> ticket_;   ///< private: p's ticket
+};
+
+/// N-limited-use counter from a queue seeded with 0..N-1 (paper, Section 5):
+/// fetch&increment is just dequeue.
+class QueueCounter : public SimCounter {
+ public:
+  explicit QueueCounter(std::shared_ptr<SimQueue> queue)
+      : queue_(std::move(queue)) {}
+  Task<Value> fetch_increment(Proc& p) override;
+  std::string name() const override { return "counter<" + queue_->name() + ">"; }
+
+ private:
+  std::shared_ptr<SimQueue> queue_;
+};
+
+/// N-limited-use counter from a stack seeded with N-1..0: fetch&increment
+/// is just pop.
+class StackCounter : public SimCounter {
+ public:
+  explicit StackCounter(std::shared_ptr<SimStack> stack)
+      : stack_(std::move(stack)) {}
+  Task<Value> fetch_increment(Proc& p) override;
+  std::string name() const override { return "counter<" + stack_->name() + ">"; }
+
+ private:
+  std::shared_ptr<SimStack> stack_;
+};
+
+// ---- Easy direction: objects from a lock ----------------------------------
+
+/// Counter protected by a lock.
+class LockedCounter : public SimCounter {
+ public:
+  LockedCounter(Simulator& sim, std::shared_ptr<algos::SimLock> lock);
+  Task<Value> fetch_increment(Proc& p) override;
+  std::string name() const override { return "locked-counter"; }
+
+ private:
+  std::shared_ptr<algos::SimLock> lock_;
+  VarId value_;
+};
+
+/// Bounded queue protected by a lock (circular buffer).
+class LockedQueue : public SimQueue {
+ public:
+  LockedQueue(Simulator& sim, std::shared_ptr<algos::SimLock> lock,
+              int capacity);
+  Task<> enqueue(Proc& p, Value v) override;
+  Task<Value> dequeue(Proc& p) override;
+  std::string name() const override { return "locked-queue"; }
+
+ private:
+  std::shared_ptr<algos::SimLock> lock_;
+  int capacity_;
+  VarId head_;
+  VarId tail_;
+  std::vector<VarId> slots_;
+};
+
+/// Bounded stack protected by a lock.
+class LockedStack : public SimStack {
+ public:
+  LockedStack(Simulator& sim, std::shared_ptr<algos::SimLock> lock,
+              int capacity);
+  Task<> push(Proc& p, Value v) override;
+  Task<Value> pop(Proc& p) override;
+  std::string name() const override { return "locked-stack"; }
+
+ private:
+  std::shared_ptr<algos::SimLock> lock_;
+  int capacity_;
+  VarId top_;
+  std::vector<VarId> slots_;
+};
+
+}  // namespace tpa::objects

@@ -1,0 +1,90 @@
+// Per-thread instrumentation for the native (real std::atomic) locks.
+//
+// On x86 — a TSO machine, the paper's model — a relaxed load/store compiles
+// to a plain MOV, an std::atomic_thread_fence(seq_cst) to MFENCE, and a
+// seq_cst RMW to a LOCK-prefixed instruction (which is also a full barrier).
+// The native locks in runtime/locks.h are written TSO-style: relaxed
+// accesses plus explicit counted fences exactly where the simulated
+// versions fence, so the per-passage fence counts of the two worlds can be
+// compared side by side (bench/perf_native_locks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tpa::runtime {
+
+struct OpCounters {
+  std::uint64_t fences = 0;  ///< explicit memory fences
+  std::uint64_t rmws = 0;    ///< atomic read-modify-writes (LOCK-prefixed)
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+
+  std::uint64_t barriers() const { return fences + rmws; }
+
+  OpCounters operator-(const OpCounters& o) const {
+    return {fences - o.fences, rmws - o.rmws, loads - o.loads,
+            stores - o.stores};
+  }
+  OpCounters& operator+=(const OpCounters& o) {
+    fences += o.fences;
+    rmws += o.rmws;
+    loads += o.loads;
+    stores += o.stores;
+    return *this;
+  }
+};
+
+/// The calling thread's counters.
+OpCounters& thread_counters();
+
+/// Full seq_cst fence, counted.
+inline void counted_fence() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  thread_counters().fences++;
+}
+
+/// A shared variable with counted accesses. Loads default to acquire and
+/// stores to release — both compile to plain MOVs on x86 (the hardware is
+/// TSO) while preventing the *compiler* from reordering them; RMWs are
+/// seq_cst (LOCK-prefixed, a full barrier).
+template <typename T>
+class CountedAtomic {
+ public:
+  CountedAtomic() : v_(T{}) {}
+  explicit CountedAtomic(T init) : v_(init) {}
+
+  T load(std::memory_order mo = std::memory_order_acquire) const {
+    thread_counters().loads++;
+    return v_.load(mo);
+  }
+  void store(T x, std::memory_order mo = std::memory_order_release) {
+    thread_counters().stores++;
+    v_.store(x, mo);
+  }
+  T exchange(T x) {
+    thread_counters().rmws++;
+    return v_.exchange(x, std::memory_order_seq_cst);
+  }
+  bool compare_exchange(T& expected, T desired) {
+    thread_counters().rmws++;
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_seq_cst);
+  }
+  T fetch_add(T x) {
+    thread_counters().rmws++;
+    return v_.fetch_add(x, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+/// Cache-line-aligned wrapper to keep per-thread spin flags from sharing
+/// lines (the native analogue of DSM-local variables).
+template <typename T>
+struct alignas(64) Padded {
+  T value{};
+};
+
+}  // namespace tpa::runtime

@@ -1,0 +1,58 @@
+#include "runtime/harness.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace tpa::runtime {
+
+StressResult run_stress(RtLock& lock, int threads,
+                        std::uint64_t ops_per_thread) {
+  std::uint64_t shared_counter = 0;  // deliberately non-atomic: the lock
+                                     // must make increments exclusive
+  std::vector<OpCounters> per_thread(static_cast<std::size_t>(threads));
+  std::atomic<int> start_gate{0};
+
+  auto worker = [&](int tid) {
+    start_gate.fetch_add(1, std::memory_order_acq_rel);
+    while (start_gate.load(std::memory_order_acquire) < threads) {
+    }
+    const OpCounters before = thread_counters();
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+      lock.lock(tid);
+      ++shared_counter;
+      lock.unlock(tid);
+    }
+    per_thread[static_cast<std::size_t>(tid)] =
+        thread_counters() - before;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  StressResult r;
+  r.total_ops = static_cast<std::uint64_t>(threads) * ops_per_thread;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(r.total_ops) / r.seconds
+                                : 0;
+  OpCounters total;
+  for (const auto& c : per_thread) {
+    total += c;
+    const double per_op =
+        static_cast<double>(c.barriers()) / static_cast<double>(ops_per_thread);
+    r.max_thread_barriers_per_op =
+        std::max(r.max_thread_barriers_per_op, per_op);
+  }
+  const auto ops = static_cast<double>(r.total_ops);
+  r.fences_per_op = static_cast<double>(total.fences) / ops;
+  r.rmws_per_op = static_cast<double>(total.rmws) / ops;
+  r.barriers_per_op = static_cast<double>(total.barriers()) / ops;
+  r.exclusion_ok = shared_counter == r.total_ops;
+  return r;
+}
+
+}  // namespace tpa::runtime

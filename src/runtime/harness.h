@@ -1,0 +1,31 @@
+// Stress/measurement harness for the native instrumented locks.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/locks.h"
+
+namespace tpa::runtime {
+
+struct StressResult {
+  std::uint64_t total_ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double fences_per_op = 0;
+  double rmws_per_op = 0;
+  double barriers_per_op = 0;
+  /// Exclusion check: a plain (non-atomic) counter incremented inside the
+  /// critical section must equal total_ops at the end.
+  bool exclusion_ok = false;
+  /// Maximum barriers any single thread spent per passage (average within
+  /// that thread) — highlights registration spikes of adaptive locks.
+  double max_thread_barriers_per_op = 0;
+};
+
+/// Runs `threads` threads, each performing `ops_per_thread` lock/unlock
+/// passages around a shared plain counter increment. Collects the counted
+/// fences/RMWs of the lock/unlock sections only.
+StressResult run_stress(RtLock& lock, int threads,
+                        std::uint64_t ops_per_thread);
+
+}  // namespace tpa::runtime

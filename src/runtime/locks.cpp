@@ -1,0 +1,374 @@
+#include "runtime/locks.h"
+
+#include "util/check.h"
+
+namespace tpa::runtime {
+
+OpCounters& thread_counters() {
+  thread_local OpCounters counters;
+  return counters;
+}
+
+// ---------------------------------------------------------------------------
+// TAS / TTAS
+// ---------------------------------------------------------------------------
+
+void RtTasLock::lock(int) {
+  while (true) {
+    int expected = 0;
+    if (flag_.compare_exchange(expected, 1)) return;
+  }
+}
+
+void RtTasLock::unlock(int) {
+  flag_.store(0);  // plain store suffices on TSO; commit is asynchronous
+}
+
+void RtTtasLock::lock(int) {
+  while (true) {
+    while (flag_.load() != 0) {
+    }
+    int expected = 0;
+    if (flag_.compare_exchange(expected, 1)) return;
+  }
+}
+
+void RtTtasLock::unlock(int) { flag_.store(0); }
+
+// ---------------------------------------------------------------------------
+// Ticket
+// ---------------------------------------------------------------------------
+
+void RtTicketLock::lock(int) {
+  const std::uint64_t ticket = next_.fetch_add(1);
+  while (serving_.load() != ticket) {
+  }
+}
+
+void RtTicketLock::unlock(int) {
+  serving_.store(serving_.load() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// MCS
+// ---------------------------------------------------------------------------
+
+RtMcsLock::RtMcsLock(int n)
+    : locked_(static_cast<std::size_t>(n)), next_(static_cast<std::size_t>(n)) {
+  for (auto& x : next_) x.value.store(kNil);
+}
+
+void RtMcsLock::lock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  next_[me].value.store(kNil);
+  const int pred = tail_.exchange(tid);
+  if (pred != kNil) {
+    locked_[me].value.store(1);
+    counted_fence();  // locked flag visible before the link
+    next_[static_cast<std::size_t>(pred)].value.store(tid);
+    counted_fence();  // publish the link
+    while (locked_[me].value.load() == 1) {
+    }
+  }
+}
+
+void RtMcsLock::unlock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  int succ = next_[me].value.load();
+  if (succ == kNil) {
+    int expected = tid;
+    if (tail_.compare_exchange(expected, kNil)) return;
+    while ((succ = next_[me].value.load()) == kNil) {
+    }
+  }
+  locked_[static_cast<std::size_t>(succ)].value.store(0);
+}
+
+// ---------------------------------------------------------------------------
+// CLH
+// ---------------------------------------------------------------------------
+
+RtClhLock::RtClhLock(int n)
+    : tail_(n),  // dummy node index n, released
+      flags_(static_cast<std::size_t>(n) + 1),
+      node_of_(static_cast<std::size_t>(n)),
+      pred_of_(static_cast<std::size_t>(n), -1) {
+  for (int i = 0; i < n; ++i) node_of_[static_cast<std::size_t>(i)] = i;
+}
+
+void RtClhLock::lock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  const int my_node = node_of_[me];
+  flags_[static_cast<std::size_t>(my_node)].value.store(1);
+  const int pred = tail_.exchange(my_node);  // RMW drains the store
+  pred_of_[me] = pred;
+  while (flags_[static_cast<std::size_t>(pred)].value.load() == 1) {
+  }
+}
+
+void RtClhLock::unlock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  flags_[static_cast<std::size_t>(node_of_[me])].value.store(0);
+  node_of_[me] = pred_of_[me];
+}
+
+// ---------------------------------------------------------------------------
+// Bakery
+// ---------------------------------------------------------------------------
+
+RtBakeryLock::RtBakeryLock(int n)
+    : n_(n),
+      choosing_(static_cast<std::size_t>(n)),
+      number_(static_cast<std::size_t>(n)) {}
+
+void RtBakeryLock::lock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  choosing_[me].value.store(1);
+  counted_fence();  // choosing visible before scanning
+  std::uint64_t mx = 0;
+  for (int j = 0; j < n_; ++j)
+    mx = std::max(mx, number_[static_cast<std::size_t>(j)].value.load());
+  const std::uint64_t my_number = mx + 1;
+  number_[me].value.store(my_number);
+  choosing_[me].value.store(0);
+  counted_fence();  // ticket visible before inspecting competitors
+  for (int j = 0; j < n_; ++j) {
+    if (j == tid) continue;
+    const auto ju = static_cast<std::size_t>(j);
+    while (choosing_[ju].value.load() == 1) {
+    }
+    while (true) {
+      const std::uint64_t nj = number_[ju].value.load();
+      if (nj == 0 || nj > my_number || (nj == my_number && j > tid)) break;
+    }
+  }
+}
+
+void RtBakeryLock::unlock(int tid) {
+  number_[static_cast<std::size_t>(tid)].value.store(0);
+}
+
+// ---------------------------------------------------------------------------
+// Tournament
+// ---------------------------------------------------------------------------
+
+RtTournamentLock::RtTournamentLock(int n) {
+  TPA_CHECK(n >= 1, "tournament lock needs at least one thread");
+  int leaves = 1;
+  while (leaves < n) leaves *= 2;
+  leaf_base_ = leaves;
+  nodes_ = std::vector<Padded<Node>>(static_cast<std::size_t>(leaves));
+}
+
+void RtTournamentLock::lock(int tid) {
+  int pos = leaf_base_ + tid;
+  while (pos > 1) {
+    const int node = pos / 2;
+    const int side = pos % 2;
+    Node& nd = nodes_[static_cast<std::size_t>(node)].value;
+    auto& mine = side == 0 ? nd.flag0 : nd.flag1;
+    auto& theirs = side == 0 ? nd.flag1 : nd.flag0;
+    mine.store(1);
+    nd.turn.store(side);
+    counted_fence();  // Peterson on TSO: publish before reading opponent
+    while (theirs.load() == 1 && nd.turn.load() == side) {
+    }
+    pos = node;
+  }
+}
+
+void RtTournamentLock::unlock(int tid) {
+  // Release root-to-leaf; a single trailing fence commits all resets.
+  std::vector<int> path;
+  int pos = leaf_base_ + tid;
+  while (pos > 1) {
+    path.push_back(pos);
+    pos /= 2;
+  }
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const int node = path[i] / 2;
+    const int side = path[i] % 2;
+    Node& nd = nodes_[static_cast<std::size_t>(node)].value;
+    (side == 0 ? nd.flag0 : nd.flag1).store(0);
+  }
+  counted_fence();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive active-set bakery
+// ---------------------------------------------------------------------------
+
+RtAdaptiveBakery::RtAdaptiveBakery(int n)
+    : n_(n),
+      slots_(static_cast<std::size_t>(n)),
+      choosing_(static_cast<std::size_t>(n)),
+      number_(static_cast<std::size_t>(n)),
+      slot_of_(static_cast<std::size_t>(n)) {
+  for (auto& s : slot_of_) s.value = -1;
+}
+
+void RtAdaptiveBakery::lock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+  if (slot_of_[me].value < 0) {
+    // Registration: claim the first free slot. Under contention this costs
+    // up to Θ(k) CAS barriers — the price of adaptivity, counted in rmws.
+    for (int s = 0; s < n_; ++s) {
+      auto& slot = slots_[static_cast<std::size_t>(s)].value;
+      if (slot.load() != 0) continue;
+      int expected = 0;
+      if (slot.compare_exchange(expected, tid + 1)) {
+        slot_of_[me].value = s;
+        break;
+      }
+    }
+    TPA_CHECK(slot_of_[me].value >= 0, "failed to claim a slot");
+  }
+
+  choosing_[me].value.store(1);
+  counted_fence();
+  std::uint64_t mx = 0;
+  for (int s = 0; s < n_; ++s) {
+    const int owner = slots_[static_cast<std::size_t>(s)].value.load();
+    if (owner == 0) break;
+    mx = std::max(mx,
+                  number_[static_cast<std::size_t>(owner - 1)].value.load());
+  }
+  const std::uint64_t my_number = mx + 1;
+  number_[me].value.store(my_number);
+  choosing_[me].value.store(0);
+  counted_fence();
+  for (int s = 0; s < n_; ++s) {
+    const int owner = slots_[static_cast<std::size_t>(s)].value.load();
+    if (owner == 0) break;
+    const int j = owner - 1;
+    if (j == tid) continue;
+    const auto ju = static_cast<std::size_t>(j);
+    while (choosing_[ju].value.load() == 1) {
+    }
+    while (true) {
+      const std::uint64_t nj = number_[ju].value.load();
+      if (nj == 0 || nj > my_number || (nj == my_number && j > tid)) break;
+    }
+  }
+}
+
+void RtAdaptiveBakery::unlock(int tid) {
+  number_[static_cast<std::size_t>(tid)].value.store(0);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive splitter lock (pure read/write)
+// ---------------------------------------------------------------------------
+
+RtAdaptiveSplitter::RtAdaptiveSplitter(int n)
+    : n_(n),
+      cells_(static_cast<std::size_t>(n * (n + 1) / 2)),
+      choosing_(static_cast<std::size_t>(n)),
+      number_(static_cast<std::size_t>(n)),
+      cell_of_(static_cast<std::size_t>(n)) {
+  for (auto& s : cell_of_) s.value = -1;
+}
+
+void RtAdaptiveSplitter::lock(int tid) {
+  const auto me = static_cast<std::size_t>(tid);
+
+  if (cell_of_[me].value < 0) {
+    // Moir-Anderson grid walk: every visit costs two fences — the pure
+    // read/write registration price the paper proves unavoidable.
+    int r = 0, col = 0;
+    while (true) {
+      Cell& cell = cells_[static_cast<std::size_t>(cell_index(r, col))].value;
+      cell.touched.store(1);
+      cell.x.store(tid);
+      counted_fence();
+      if (cell.y.load() == 1) {
+        ++col;  // RIGHT
+        continue;
+      }
+      cell.y.store(1);
+      counted_fence();
+      if (cell.x.load() == tid) {
+        cell.present.store(tid + 1);
+        counted_fence();
+        cell_of_[me].value = cell_index(r, col);
+        break;  // STOP
+      }
+      ++r;  // DOWN
+    }
+  }
+
+  auto collect = [&](auto&& visit) {
+    for (int d = 0; d < n_; ++d) {
+      bool any = false;
+      for (int rr = 0; rr <= d; ++rr) {
+        Cell& cell = cells_[static_cast<std::size_t>(d * (d + 1) / 2 + rr)]
+                         .value;
+        if (cell.touched.load() == 0) continue;
+        any = true;
+        const int who = cell.present.load();
+        if (who != 0) visit(who - 1);
+      }
+      if (!any) break;
+    }
+  };
+
+  choosing_[me].value.store(1);
+  counted_fence();
+  std::uint64_t mx = 0;
+  collect([&](int j) {
+    mx = std::max(mx, number_[static_cast<std::size_t>(j)].value.load());
+  });
+  const std::uint64_t my_number = mx + 1;
+  number_[me].value.store(my_number);
+  choosing_[me].value.store(0);
+  counted_fence();
+  collect([&](int j) {
+    if (j == tid) return;
+    const auto ju = static_cast<std::size_t>(j);
+    while (choosing_[ju].value.load() == 1) {
+    }
+    while (true) {
+      const std::uint64_t nj = number_[ju].value.load();
+      if (nj == 0 || nj > my_number || (nj == my_number && j > tid)) break;
+    }
+  });
+}
+
+void RtAdaptiveSplitter::unlock(int tid) {
+  number_[static_cast<std::size_t>(tid)].value.store(0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename L>
+std::unique_ptr<RtLock> make_simple(int) {
+  return std::make_unique<L>();
+}
+
+template <typename L>
+std::unique_ptr<RtLock> make_sized(int n) {
+  return std::make_unique<L>(n);
+}
+
+}  // namespace
+
+const std::vector<RtLockFactory>& rt_lock_zoo() {
+  static const std::vector<RtLockFactory> kZoo = {
+      {"tas", false, &make_simple<RtTasLock>},
+      {"ttas", false, &make_simple<RtTtasLock>},
+      {"ticket", false, &make_simple<RtTicketLock>},
+      {"mcs", false, &make_sized<RtMcsLock>},
+      {"clh", false, &make_sized<RtClhLock>},
+      {"bakery", false, &make_sized<RtBakeryLock>},
+      {"tournament", false, &make_sized<RtTournamentLock>},
+      {"adaptive-bakery", true, &make_sized<RtAdaptiveBakery>},
+      {"adaptive-splitter", true, &make_sized<RtAdaptiveSplitter>},
+  };
+  return kZoo;
+}
+
+}  // namespace tpa::runtime

@@ -1,0 +1,174 @@
+// Native instrumented locks — the runnable x86-TSO counterparts of the
+// simulated zoo. Each lock counts fences and atomic RMWs per passage via
+// runtime/counters.h, so the "price of being adaptive" can be observed on
+// real hardware: the adaptive active-set bakery pays CAS barriers on
+// registration where the plain bakery pays a constant number of fences.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/counters.h"
+
+namespace tpa::runtime {
+
+class RtLock {
+ public:
+  virtual ~RtLock() = default;
+  virtual void lock(int tid) = 0;
+  virtual void unlock(int tid) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Test-and-set (via CAS).
+class RtTasLock : public RtLock {
+ public:
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "tas"; }
+
+ private:
+  CountedAtomic<int> flag_{0};
+};
+
+/// Test-and-test-and-set.
+class RtTtasLock : public RtLock {
+ public:
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "ttas"; }
+
+ private:
+  CountedAtomic<int> flag_{0};
+};
+
+/// Ticket lock (fetch_add + FIFO spin).
+class RtTicketLock : public RtLock {
+ public:
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "ticket"; }
+
+ private:
+  CountedAtomic<std::uint64_t> next_{0};
+  CountedAtomic<std::uint64_t> serving_{0};
+};
+
+/// MCS queue lock with per-thread nodes.
+class RtMcsLock : public RtLock {
+ public:
+  explicit RtMcsLock(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "mcs"; }
+
+ private:
+  static constexpr int kNil = -1;
+  CountedAtomic<int> tail_{kNil};
+  std::vector<Padded<CountedAtomic<int>>> locked_;
+  std::vector<Padded<CountedAtomic<int>>> next_;
+};
+
+/// CLH queue lock with node recycling.
+class RtClhLock : public RtLock {
+ public:
+  explicit RtClhLock(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "clh"; }
+
+ private:
+  CountedAtomic<int> tail_;
+  std::vector<Padded<CountedAtomic<int>>> flags_;  // n+1 nodes
+  std::vector<int> node_of_;
+  std::vector<int> pred_of_;
+};
+
+/// Lamport's bakery: pure loads/stores + explicit fences (O(1) fences,
+/// Θ(n) work — the non-adaptive read/write baseline).
+class RtBakeryLock : public RtLock {
+ public:
+  explicit RtBakeryLock(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "bakery"; }
+
+ private:
+  int n_;
+  std::vector<Padded<CountedAtomic<int>>> choosing_;
+  std::vector<Padded<CountedAtomic<std::uint64_t>>> number_;
+};
+
+/// Peterson tournament tree: Θ(log n) fences per passage.
+class RtTournamentLock : public RtLock {
+ public:
+  explicit RtTournamentLock(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "tournament"; }
+
+ private:
+  struct Node {
+    CountedAtomic<int> flag0{0};
+    CountedAtomic<int> flag1{0};
+    CountedAtomic<int> turn{0};
+  };
+  int leaf_base_;
+  std::vector<Padded<Node>> nodes_;
+};
+
+/// Active-set bakery: adaptive (work O(k) in total contention k) at the
+/// price of CAS barriers on first-passage registration.
+class RtAdaptiveBakery : public RtLock {
+ public:
+  explicit RtAdaptiveBakery(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "adaptive-bakery"; }
+
+ private:
+  int n_;
+  std::vector<Padded<CountedAtomic<int>>> slots_;  // 0 free, tid+1 taken
+  std::vector<Padded<CountedAtomic<int>>> choosing_;
+  std::vector<Padded<CountedAtomic<std::uint64_t>>> number_;
+  std::vector<Padded<int>> slot_of_;  // -1 until registered
+};
+
+/// Pure read/write adaptive lock: Moir-Anderson splitter-grid renaming
+/// (2 counted fences per splitter visit — the read/write price of
+/// adaptivity) + bakery over the adaptively collected names.
+class RtAdaptiveSplitter : public RtLock {
+ public:
+  explicit RtAdaptiveSplitter(int n);
+  void lock(int tid) override;
+  void unlock(int tid) override;
+  std::string name() const override { return "adaptive-splitter"; }
+
+ private:
+  struct Cell {
+    CountedAtomic<int> x{-1};
+    CountedAtomic<int> y{0};
+    CountedAtomic<int> touched{0};
+    CountedAtomic<int> present{0};  // tid + 1
+  };
+
+  int cell_index(int r, int c) const { return (r + c) * (r + c + 1) / 2 + r; }
+
+  int n_;
+  std::vector<Padded<Cell>> cells_;
+  std::vector<Padded<CountedAtomic<int>>> choosing_;
+  std::vector<Padded<CountedAtomic<std::uint64_t>>> number_;
+  std::vector<Padded<int>> cell_of_;  // -1 until registered
+};
+
+struct RtLockFactory {
+  std::string name;
+  bool adaptive;
+  std::unique_ptr<RtLock> (*make)(int n);
+};
+
+/// All native locks.
+const std::vector<RtLockFactory>& rt_lock_zoo();
+
+}  // namespace tpa::runtime

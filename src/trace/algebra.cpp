@@ -1,0 +1,50 @@
+#include "trace/algebra.h"
+
+namespace tpa::trace {
+
+namespace {
+
+bool event_equal(const Event& a, const Event& b) {
+  return a.kind == b.kind && a.proc == b.proc && a.var == b.var &&
+         a.value == b.value && a.seq == b.seq;
+}
+
+}  // namespace
+
+EventSeq project(const EventSeq& events, const std::vector<bool>& keep) {
+  EventSeq out;
+  for (const Event& e : events)
+    if (keep[static_cast<std::size_t>(e.proc)]) out.push_back(e);
+  return out;
+}
+
+EventSeq erase_procs(const EventSeq& events, const std::vector<bool>& erase) {
+  EventSeq out;
+  for (const Event& e : events)
+    if (!erase[static_cast<std::size_t>(e.proc)]) out.push_back(e);
+  return out;
+}
+
+bool is_subexecution(const EventSeq& sub, const EventSeq& super) {
+  std::size_t i = 0;
+  for (const Event& e : super) {
+    if (i == sub.size()) return true;
+    if (event_equal(sub[i], e)) ++i;
+  }
+  return i == sub.size();
+}
+
+EventSeq concat(const EventSeq& a, const EventSeq& b) {
+  EventSeq out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool same_events(const EventSeq& a, const EventSeq& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!event_equal(a[i], b[i])) return false;
+  return true;
+}
+
+}  // namespace tpa::trace

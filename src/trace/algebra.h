@@ -1,0 +1,40 @@
+// Execution algebra on raw event sequences: projection E|Y, erasure E^{-Y},
+// concatenation, and the sub-execution relation F ≤ E.
+//
+// These are purely syntactic operators on event lists (no re-simulation) —
+// exactly the objects Fact 1 of the paper manipulates:
+//   1. (E1 E2)^{-Y} = E1^{-Y} E2^{-Y}
+//   2. (E^{-Y})^{-Z} = E^{-Y ∪ Z}
+// Semantic erasure (producing a *valid* execution, Lemma 1/4) lives in
+// tso/schedule.h; the two agree on event sequences when the erased set is
+// invisible, which tests/test_algebra.cpp checks.
+#pragma once
+
+#include <vector>
+
+#include "tso/event.h"
+
+namespace tpa::trace {
+
+using tso::Event;
+using tso::ProcId;
+
+using EventSeq = std::vector<Event>;
+
+/// E | Y — keep only events issued by processes in `keep`.
+EventSeq project(const EventSeq& events, const std::vector<bool>& keep);
+
+/// E^{-Y} — remove all events issued by processes in `erase`.
+EventSeq erase_procs(const EventSeq& events, const std::vector<bool>& erase);
+
+/// F ≤ E — F is a (possibly non-contiguous) subsequence of E's events.
+/// Events are matched by sequence number (Event::seq).
+bool is_subexecution(const EventSeq& sub, const EventSeq& super);
+
+/// Concatenation EF.
+EventSeq concat(const EventSeq& a, const EventSeq& b);
+
+/// Pointwise equality on (kind, proc, var, value, seq).
+bool same_events(const EventSeq& a, const EventSeq& b);
+
+}  // namespace tpa::trace

@@ -1,0 +1,217 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tpa::trace {
+
+namespace {
+
+/// Offline model of one process' write buffer (var, value, awareness
+/// snapshot at issue time).
+struct BufEntry {
+  VarId var;
+  Value value;
+  DynBitset aw;
+};
+
+}  // namespace
+
+std::vector<ProcId> Analysis::active() const {
+  std::vector<ProcId> out;
+  for (std::size_t p = 0; p < n_procs; ++p)
+    if (status[p] != Status::kNcs) out.push_back(static_cast<ProcId>(p));
+  return out;
+}
+
+std::vector<ProcId> Analysis::finished() const {
+  std::vector<ProcId> out;
+  for (std::size_t p = 0; p < n_procs; ++p)
+    if (passages_done[p] > 0) out.push_back(static_cast<ProcId>(p));
+  return out;
+}
+
+Analysis analyze(const Execution& execution, std::size_t n_procs,
+                 const VarLayout& layout) {
+  const std::size_t n_vars = layout.owners.size();
+
+  Analysis a;
+  a.n_procs = n_procs;
+  a.facts.reserve(execution.events.size());
+  a.status.assign(n_procs, Status::kNcs);
+  a.mode.assign(n_procs, Mode::kRead);
+  a.awareness.assign(n_procs, DynBitset(n_procs));
+  a.fences_completed.assign(n_procs, 0);
+  a.critical_events.assign(n_procs, 0);
+  a.passages_done.assign(n_procs, 0);
+  a.last_writer.assign(n_vars, tso::kNoProc);
+  a.writer_awareness.assign(n_vars, DynBitset(n_procs));
+  a.accessed_by.assign(n_vars, {});
+  for (std::size_t p = 0; p < n_procs; ++p) a.awareness[p].set(p);
+
+  std::vector<std::vector<BufEntry>> buffers(n_procs);
+  std::vector<std::unordered_set<VarId>> remote_reads(n_procs);
+
+  auto is_remote = [&](ProcId p, VarId v) {
+    return layout.owners[static_cast<std::size_t>(v)] != p;
+  };
+
+  for (const Event& e : execution.events) {
+    const auto p = static_cast<std::size_t>(e.proc);
+    TPA_CHECK(p < n_procs, "event by unknown process p" << e.proc);
+    EventFacts f;
+
+    switch (e.kind) {
+      case tso::EventKind::kWriteIssue: {
+        // Coalesce in place, TSO-style.
+        bool replaced = false;
+        for (auto& entry : buffers[p]) {
+          if (entry.var == e.var) {
+            entry.value = e.value;
+            entry.aw = a.awareness[p];
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced)
+          buffers[p].push_back({e.var, e.value, a.awareness[p]});
+        break;
+      }
+      case tso::EventKind::kWriteCommit: {
+        // Under TSO commits pop the head; under PSO any buffered variable
+        // may commit. The analyzer accepts any buffered entry matching the
+        // event (per-variable order is implied by coalescing).
+        std::size_t idx = buffers[p].size();
+        for (std::size_t i = 0; i < buffers[p].size(); ++i) {
+          if (buffers[p][i].var == e.var) {
+            idx = i;
+            break;
+          }
+        }
+        TPA_CHECK(idx < buffers[p].size(),
+                  "commit without a buffered write at event #" << e.seq);
+        BufEntry entry = std::move(buffers[p][idx]);
+        buffers[p].erase(buffers[p].begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+        TPA_CHECK(entry.value == e.value,
+                  "commit value mismatch at event #" << e.seq);
+        const auto v = static_cast<std::size_t>(e.var);
+        f.accesses_var = true;
+        f.remote = is_remote(e.proc, e.var);
+        f.critical = f.remote && a.last_writer[v] != e.proc;
+        a.last_writer[v] = e.proc;
+        a.writer_awareness[v] = std::move(entry.aw);
+        a.accessed_by[v].insert(e.proc);
+        if (f.critical) a.critical_events[p]++;
+        break;
+      }
+      case tso::EventKind::kRead: {
+        Value buffered = 0;
+        bool in_buffer = false;
+        for (const auto& entry : buffers[p]) {
+          if (entry.var == e.var) {
+            buffered = entry.value;
+            in_buffer = true;
+            break;
+          }
+        }
+        if (in_buffer) {
+          f.from_buffer = true;
+          TPA_CHECK(buffered == e.value,
+                    "buffered read value mismatch at event #" << e.seq);
+        } else {
+          const auto v = static_cast<std::size_t>(e.var);
+          f.accesses_var = true;
+          f.remote = is_remote(e.proc, e.var);
+          f.critical = f.remote && remote_reads[p].count(e.var) == 0;
+          if (f.remote) remote_reads[p].insert(e.var);
+          a.accessed_by[v].insert(e.proc);
+          if (a.last_writer[v] != tso::kNoProc) {
+            a.awareness[p] |= a.writer_awareness[v];
+            a.awareness[p].set(static_cast<std::size_t>(a.last_writer[v]));
+          }
+          if (f.critical) a.critical_events[p]++;
+        }
+        break;
+      }
+      case tso::EventKind::kBeginFence:
+        TPA_CHECK(a.mode[p] == Mode::kRead,
+                  "BeginFence while already fencing at event #" << e.seq);
+        a.mode[p] = Mode::kWrite;
+        break;
+      case tso::EventKind::kEndFence:
+        TPA_CHECK(a.mode[p] == Mode::kWrite,
+                  "EndFence without BeginFence at event #" << e.seq);
+        TPA_CHECK(buffers[p].empty(),
+                  "EndFence with non-empty buffer at event #" << e.seq);
+        a.mode[p] = Mode::kRead;
+        if (!e.implied_by_cas) a.fences_completed[p]++;
+        break;
+      case tso::EventKind::kCas: {
+        TPA_CHECK(buffers[p].empty(),
+                  "CAS with non-empty buffer at event #" << e.seq);
+        const auto v = static_cast<std::size_t>(e.var);
+        f.accesses_var = true;
+        f.remote = is_remote(e.proc, e.var);
+        std::uint32_t crit = 0;
+        if (f.remote && remote_reads[p].count(e.var) == 0) crit++;
+        if (f.remote) remote_reads[p].insert(e.var);
+        if (e.cas_success && f.remote && a.last_writer[v] != e.proc) crit++;
+        f.critical = crit > 0;
+        a.critical_events[p] += crit;
+        a.accessed_by[v].insert(e.proc);
+        if (a.last_writer[v] != tso::kNoProc) {
+          a.awareness[p] |= a.writer_awareness[v];
+          a.awareness[p].set(static_cast<std::size_t>(a.last_writer[v]));
+        }
+        if (e.cas_success) {
+          a.last_writer[v] = e.proc;
+          a.writer_awareness[v] = a.awareness[p];
+        }
+        break;
+      }
+      case tso::EventKind::kEnter:
+        TPA_CHECK(a.status[p] == Status::kNcs,
+                  "Enter from non-ncs at event #" << e.seq);
+        a.status[p] = Status::kEntry;
+        break;
+      case tso::EventKind::kCs:
+        TPA_CHECK(a.status[p] == Status::kEntry,
+                  "CS from non-entry at event #" << e.seq);
+        a.status[p] = Status::kExit;
+        break;
+      case tso::EventKind::kExit:
+        TPA_CHECK(a.status[p] == Status::kExit,
+                  "Exit from non-exit at event #" << e.seq);
+        a.status[p] = Status::kNcs;
+        a.passages_done[p]++;
+        break;
+    }
+    a.facts.push_back(std::move(f));
+  }
+  return a;
+}
+
+ConsistencyReport check_consistency(const Execution& execution,
+                                    const Analysis& analysis) {
+  TPA_CHECK(execution.events.size() == analysis.facts.size(),
+            "analysis does not match execution length");
+  for (std::size_t i = 0; i < execution.events.size(); ++i) {
+    const Event& e = execution.events[i];
+    const EventFacts& f = analysis.facts[i];
+    if (e.accesses_var != f.accesses_var || e.remote != f.remote ||
+        e.critical != f.critical || e.from_buffer != f.from_buffer) {
+      std::ostringstream os;
+      os << "online/offline disagreement at event {" << e.to_string()
+         << "}: offline accesses=" << f.accesses_var
+         << " remote=" << f.remote << " critical=" << f.critical
+         << " from_buffer=" << f.from_buffer;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace tpa::trace

@@ -1,0 +1,85 @@
+// ExecutionAnalyzer — offline recomputation of the paper's definitions from
+// a raw event trace.
+//
+// The simulator computes criticality (Definition 2), awareness (Definition
+// 1), RMRs, and fence/passage bookkeeping online. This module recomputes
+// all of it from nothing but the event list and the variable layout — an
+// independent implementation used to cross-check the simulator
+// (tests/test_analyzer.cpp asserts online == offline on every event) and to
+// evaluate the IN-set and regularity predicates (trace/inset.h).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "tso/event.h"
+#include "tso/types.h"
+#include "util/bitset.h"
+
+namespace tpa::trace {
+
+using tso::Event;
+using tso::Execution;
+using tso::Mode;
+using tso::ProcId;
+using tso::Status;
+using tso::Value;
+using tso::VarId;
+
+/// Static variable layout: owners[v] is the process v is local to, or
+/// kNoProc. Obtain from Simulator::var_owners().
+struct VarLayout {
+  std::vector<ProcId> owners;
+};
+
+/// Per-event facts recomputed offline.
+struct EventFacts {
+  bool accesses_var = false;
+  bool remote = false;
+  bool critical = false;
+  bool from_buffer = false;
+};
+
+/// Full offline analysis of an execution.
+struct Analysis {
+  std::size_t n_procs = 0;
+
+  std::vector<EventFacts> facts;  ///< parallel to execution.events
+
+  // Final per-process state.
+  std::vector<Status> status;
+  std::vector<Mode> mode;
+  std::vector<DynBitset> awareness;          ///< AW(p, E)
+  std::vector<std::uint32_t> fences_completed;
+  std::vector<std::uint32_t> critical_events;
+  std::vector<std::uint32_t> passages_done;
+
+  // Final per-variable state.
+  std::vector<ProcId> last_writer;                       ///< writer(v, E)
+  std::vector<DynBitset> writer_awareness;               ///< AW at issue
+  std::vector<std::unordered_set<ProcId>> accessed_by;   ///< Accessed(v, E)
+
+  /// Act(E): started a passage, not yet completed it.
+  std::vector<ProcId> active() const;
+  /// Fin(E): completed at least one passage.
+  std::vector<ProcId> finished() const;
+};
+
+/// Recomputes everything from the event list. Throws CheckFailure if the
+/// trace is structurally inconsistent (e.g. a commit without a matching
+/// buffered write) — such traces cannot come from the simulator.
+Analysis analyze(const Execution& execution, std::size_t n_procs,
+                 const VarLayout& layout);
+
+struct ConsistencyReport {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Compares the simulator's online per-event flags with the offline
+/// recomputation. Any disagreement is a bug in one of the two.
+ConsistencyReport check_consistency(const Execution& execution,
+                                    const Analysis& analysis);
+
+}  // namespace tpa::trace

@@ -1,0 +1,74 @@
+#include "trace/format.h"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace tpa::trace {
+
+namespace {
+
+std::string var_label(const tso::Event& e, const FormatOptions& options) {
+  if (e.var == tso::kNoVar) return "";
+  if (options.var_names &&
+      static_cast<std::size_t>(e.var) < options.var_names->size() &&
+      !(*options.var_names)[static_cast<std::size_t>(e.var)].empty())
+    return (*options.var_names)[static_cast<std::size_t>(e.var)];
+  return "v" + std::to_string(e.var);
+}
+
+}  // namespace
+
+void print_execution(std::ostream& os, const tso::Execution& execution,
+                     const FormatOptions& options) {
+  std::size_t printed = 0;
+  for (const auto& e : execution.events) {
+    if (options.limit && printed++ >= options.limit) {
+      os << "  ... (" << execution.events.size() - options.limit
+         << " more events)\n";
+      return;
+    }
+    os << "#" << e.seq << "\tp" << e.proc << "\t" << tso::to_string(e.kind);
+    if (e.var != tso::kNoVar) {
+      os << " " << var_label(e, options) << "=" << e.value;
+      if (e.kind == tso::EventKind::kCas)
+        os << (e.cas_success ? " (won, was " : " (lost, was ") << e.value2
+           << ")";
+    }
+    if (options.show_passage) os << "\t[passage " << e.passage << "]";
+    if (options.show_costs) {
+      std::string flags;
+      if (e.from_buffer) flags += " buf";
+      if (e.critical) flags += " crit";
+      if (e.rmr_dsm) flags += " rmr:dsm";
+      if (e.rmr_wt) flags += " rmr:wt";
+      if (e.rmr_wb) flags += " rmr:wb";
+      if (!flags.empty()) os << "\t[" << flags.substr(1) << "]";
+    }
+    os << "\n";
+  }
+}
+
+void write_csv(std::ostream& os, const tso::Execution& execution) {
+  os << "seq,proc,kind,var,value,from_buffer,critical,rmr_dsm,rmr_wt,rmr_wb,"
+        "passage\n";
+  for (const auto& e : execution.events) {
+    os << e.seq << ',' << e.proc << ',' << tso::to_string(e.kind) << ','
+       << e.var << ',' << e.value << ',' << e.from_buffer << ',' << e.critical
+       << ',' << e.rmr_dsm << ',' << e.rmr_wt << ',' << e.rmr_wb << ','
+       << e.passage << '\n';
+  }
+}
+
+std::string summarize(const tso::Execution& execution) {
+  std::set<tso::ProcId> procs;
+  for (const auto& e : execution.events) procs.insert(e.proc);
+  std::ostringstream os;
+  os << execution.events.size() << " events, "
+     << execution.directives.size() << " directives, " << procs.size()
+     << " participating processes";
+  return os.str();
+}
+
+}  // namespace tpa::trace

@@ -1,0 +1,32 @@
+// Human-readable and CSV rendering of executions — for examples, debugging
+// adversary runs, and exporting traces to external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tso/event.h"
+
+namespace tpa::trace {
+
+struct FormatOptions {
+  bool show_costs = true;     ///< criticality + RMR flags per event
+  bool show_passage = false;  ///< each event's passage index
+  std::size_t limit = 0;      ///< 0 = all events
+  /// Optional map from VarId to a human name (e.g. "number[2]"); events
+  /// whose var is not in the map print as "v<id>".
+  const std::vector<std::string>* var_names = nullptr;
+};
+
+/// Pretty-prints the event trace, one line per event.
+void print_execution(std::ostream& os, const tso::Execution& execution,
+                     const FormatOptions& options = {});
+
+/// CSV with header: seq,proc,kind,var,value,from_buffer,critical,
+/// rmr_dsm,rmr_wt,rmr_wb,passage.
+void write_csv(std::ostream& os, const tso::Execution& execution);
+
+/// One-line summary: "#events, #directives, participants".
+std::string summarize(const tso::Execution& execution);
+
+}  // namespace tpa::trace

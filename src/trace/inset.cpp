@@ -1,0 +1,203 @@
+#include "trace/inset.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tpa::trace {
+
+namespace {
+
+std::vector<bool> to_mask(const std::vector<ProcId>& ids, std::size_t n) {
+  std::vector<bool> mask(n, false);
+  for (ProcId p : ids) mask[static_cast<std::size_t>(p)] = true;
+  return mask;
+}
+
+InsetReport fail(const std::string& what) { return {false, what}; }
+
+InsetReport check_in1_in2_in4(const Execution& execution,
+                              const Analysis& analysis,
+                              const VarLayout& layout,
+                              const std::vector<bool>& inv) {
+  const std::size_t n = analysis.n_procs;
+  const auto act_mask = to_mask(analysis.active(), n);
+
+  // Invisible processes must be active (INV ⊆ Act(E)).
+  for (std::size_t p = 0; p < n; ++p) {
+    if (inv[p] && !act_mask[p])
+      return fail("INV member p" + std::to_string(p) + " is not active");
+  }
+
+  // IN1: AW(p, E) ∩ INV ⊆ {p}.
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p || !inv[q]) continue;
+      if (analysis.awareness[p].test(q)) {
+        std::ostringstream os;
+        os << "IN1 violated: p" << p << " is aware of invisible p" << q;
+        return fail(os.str());
+      }
+    }
+  }
+
+  // IN2: every invisible process is in its entry section.
+  for (std::size_t p = 0; p < n; ++p) {
+    if (inv[p] && analysis.status[p] != Status::kEntry) {
+      std::ostringstream os;
+      os << "IN2 violated: invisible p" << p << " has status "
+         << tso::to_string(analysis.status[p]);
+      return fail(os.str());
+    }
+  }
+
+  // IN4: remote accesses never touch a variable owned by an active process.
+  for (std::size_t i = 0; i < execution.events.size(); ++i) {
+    const EventFacts& f = analysis.facts[i];
+    if (!f.accesses_var || !f.remote) continue;
+    const Event& e = execution.events[i];
+    const ProcId owner = layout.owners[static_cast<std::size_t>(e.var)];
+    if (owner != tso::kNoProc && act_mask[static_cast<std::size_t>(owner)]) {
+      std::ostringstream os;
+      os << "IN4 violated: event {" << e.to_string()
+         << "} remotely accesses v" << e.var << " owned by active p" << owner;
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+InsetReport check_inset_semi(const Execution& execution,
+                             const Analysis& analysis, const VarLayout& layout,
+                             const std::vector<bool>& inv) {
+  return check_in1_in2_in4(execution, analysis, layout, inv);
+}
+
+InsetReport check_inset_static(const Execution& execution,
+                               const Analysis& analysis,
+                               const VarLayout& layout,
+                               const std::vector<bool>& inv) {
+  InsetReport base = check_in1_in2_in4(execution, analysis, layout, inv);
+  if (!base.ok) return base;
+
+  // IN5: if |Accessed(v, E) ∩ Act(E)| > 1 then writer(v, E) ∉ INV.
+  const auto act_mask = to_mask(analysis.active(), analysis.n_procs);
+  for (std::size_t v = 0; v < analysis.last_writer.size(); ++v) {
+    int active_accessors = 0;
+    for (ProcId q : analysis.accessed_by[v])
+      if (act_mask[static_cast<std::size_t>(q)]) ++active_accessors;
+    if (active_accessors <= 1) continue;
+    const ProcId w = analysis.last_writer[v];
+    if (w != tso::kNoProc && inv[static_cast<std::size_t>(w)]) {
+      std::ostringstream os;
+      os << "IN5 violated: v" << v << " has " << active_accessors
+         << " active accessors but its last writer p" << w << " is invisible";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+InsetReport check_regular(const Execution& execution, const Analysis& analysis,
+                          const VarLayout& layout) {
+  return check_inset_static(execution, analysis, layout,
+                            to_mask(analysis.active(), analysis.n_procs));
+}
+
+InsetReport check_semi_regular(const Execution& execution,
+                               const Analysis& analysis,
+                               const VarLayout& layout) {
+  return check_inset_semi(execution, analysis, layout,
+                          to_mask(analysis.active(), analysis.n_procs));
+}
+
+InsetReport check_ordered(const Execution& execution, const Analysis& analysis,
+                          const VarLayout& layout) {
+  (void)layout;
+  const std::size_t n = analysis.n_procs;
+  const auto act = analysis.active();
+  const auto act_mask = to_mask(act, n);
+
+  // Per-process index of the last EndFence event, to verify condition (c)'s
+  // "still executing the fence" clause.
+  std::vector<std::ptrdiff_t> last_end_fence(n, -1);
+  for (std::size_t i = 0; i < execution.events.size(); ++i) {
+    const Event& e = execution.events[i];
+    if (e.kind == tso::EventKind::kEndFence)
+      last_end_fence[static_cast<std::size_t>(e.proc)] =
+          static_cast<std::ptrdiff_t>(i);
+  }
+
+  for (std::size_t v = 0; v < analysis.last_writer.size(); ++v) {
+    const ProcId w = analysis.last_writer[v];
+    // (a) the last writer is not active.
+    if (w == tso::kNoProc || !act_mask[static_cast<std::size_t>(w)]) continue;
+    // (b) the writer is the unique active accessor.
+    int active_accessors = 0;
+    for (ProcId q : analysis.accessed_by[v])
+      if (act_mask[static_cast<std::size_t>(q)]) ++active_accessors;
+    if (active_accessors == 1) continue;
+
+    // (c) a run of consecutive commits to v by all active processes in
+    // increasing ID order, none of which completed its fence afterwards.
+    bool found = false;
+    std::size_t i = 0;
+    const auto is_commit_v = [&](std::size_t k) {
+      return execution.events[k].kind == tso::EventKind::kWriteCommit &&
+             execution.events[k].var == static_cast<VarId>(v);
+    };
+    while (i < execution.events.size() && !found) {
+      if (!is_commit_v(i)) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      std::vector<std::pair<ProcId, std::size_t>> run;  // (proc, event idx)
+      while (j < execution.events.size() && is_commit_v(j)) {
+        run.emplace_back(execution.events[j].proc, j);
+        ++j;
+      }
+      // The run must be exactly the active set in increasing ID order.
+      if (run.size() == act.size()) {
+        bool matches = true;
+        for (std::size_t k = 0; k < run.size(); ++k) {
+          if (run[k].first != act[k]) {
+            matches = false;
+            break;
+          }
+          const auto pid = static_cast<std::size_t>(run[k].first);
+          if (last_end_fence[pid] >= static_cast<std::ptrdiff_t>(run[k].second)) {
+            matches = false;  // completed the fence after its commit
+            break;
+          }
+        }
+        found = matches;
+      }
+      i = j;
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << "not ordered: v" << v << " is last-written by active p" << w
+         << ", has " << active_accessors
+         << " active accessors, and no qualifying commit run exists";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+InsetReport check_in3_subset(std::size_t n_procs, tso::SimConfig config,
+                             const tso::ScenarioBuilder& build,
+                             const Execution& execution,
+                             const std::vector<bool>& erase) {
+  auto replayed = tso::replay(n_procs, config, build, execution.directives,
+                              &erase);
+  const auto check = tso::verify_replay_equivalence(
+      execution, replayed->execution(), erase);
+  if (!check.ok) return fail("IN3 replay mismatch: " + check.detail);
+  return {};
+}
+
+}  // namespace tpa::trace

@@ -1,0 +1,70 @@
+// IN-set and regularity predicates (Definitions 4, 5, 6 of the paper).
+//
+// Given an offline Analysis of an execution E and a candidate process set
+// INV, these checkers decide:
+//   * IN1: no process is aware of an invisible process other than itself;
+//   * IN2: every invisible process is in its entry section;
+//   * IN4: no event accesses a remote variable owned by an active process;
+//   * IN5: if more than one active process accessed v, the last writer of v
+//          is not invisible.
+// IN3 ("erasure preserves criticality") quantifies over all subsets and all
+// erased executions; it is checked dynamically via replay
+// (tso::verify_replay_equivalence) by the lower-bound construction, and
+// check_in3_subset() exposes the same check for individual subsets here.
+//
+// regularity(E): Act(E) is an IN-set (Definition 5); semi-regularity drops
+// IN5. is_ordered() implements Definition 6 for write-phase executions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/analyzer.h"
+#include "tso/schedule.h"
+
+namespace tpa::trace {
+
+struct InsetReport {
+  bool ok = true;
+  std::string detail;  ///< first violated condition, human-readable
+};
+
+/// Checks IN1, IN2, IN4 and IN5 for `inv` (given as a membership mask over
+/// process ids) against the analyzed execution.
+InsetReport check_inset_static(const Execution& execution,
+                               const Analysis& analysis,
+                               const VarLayout& layout,
+                               const std::vector<bool>& inv);
+
+/// Checks IN1, IN2 and IN4 only (the semi-regular conditions).
+InsetReport check_inset_semi(const Execution& execution,
+                             const Analysis& analysis,
+                             const VarLayout& layout,
+                             const std::vector<bool>& inv);
+
+/// Definition 5: E is regular iff Act(E) satisfies IN1-IN5.
+InsetReport check_regular(const Execution& execution, const Analysis& analysis,
+                          const VarLayout& layout);
+
+/// Definition 5 (relaxed): E is semi-regular iff Act(E) satisfies IN1-IN4.
+InsetReport check_semi_regular(const Execution& execution,
+                               const Analysis& analysis,
+                               const VarLayout& layout);
+
+/// Definition 6: E is ordered — for every variable v, (a) writer(v) is not
+/// active, or (b) the writer is the unique active accessor of v, or (c) E
+/// contains a run of consecutive commits to v by all active processes in
+/// increasing ID order, none of which completed the surrounding fence.
+InsetReport check_ordered(const Execution& execution, const Analysis& analysis,
+                          const VarLayout& layout);
+
+/// IN3 for one subset Y: replays the schedule with Y erased and verifies
+/// the surviving processes execute the same events with the same
+/// criticality. `n_procs`, `config` and `build` must reconstruct the
+/// original scenario.
+InsetReport check_in3_subset(std::size_t n_procs, tso::SimConfig config,
+                             const tso::ScenarioBuilder& build,
+                             const Execution& execution,
+                             const std::vector<bool>& erase);
+
+}  // namespace tpa::trace

@@ -1,0 +1,90 @@
+// Event — one entry of an execution trace.
+//
+// The event alphabet follows Section 2 of the paper: reads, write issues,
+// write commits, BeginFence/EndFence, the transition events Enter/CS/Exit,
+// plus an atomic CAS event (comparison primitive). Each event carries the
+// cost flags computed online by the simulator: criticality (Definition 2)
+// and RMRs in the DSM, CC write-through and CC write-back models. The
+// offline trace::ExecutionAnalyzer recomputes all of these from scratch as a
+// cross-check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tso/types.h"
+
+namespace tpa::tso {
+
+enum class EventKind : std::uint8_t {
+  kRead,         ///< read performed (from buffer, cache, or memory)
+  kWriteIssue,   ///< write placed into the process' write buffer
+  kWriteCommit,  ///< buffered write made visible in shared memory
+  kBeginFence,   ///< fence started: buffer must drain before EndFence
+  kEndFence,     ///< fence finished: buffer empty
+  kCas,          ///< atomic compare-and-swap on shared memory
+  kEnter,        ///< transition: ncs -> entry
+  kCs,           ///< transition: entry -> exit (critical section)
+  kExit,         ///< transition: exit -> ncs
+};
+
+const char* to_string(EventKind k);
+
+/// True for Enter/CS/Exit.
+bool is_transition(EventKind k);
+
+/// True for BeginFence/EndFence.
+bool is_fence_event(EventKind k);
+
+struct Event {
+  EventKind kind;
+  ProcId proc = kNoProc;
+  VarId var = kNoVar;
+  Value value = 0;   ///< value read / written / CAS new value
+  Value value2 = 0;  ///< CAS: old value observed
+
+  bool from_buffer = false;  ///< read satisfied from own write buffer
+  bool accesses_var = false; ///< event "accesses" var per the paper
+  bool remote = false;       ///< var is remote to proc (owner != proc)
+  bool critical = false;     ///< Definition 2 (CAS: either half critical)
+  bool cas_success = false;
+  /// Fence event emitted as part of a CAS buffer drain (x86 LOCK RMW), not
+  /// an explicit fence instruction — excluded from fence counts.
+  bool implied_by_cas = false;
+
+  bool rmr_dsm = false;  ///< RMR in the DSM model
+  bool rmr_wt = false;   ///< RMR under CC write-through
+  bool rmr_wb = false;   ///< RMR under CC write-back
+
+  std::uint32_t passage = 0;  ///< the process' passage index (0-based)
+  std::uint64_t seq = 0;      ///< position in the execution
+
+  std::string to_string() const;
+};
+
+/// A scheduler decision; the sequence of directives of a run is the
+/// "schedule" and is sufficient to deterministically replay the execution
+/// (see tso/schedule.h). kDeliver lets the process take its next program
+/// event; kCommit commits a write from its buffer — the head under TSO, or
+/// any chosen variable's entry under PSO (see SimConfig::pso).
+enum class ActionKind : std::uint8_t { kDeliver, kCommit };
+
+struct Directive {
+  ActionKind kind;
+  ProcId proc;
+  VarId var = kNoVar;  ///< kCommit: which buffered write (kNoVar = head)
+};
+
+/// A recorded execution: the event trace plus the schedule that produced it.
+struct Execution {
+  std::vector<Event> events;
+  std::vector<Directive> directives;
+
+  void clear() {
+    events.clear();
+    directives.clear();
+  }
+};
+
+}  // namespace tpa::tso

@@ -1,0 +1,137 @@
+#include "tso/explorer.h"
+
+#include "util/check.h"
+
+namespace tpa::tso {
+
+namespace {
+
+class Dfs {
+ public:
+  Dfs(std::size_t n_procs, SimConfig sim_config, const ScenarioBuilder& build,
+      const ExplorerConfig& config)
+      : n_(n_procs), sim_cfg_(sim_config), build_(build), cfg_(config) {}
+
+  ExplorerResult run() {
+    auto sim = fresh();
+    dfs(std::move(sim), kNoProc, cfg_.preemptions);
+    return std::move(result_);
+  }
+
+ private:
+  std::unique_ptr<Simulator> fresh() {
+    auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    build_(*sim);
+    return sim;
+  }
+
+  static bool can_act(const Simulator& sim, ProcId p) {
+    const Proc& proc = sim.proc(p);
+    if (!proc.done() && proc.has_pending()) return true;
+    return !proc.buffer().empty();
+  }
+
+  /// One scheduler step for p: its next event, or a buffer drain once its
+  /// program has ended. Returns false if p cannot act.
+  static bool step(Simulator& sim, ProcId p) {
+    if (sim.deliver(p)) return true;
+    return sim.commit(p);
+  }
+
+  /// Rebuilds the simulator state for the current `picks_` prefix.
+  std::unique_ptr<Simulator> rebuild() {
+    auto sim = fresh();
+    for (ProcId p : picks_) {
+      const bool ok = step(*sim, p);
+      TPA_CHECK(ok, "explorer replay diverged at p" << p);
+    }
+    return sim;
+  }
+
+  bool budget_exhausted() {
+    if (result_.schedules + result_.truncated >= cfg_.max_schedules) {
+      result_.exhausted = false;
+      return true;
+    }
+    return false;
+  }
+
+  void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions) {
+    if (result_.violation_found || budget_exhausted()) return;
+    if (picks_.size() >= cfg_.max_steps) {
+      result_.truncated++;
+      return;
+    }
+
+    // Candidates, in a stable order.
+    std::vector<ProcId> cand;
+    for (std::size_t p = 0; p < n_; ++p)
+      if (can_act(*sim, static_cast<ProcId>(p)))
+        cand.push_back(static_cast<ProcId>(p));
+    if (cand.empty()) {
+      result_.schedules++;  // a complete schedule: everyone done & drained
+      if (cfg_.on_complete) {
+        try {
+          cfg_.on_complete(*sim);
+        } catch (const CheckFailure& e) {
+          result_.violation_found = true;
+          result_.violation = e.what();
+          result_.witness = sim->execution().directives;
+        }
+      }
+      return;
+    }
+
+    // Option list: continuing the current process is free; preempting it
+    // costs budget. If the current process cannot act, switching is free.
+    std::vector<ProcId> options;
+    const bool current_runnable =
+        current != kNoProc &&
+        std::find(cand.begin(), cand.end(), current) != cand.end();
+    if (current_runnable) {
+      options.push_back(current);
+      if (preemptions > 0)
+        for (ProcId p : cand)
+          if (p != current) options.push_back(p);
+    } else {
+      options = cand;
+    }
+
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (result_.violation_found || budget_exhausted()) return;
+      const ProcId p = options[i];
+      if (i > 0) sim = rebuild();  // the first child consumed the state
+      try {
+        const bool ok = step(*sim, p);
+        TPA_CHECK(ok, "candidate p" << p << " could not act");
+      } catch (const CheckFailure& e) {
+        result_.violation_found = true;
+        result_.violation = e.what();
+        result_.witness = sim->execution().directives;
+        return;
+      }
+      picks_.push_back(p);
+      const int cost = (current_runnable && p != current) ? 1 : 0;
+      dfs(std::move(sim), p, preemptions - cost);
+      picks_.pop_back();
+      sim = nullptr;
+    }
+  }
+
+  std::size_t n_;
+  SimConfig sim_cfg_;
+  const ScenarioBuilder& build_;
+  ExplorerConfig cfg_;
+  std::vector<ProcId> picks_;
+  ExplorerResult result_;
+};
+
+}  // namespace
+
+ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
+                       const ScenarioBuilder& build, ExplorerConfig config) {
+  Dfs dfs(n_procs, sim_config, build, config);
+  return dfs.run();
+}
+
+}  // namespace tpa::tso

@@ -1,0 +1,66 @@
+// Context-bounded exhaustive schedule exploration (CHESS-style).
+//
+// Explores every *maximal-delay* TSO schedule with at most `preemptions`
+// preemptive context switches: at each step the currently scheduled process
+// takes its next event; buffered writes commit only through fences (and a
+// final drain once the program ends) — the scheduling adversary the paper's
+// construction also uses, which is the hostile regime for store-buffer
+// bugs. Within this bound the exploration is exhaustive, so it can *prove*
+// mutual exclusion for small scopes and *find* concrete violating schedules
+// otherwise.
+//
+// The canonical customer: BakeryFencing::kNone (the fence-free bakery).
+// The paper's premise — "the use of fences was shown to be unavoidable for
+// read/write mutual exclusion algorithms [Attiya et al., Laws of Order]" —
+// becomes an automatically discovered two-process counterexample
+// (tests/test_explorer.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tso/schedule.h"
+#include "tso/sim.h"
+
+namespace tpa::tso {
+
+/// Optional per-schedule hook: invoked with the simulator at the end of
+/// every *complete* schedule (all processes done and drained). Throwing
+/// CheckFailure from the hook counts as a violation, so arbitrary
+/// invariants can be checked for-all-schedules within the bound.
+using ScheduleHook = std::function<void(const Simulator&)>;
+
+struct ExplorerConfig {
+  /// Preemptive context switches allowed per schedule (switching away from
+  /// a process that can still act). Switches away from a blocked/finished
+  /// process are free.
+  int preemptions = 2;
+  /// Per-schedule step cap; schedules hitting it count as truncated (a
+  /// process spinning on a never-committed write does this).
+  std::uint64_t max_steps = 600;
+  /// Global cap on explored schedules.
+  std::uint64_t max_schedules = 2'000'000;
+  /// Invariant checked at the end of every complete schedule.
+  ScheduleHook on_complete;
+};
+
+struct ExplorerResult {
+  bool violation_found = false;
+  std::string violation;            ///< failure message (first found)
+  std::vector<Directive> witness;   ///< schedule reproducing the violation
+  std::uint64_t schedules = 0;      ///< complete schedules explored
+  std::uint64_t truncated = 0;      ///< schedules cut off at max_steps
+  bool exhausted = true;            ///< false if max_schedules was hit
+};
+
+/// Exhaustively explores the scenario under the config's bound. Any
+/// CheckFailure raised by the simulator (mutual-exclusion violations,
+/// algorithm-internal invariant failures) is a violation; the returned
+/// witness replays it via tso::replay.
+ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
+                       const ScenarioBuilder& build,
+                       ExplorerConfig config = {});
+
+}  // namespace tpa::tso

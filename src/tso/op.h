@@ -1,0 +1,34 @@
+// SimOp — the pending shared-memory request of a suspended process coroutine.
+//
+// Algorithms are written as C++20 coroutines; every shared-memory operation
+// suspends the coroutine with a SimOp describing what it wants to do next.
+// The scheduler examines the pending op (e.g. "is this a critical read?")
+// and decides when to perform it — exactly the power the paper's adversary
+// needs.
+#pragma once
+
+#include "tso/types.h"
+
+namespace tpa::tso {
+
+enum class OpKind : std::uint8_t {
+  kRead,    ///< read a shared variable (buffer, cache, or memory)
+  kWrite,   ///< issue a write into the process' write buffer
+  kFence,   ///< BeginFence .. commits .. EndFence
+  kCas,     ///< compare-and-swap; drains the buffer first (x86 LOCK RMW)
+  kEnter,   ///< transition event: ncs -> entry
+  kCs,      ///< transition event: entry -> exit (instantaneous CS)
+  kExit,    ///< transition event: exit -> ncs
+};
+
+const char* to_string(OpKind k);
+
+struct SimOp {
+  OpKind kind;
+  VarId var = kNoVar;
+  Value value = 0;     ///< write value / CAS desired value
+  Value expected = 0;  ///< CAS expected value
+  Value result = 0;    ///< filled by the simulator: read value / CAS old value
+};
+
+}  // namespace tpa::tso

@@ -1,0 +1,157 @@
+// Proc — the simulator-side state of one process, plus the awaitable
+// shared-memory API used by simulated algorithms.
+//
+// A process owns (per the TSO operational model of Section 2):
+//   * a FIFO write buffer with in-place coalescing — at most one buffered
+//     write per variable, an older write to the same variable is replaced;
+//   * a mode: read (between fences) or write (mid-fence: may only commit);
+//   * a mutual-exclusion status (ncs/entry/exit) driven by the transition
+//     events Enter/CS/Exit;
+//   * an awareness set (Definition 1) when awareness tracking is enabled;
+//   * cost counters: fences, CAS barriers, critical events (Definition 2)
+//     and RMRs under DSM / CC-WT / CC-WB, per passage and in total.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "tso/op.h"
+#include "tso/types.h"
+#include "util/bitset.h"
+
+namespace tpa::tso {
+
+class Simulator;
+
+/// One buffered (issued but uncommitted) write. The issuer's awareness set
+/// is snapshotted at issue time: Definition 1 speaks of the awareness of the
+/// writer "at the time it issued that write".
+struct BufferedWrite {
+  VarId var;
+  Value value;
+  DynBitset aw_at_issue;  // empty when awareness tracking is off
+};
+
+/// Per-passage cost record, finalized at the Exit event.
+struct PassageStats {
+  std::uint32_t index = 0;
+  std::uint32_t fences = 0;        ///< completed fence instructions
+  std::uint32_t cas_ops = 0;       ///< CAS barriers (count as fences on TSO)
+  std::uint32_t critical = 0;      ///< critical events (Definition 2)
+  std::uint32_t rmr_dsm = 0;
+  std::uint32_t rmr_wt = 0;
+  std::uint32_t rmr_wb = 0;
+  std::uint32_t events = 0;        ///< program events issued
+
+  /// The paper's two finer contention notions (Section 1): the number of
+  /// distinct processes active at some point during this passage, and the
+  /// maximum number simultaneously active. Always
+  /// point <= interval <= total contention.
+  std::uint32_t interval_contention = 0;
+  std::uint32_t point_contention = 0;
+
+  /// Fence-like barriers: explicit fences plus atomic RMWs.
+  std::uint32_t barriers() const { return fences + cas_ops; }
+};
+
+class Proc {
+ public:
+  Proc(Simulator* sim, ProcId id, std::size_t n_procs, bool track_awareness);
+
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  ProcId id() const { return id_; }
+  Status status() const { return status_; }
+  Mode mode() const { return mode_; }
+
+  // ---- Awaitable shared-memory API (used inside Task coroutines) ----
+
+  struct OpAwaiter {
+    Proc& proc;
+    SimOp op;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    Value await_resume() const noexcept { return proc.pending_.result; }
+  };
+
+  /// Reads variable v (own buffer first, then cache/shared memory).
+  OpAwaiter read(VarId v) { return {*this, {OpKind::kRead, v}}; }
+
+  /// Issues a write of `value` to v into the write buffer.
+  OpAwaiter write(VarId v, Value value) {
+    return {*this, {OpKind::kWrite, v, value}};
+  }
+
+  /// Full fence: BeginFence, drain the buffer, EndFence.
+  OpAwaiter fence() { return {*this, {OpKind::kFence}}; }
+
+  /// Atomic compare-and-swap. Drains the buffer first (x86 LOCK semantics);
+  /// returns the old value of v (success iff old == expected).
+  OpAwaiter cas(VarId v, Value expected, Value desired) {
+    SimOp op{OpKind::kCas, v, desired};
+    op.expected = expected;
+    return {*this, op};
+  }
+
+  /// Transition events (used by the passage driver, not by lock code).
+  OpAwaiter enter() { return {*this, {OpKind::kEnter}}; }
+  OpAwaiter cs() { return {*this, {OpKind::kCs}}; }
+  OpAwaiter exit() { return {*this, {OpKind::kExit}}; }
+
+  // ---- Introspection (scheduler / adversary side) ----
+
+  bool has_pending() const { return has_pending_; }
+  const SimOp& pending() const { return pending_; }
+  bool done() const { return done_; }
+
+  const std::vector<BufferedWrite>& buffer() const { return buffer_; }
+
+  /// True if the buffer holds a write to v; if so *out gets its value.
+  bool buffered_value(VarId v, Value* out) const;
+
+  const DynBitset& awareness() const { return awareness_; }
+
+  /// Variables this process has remotely read (for Definition 2's
+  /// "first remote read of v by p").
+  bool remotely_read(VarId v) const {
+    return remote_reads_.count(v) != 0;
+  }
+
+  std::uint32_t fences_completed() const { return fences_total_; }
+  std::uint32_t passages_done() const { return passages_done_; }
+  const PassageStats& current_passage() const { return cur_; }
+  const std::vector<PassageStats>& finished_passages() const {
+    return finished_;
+  }
+
+ private:
+  friend class Simulator;
+
+  Simulator* sim_;
+  ProcId id_;
+  Status status_ = Status::kNcs;
+  Mode mode_ = Mode::kRead;
+
+  std::vector<BufferedWrite> buffer_;
+
+  // Coroutine plumbing: the innermost suspended coroutine awaiting an op.
+  SimOp pending_{OpKind::kRead};
+  bool has_pending_ = false;
+  bool done_ = false;
+  std::coroutine_handle<> resume_point_;
+
+  bool track_awareness_;
+  DynBitset awareness_;
+  std::unordered_set<VarId> remote_reads_;
+
+  std::uint32_t fences_total_ = 0;
+  std::uint32_t passages_done_ = 0;
+  PassageStats cur_;
+  DynBitset met_;  ///< processes seen active during the current passage
+  std::vector<PassageStats> finished_;
+};
+
+}  // namespace tpa::tso

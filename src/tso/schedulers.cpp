@@ -1,0 +1,88 @@
+#include "tso/schedulers.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace tpa::tso {
+
+bool all_done(const Simulator& sim) {
+  for (std::size_t i = 0; i < sim.num_procs(); ++i) {
+    const Proc& p = sim.proc(static_cast<ProcId>(i));
+    if (!p.done() && p.has_pending()) return false;
+    if (!p.buffer().empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t run_round_robin(Simulator& sim, std::uint64_t max_steps,
+                              bool eager_commit) {
+  const auto n = static_cast<ProcId>(sim.num_procs());
+  std::uint64_t steps = 0;
+  bool progressed = true;
+  while (progressed && steps < max_steps) {
+    progressed = false;
+    for (ProcId p = 0; p < n && steps < max_steps; ++p) {
+      if (sim.deliver(p)) {
+        ++steps;
+        progressed = true;
+      }
+      if (eager_commit || sim.proc(p).done()) {
+        while (!sim.proc(p).buffer().empty() && steps < max_steps) {
+          sim.commit(p);
+          ++steps;
+          progressed = true;
+        }
+      }
+    }
+  }
+  return steps;
+}
+
+std::uint64_t run_random(Simulator& sim, Rng& rng, double commit_prob,
+                         std::uint64_t max_steps) {
+  const auto n = sim.num_procs();
+  std::uint64_t steps = 0;
+  std::uint64_t idle_streak = 0;
+  while (steps < max_steps) {
+    const auto pid = static_cast<ProcId>(rng.below(n));
+    const Proc& p = sim.proc(pid);
+    bool acted = false;
+    const bool has_buffer = !p.buffer().empty();
+    // A finished program still drains its buffer (hardware flushes stores
+    // regardless of what the program does next).
+    if (has_buffer && (p.done() || rng.chance(commit_prob))) {
+      if (sim.config().pso && p.buffer().size() > 1) {
+        const auto& entry = p.buffer()[rng.below(p.buffer().size())];
+        acted = sim.commit(pid, entry.var);
+      } else {
+        acted = sim.commit(pid);
+      }
+    } else {
+      acted = sim.deliver(pid);
+      if (!acted && has_buffer) acted = sim.commit(pid);
+    }
+    if (acted) {
+      ++steps;
+      idle_streak = 0;
+    } else if (++idle_streak > 4 * n) {
+      if (all_done(sim)) break;
+      // Not done but nobody we sampled could act — sweep everyone once to
+      // distinguish livelock from unlucky sampling.
+      bool any = false;
+      for (std::size_t q = 0; q < n; ++q) {
+        const auto qid = static_cast<ProcId>(q);
+        if (sim.deliver(qid) || sim.commit(qid)) {
+          any = true;
+          ++steps;
+          break;
+        }
+      }
+      TPA_CHECK(any, "scheduler stuck: no process can act but not all done");
+      idle_streak = 0;
+    }
+  }
+  return steps;
+}
+
+}  // namespace tpa::tso

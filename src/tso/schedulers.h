@@ -1,0 +1,33 @@
+// Ready-made scheduling strategies for running full scenarios.
+//
+// These complement the fine-grained adversary in src/lowerbound: tests and
+// zoo benchmarks need "just run everything to completion" loops under
+// interleavings of varying hostility.
+#pragma once
+
+#include <cstdint>
+
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa::tso {
+
+/// True when every process' program finished and every write buffer drained.
+bool all_done(const Simulator& sim);
+
+/// Round-robin over processes. With `eager_commit`, a process' entire buffer
+/// is committed right after each delivered event (sequential-consistency-
+/// like interleavings, the friendliest schedule). Without it, writes commit
+/// only through fences — plus a drain pass once a program finishes, modeling
+/// the hardware eventually flushing the buffer.
+/// Returns the number of scheduler steps taken; stops at `max_steps`.
+std::uint64_t run_round_robin(Simulator& sim, std::uint64_t max_steps,
+                              bool eager_commit = true);
+
+/// Uniformly random process choice; buffered writes commit with probability
+/// `commit_prob` per step (0 delays writes maximally between fences, 1 is
+/// nearly write-through). Deterministic given the Rng seed.
+std::uint64_t run_random(Simulator& sim, Rng& rng, double commit_prob,
+                         std::uint64_t max_steps);
+
+}  // namespace tpa::tso

@@ -1,0 +1,672 @@
+#include "tso/sim.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tpa::tso {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kNcs: return "ncs";
+    case Status::kEntry: return "entry";
+    case Status::kExit: return "exit";
+  }
+  return "?";
+}
+
+const char* to_string(Mode m) {
+  return m == Mode::kRead ? "read" : "write";
+}
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kFence: return "fence";
+    case OpKind::kCas: return "cas";
+    case OpKind::kEnter: return "enter";
+    case OpKind::kCs: return "cs";
+    case OpKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kRead: return "Read";
+    case EventKind::kWriteIssue: return "WriteIssue";
+    case EventKind::kWriteCommit: return "WriteCommit";
+    case EventKind::kBeginFence: return "BeginFence";
+    case EventKind::kEndFence: return "EndFence";
+    case EventKind::kCas: return "Cas";
+    case EventKind::kEnter: return "Enter";
+    case EventKind::kCs: return "CS";
+    case EventKind::kExit: return "Exit";
+  }
+  return "?";
+}
+
+bool is_transition(EventKind k) {
+  return k == EventKind::kEnter || k == EventKind::kCs || k == EventKind::kExit;
+}
+
+bool is_fence_event(EventKind k) {
+  return k == EventKind::kBeginFence || k == EventKind::kEndFence;
+}
+
+std::string Event::to_string() const {
+  std::ostringstream os;
+  os << "#" << seq << " p" << proc << " " << tso::to_string(kind);
+  if (var != kNoVar) os << " v" << var << "=" << value;
+  if (from_buffer) os << " [buf]";
+  if (critical) os << " [crit]";
+  return os.str();
+}
+
+const char* to_string(PendingClass c) {
+  switch (c) {
+    case PendingClass::kNone: return "none";
+    case PendingClass::kWriteIssue: return "write-issue";
+    case PendingClass::kLocalRead: return "local-read";
+    case PendingClass::kNonCriticalRead: return "noncrit-read";
+    case PendingClass::kCriticalRead: return "crit-read";
+    case PendingClass::kBeginFence: return "begin-fence";
+    case PendingClass::kCas: return "cas";
+    case PendingClass::kCommitNonCritical: return "commit";
+    case PendingClass::kCommitCritical: return "crit-commit";
+    case PendingClass::kEndFence: return "end-fence";
+    case PendingClass::kEnter: return "enter";
+    case PendingClass::kCs: return "cs";
+    case PendingClass::kExit: return "exit";
+  }
+  return "?";
+}
+
+bool is_special(PendingClass c) {
+  switch (c) {
+    case PendingClass::kCriticalRead:
+    case PendingClass::kBeginFence:
+    case PendingClass::kCas:
+    case PendingClass::kCommitCritical:
+    case PendingClass::kEndFence:
+    case PendingClass::kEnter:
+    case PendingClass::kCs:
+    case PendingClass::kExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proc
+// ---------------------------------------------------------------------------
+
+Proc::Proc(Simulator* sim, ProcId id, std::size_t n_procs, bool track_awareness)
+    : sim_(sim),
+      id_(id),
+      track_awareness_(track_awareness),
+      awareness_(track_awareness ? DynBitset(n_procs) : DynBitset()),
+      met_(n_procs) {
+  if (track_awareness_) awareness_.set(static_cast<std::size_t>(id));
+}
+
+void Proc::OpAwaiter::await_suspend(std::coroutine_handle<> h) {
+  TPA_CHECK(!proc.has_pending_,
+            "process p" << proc.id_ << " already has a pending op");
+  proc.pending_ = op;
+  proc.has_pending_ = true;
+  proc.resume_point_ = h;
+}
+
+bool Proc::buffered_value(VarId v, Value* out) const {
+  // TSO: at most one buffered write per variable (newer issues replace the
+  // older entry in place), so the first match is the only match.
+  for (const auto& entry : buffer_) {
+    if (entry.var == v) {
+      if (out) *out = entry.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: construction and accessors
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator(std::size_t n_procs, SimConfig config)
+    : config_(config), programs_(n_procs) {
+  procs_.reserve(n_procs);
+  for (std::size_t i = 0; i < n_procs; ++i)
+    procs_.push_back(std::make_unique<Proc>(this, static_cast<ProcId>(i),
+                                            n_procs, config_.track_awareness));
+}
+
+VarId Simulator::alloc_var(Value init, ProcId owner) {
+  TPA_CHECK(owner == kNoProc ||
+                (owner >= 0 && owner < static_cast<ProcId>(num_procs())),
+            "invalid owner " << owner);
+  Variable v;
+  v.value = init;
+  v.initial = init;
+  v.owner = owner;
+  if (config_.track_awareness) v.writer_aw = DynBitset(num_procs());
+  vars_.push_back(std::move(v));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void Simulator::poke(VarId v, Value value) {
+  TPA_CHECK(seq_ == 0, "poke after the execution started");
+  TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
+            "invalid var id " << v);
+  vars_[static_cast<std::size_t>(v)].value = value;
+  vars_[static_cast<std::size_t>(v)].initial = value;
+}
+
+void Simulator::spawn(ProcId p, Task<> program) {
+  Proc& proc = this->proc(p);
+  TPA_CHECK(!programs_[static_cast<std::size_t>(p)].valid(),
+            "process p" << p << " already has a program");
+  programs_[static_cast<std::size_t>(p)] = std::move(program);
+  programs_[static_cast<std::size_t>(p)].start();
+  if (!proc.has_pending_) {
+    proc.done_ = true;
+    programs_[static_cast<std::size_t>(p)].rethrow_if_failed();
+  } else {
+    note_new_pending(proc);
+  }
+}
+
+Proc& Simulator::proc(ProcId p) {
+  TPA_CHECK(p >= 0 && p < static_cast<ProcId>(procs_.size()),
+            "invalid proc id " << p);
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+const Proc& Simulator::proc(ProcId p) const {
+  TPA_CHECK(p >= 0 && p < static_cast<ProcId>(procs_.size()),
+            "invalid proc id " << p);
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+const Variable& Simulator::variable(VarId v) const {
+  TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
+            "invalid var id " << v);
+  return vars_[static_cast<std::size_t>(v)];
+}
+
+Value Simulator::value(VarId v) const { return variable(v).value; }
+ProcId Simulator::var_owner(VarId v) const { return variable(v).owner; }
+ProcId Simulator::last_writer(VarId v) const { return variable(v).last_writer; }
+
+std::vector<ProcId> Simulator::active() const {
+  std::vector<ProcId> out;
+  for (const auto& p : procs_)
+    if (p->status() != Status::kNcs) out.push_back(p->id());
+  return out;
+}
+
+std::vector<ProcId> Simulator::finished() const {
+  std::vector<ProcId> out;
+  for (const auto& p : procs_)
+    if (p->passages_done() > 0) out.push_back(p->id());
+  return out;
+}
+
+std::vector<ProcId> Simulator::var_owners() const {
+  std::vector<ProcId> out;
+  out.reserve(vars_.size());
+  for (const auto& v : vars_) out.push_back(v.owner);
+  return out;
+}
+
+std::size_t Simulator::total_contention() const {
+  std::vector<bool> seen(num_procs(), false);
+  for (const auto& e : trace_.events) seen[static_cast<std::size_t>(e.proc)] = true;
+  return static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: stepping
+// ---------------------------------------------------------------------------
+
+void Simulator::record(Event e) {
+  e.seq = seq_++;
+  if (config_.record_trace) trace_.events.push_back(std::move(e));
+}
+
+void Simulator::resume(Proc& p) {
+  p.has_pending_ = false;
+  auto h = p.resume_point_;
+  p.resume_point_ = {};
+  h.resume();
+  if (!p.has_pending_) {
+    p.done_ = true;
+    programs_[static_cast<std::size_t>(p.id())].rethrow_if_failed();
+  } else {
+    note_new_pending(p);
+  }
+}
+
+void Simulator::note_new_pending(Proc& p) {
+  if (!config_.check_exclusion) return;
+  if (p.pending_.kind != OpKind::kCs) return;
+  for (const auto& other : procs_) {
+    if (other->id() == p.id()) continue;
+    if (other->has_pending_ && other->pending_.kind == OpKind::kCs) {
+      TPA_FAIL("mutual exclusion violated: CS enabled for both p"
+               << p.id() << " and p" << other->id());
+    }
+  }
+}
+
+bool Simulator::deliver(ProcId pid) {
+  Proc& p = proc(pid);
+  if (p.done_ || !p.has_pending_) return false;
+  if (config_.record_trace)
+    trace_.directives.push_back({ActionKind::kDeliver, pid});
+
+  if (p.mode_ == Mode::kWrite) {
+    // Mid-fence: the only permitted steps are committing the next buffered
+    // write, or EndFence once the buffer is empty.
+    if (!p.buffer_.empty()) {
+      do_commit(p);
+      return true;
+    }
+    Event end;
+    end.kind = EventKind::kEndFence;
+    end.proc = pid;
+    end.passage = p.cur_.index;
+    end.implied_by_cas = p.pending_.kind == OpKind::kCas;
+    record(end);
+    p.cur_.events++;
+    p.mode_ = Mode::kRead;
+    if (p.pending_.kind == OpKind::kFence) {
+      p.fences_total_++;
+      p.cur_.fences++;
+      resume(p);
+    } else {
+      TPA_CHECK(p.pending_.kind == OpKind::kCas,
+                "write mode with pending " << to_string(p.pending_.kind));
+      perform_cas(p);
+    }
+    return true;
+  }
+
+  switch (p.pending_.kind) {
+    case OpKind::kRead:
+      perform_read(p);
+      return true;
+    case OpKind::kWrite:
+      perform_write_issue(p);
+      return true;
+    case OpKind::kFence: {
+      Event begin;
+      begin.kind = EventKind::kBeginFence;
+      begin.proc = pid;
+      begin.passage = p.cur_.index;
+      record(begin);
+      p.cur_.events++;
+      p.mode_ = Mode::kWrite;
+      return true;
+    }
+    case OpKind::kCas:
+      if (p.buffer_.empty()) {
+        perform_cas(p);
+      } else {
+        // CAS drains the buffer first; model the drain as an implied fence.
+        Event begin;
+        begin.kind = EventKind::kBeginFence;
+        begin.proc = pid;
+        begin.passage = p.cur_.index;
+        begin.implied_by_cas = true;
+        record(begin);
+        p.cur_.events++;
+        p.mode_ = Mode::kWrite;
+      }
+      return true;
+    case OpKind::kEnter:
+    case OpKind::kCs:
+    case OpKind::kExit:
+      perform_transition(p);
+      return true;
+  }
+  TPA_FAIL("unreachable op kind");
+}
+
+bool Simulator::commit(ProcId pid, VarId v) {
+  Proc& p = proc(pid);
+  if (p.buffer_.empty()) return false;
+  std::size_t index = 0;
+  if (v != kNoVar) {
+    bool found = false;
+    for (std::size_t i = 0; i < p.buffer_.size(); ++i) {
+      if (p.buffer_[i].var == v) {
+        index = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+    TPA_CHECK(config_.pso || index == 0,
+              "TSO: only the buffer head may commit (v" << v << " is at "
+                  << index << " in p" << pid << "'s buffer)");
+  }
+  if (config_.record_trace)
+    trace_.directives.push_back({ActionKind::kCommit, pid, v});
+  do_commit(p, index);
+  return true;
+}
+
+void Simulator::do_commit(Proc& p, std::size_t index) {
+  TPA_CHECK(index < p.buffer_.size(),
+            "commit index out of range for p" << p.id());
+  BufferedWrite entry = std::move(p.buffer_[index]);
+  p.buffer_.erase(p.buffer_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  Variable& var = vars_[static_cast<std::size_t>(entry.var)];
+  Event e;
+  e.kind = EventKind::kWriteCommit;
+  e.proc = p.id();
+  e.var = entry.var;
+  e.value = entry.value;
+  e.passage = p.cur_.index;
+  e.accesses_var = true;
+  e.remote = var.owner != p.id();
+  // Definition 2: a commit is critical if it is a remote write and the
+  // variable's last committed writer is a different process.
+  e.critical = e.remote && var.last_writer != p.id();
+
+  account_write(p, var, e);
+
+  var.value = entry.value;
+  var.last_writer = p.id();
+  if (config_.track_awareness) var.writer_aw = std::move(entry.aw_at_issue);
+
+  if (e.critical) p.cur_.critical++;
+  record(std::move(e));
+}
+
+void Simulator::perform_read(Proc& p) {
+  const VarId v = p.pending_.var;
+  TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
+            "read of invalid var " << v);
+  Event e;
+  e.kind = EventKind::kRead;
+  e.proc = p.id();
+  e.var = v;
+  e.passage = p.cur_.index;
+
+  Value buffered;
+  if (p.buffered_value(v, &buffered)) {
+    // Reads from the own write buffer are not variable accesses.
+    e.value = buffered;
+    e.from_buffer = true;
+    p.pending_.result = buffered;
+  } else {
+    Variable& var = vars_[static_cast<std::size_t>(v)];
+    e.value = var.value;
+    e.accesses_var = true;
+    e.remote = var.owner != p.id();
+    // Definition 2: critical read = first remote read of v by p.
+    e.critical = e.remote && !p.remotely_read(v);
+    if (e.remote) p.remote_reads_.insert(v);
+    account_read(p, var, e);
+    absorb_awareness(p, var);
+    p.pending_.result = var.value;
+    if (e.critical) p.cur_.critical++;
+  }
+  p.cur_.events++;
+  record(std::move(e));
+  resume(p);
+}
+
+void Simulator::perform_write_issue(Proc& p) {
+  const VarId v = p.pending_.var;
+  TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
+            "write of invalid var " << v);
+  Event e;
+  e.kind = EventKind::kWriteIssue;
+  e.proc = p.id();
+  e.var = v;
+  e.value = p.pending_.value;
+  e.passage = p.cur_.index;
+  // TSO: at most one buffered write per variable — an older buffered write
+  // to the same variable is replaced in place (Section 2, item 2).
+  bool replaced = false;
+  for (auto& entry : p.buffer_) {
+    if (entry.var == v) {
+      entry.value = p.pending_.value;
+      if (config_.track_awareness) entry.aw_at_issue = p.awareness_;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    BufferedWrite entry;
+    entry.var = v;
+    entry.value = p.pending_.value;
+    if (config_.track_awareness) entry.aw_at_issue = p.awareness_;
+    p.buffer_.push_back(std::move(entry));
+  }
+  p.cur_.events++;
+  record(std::move(e));
+  resume(p);
+}
+
+void Simulator::perform_cas(Proc& p) {
+  TPA_CHECK(p.buffer_.empty(), "CAS with non-empty buffer for p" << p.id());
+  const VarId v = p.pending_.var;
+  TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
+            "cas of invalid var " << v);
+  Variable& var = vars_[static_cast<std::size_t>(v)];
+
+  Event e;
+  e.kind = EventKind::kCas;
+  e.proc = p.id();
+  e.var = v;
+  e.passage = p.cur_.index;
+  e.accesses_var = true;
+  e.remote = var.owner != p.id();
+  e.value2 = var.value;
+  e.cas_success = var.value == p.pending_.expected;
+  e.value = e.cas_success ? p.pending_.value : var.value;
+
+  // Criticality: the read half is critical if this is p's first remote read
+  // of v; the write half (on success) if the last writer differs from p.
+  std::uint32_t crit = 0;
+  if (e.remote && !p.remotely_read(v)) crit++;
+  if (e.remote) p.remote_reads_.insert(v);
+  if (e.cas_success && e.remote && var.last_writer != p.id()) crit++;
+  e.critical = crit > 0;
+  p.cur_.critical += crit;
+
+  absorb_awareness(p, var);
+  if (e.cas_success) {
+    account_write(p, var, e);
+    var.value = p.pending_.value;
+    var.last_writer = p.id();
+    if (config_.track_awareness) var.writer_aw = p.awareness_;
+  } else {
+    account_read(p, var, e);
+  }
+
+  p.cur_.cas_ops++;
+  p.cur_.events++;
+  p.pending_.result = e.value2;
+  record(std::move(e));
+  resume(p);
+}
+
+void Simulator::perform_transition(Proc& p) {
+  Event e;
+  e.proc = p.id();
+  switch (p.pending_.kind) {
+    case OpKind::kEnter: {
+      TPA_CHECK(p.status_ == Status::kNcs,
+                "Enter while p" << p.id() << " is " << to_string(p.status_));
+      p.status_ = Status::kEntry;
+      p.cur_ = PassageStats{};
+      p.cur_.index = p.passages_done_;
+      // Contention bookkeeping (Section 1): everyone active right now is
+      // part of this passage's interval; this passage raises the point
+      // contention of every passage in flight (including its own).
+      p.met_.reset();
+      p.met_.set(static_cast<std::size_t>(p.id()));
+      std::uint32_t active_now = 1;  // p itself
+      for (const auto& other : procs_) {
+        if (other->id() == p.id()) continue;
+        if (other->status() == Status::kNcs) continue;
+        ++active_now;
+        p.met_.set(static_cast<std::size_t>(other->id()));
+        other->met_.set(static_cast<std::size_t>(p.id()));
+      }
+      for (const auto& other : procs_) {
+        if (other->status() == Status::kNcs) continue;  // p itself is kEntry
+        other->cur_.point_contention =
+            std::max(other->cur_.point_contention, active_now);
+      }
+      e.kind = EventKind::kEnter;
+      break;
+    }
+    case OpKind::kCs:
+      TPA_CHECK(p.status_ == Status::kEntry,
+                "CS while p" << p.id() << " is " << to_string(p.status_));
+      p.status_ = Status::kExit;
+      e.kind = EventKind::kCs;
+      break;
+    case OpKind::kExit:
+      TPA_CHECK(p.status_ == Status::kExit,
+                "Exit while p" << p.id() << " is " << to_string(p.status_));
+      p.status_ = Status::kNcs;
+      e.kind = EventKind::kExit;
+      break;
+    default:
+      TPA_FAIL("not a transition: " << to_string(p.pending_.kind));
+  }
+  e.passage = p.cur_.index;
+  p.cur_.events++;
+  if (p.pending_.kind == OpKind::kExit) {
+    p.cur_.interval_contention =
+        static_cast<std::uint32_t>(p.met_.count());
+    p.finished_.push_back(p.cur_);
+    p.passages_done_++;
+  }
+  record(std::move(e));
+  resume(p);
+}
+
+void Simulator::absorb_awareness(Proc& p, const Variable& var) {
+  if (!config_.track_awareness) return;
+  if (var.last_writer == kNoProc) return;
+  // Definition 1: reading v last written by q makes p aware of q and of
+  // everything q was aware of when it issued that write.
+  p.awareness_ |= var.writer_aw;
+  p.awareness_.set(static_cast<std::size_t>(var.last_writer));
+}
+
+void Simulator::account_read(Proc& p, Variable& var, Event& e) {
+  const ProcId pid = p.id();
+  // DSM: every access to a remote variable is an RMR.
+  e.rmr_dsm = var.owner != pid;
+
+  // CC write-through: a read without a valid cached copy is an RMR that
+  // creates the copy.
+  if (var.wt_copies.count(pid) == 0) {
+    e.rmr_wt = true;
+    var.wt_copies.insert(pid);
+  }
+
+  // CC write-back: a read misses unless p holds the line shared or
+  // exclusive; a miss downgrades any exclusive holder to shared.
+  const bool wb_hit = var.wb_exclusive == pid || var.wb_sharers.count(pid) != 0;
+  if (!wb_hit) {
+    e.rmr_wb = true;
+    if (var.wb_exclusive != kNoProc) {
+      var.wb_sharers.insert(var.wb_exclusive);
+      var.wb_exclusive = kNoProc;
+    }
+    var.wb_sharers.insert(pid);
+  }
+
+  if (e.rmr_dsm) p.cur_.rmr_dsm++;
+  if (e.rmr_wt) p.cur_.rmr_wt++;
+  if (e.rmr_wb) p.cur_.rmr_wb++;
+}
+
+void Simulator::account_write(Proc& p, Variable& var, Event& e) {
+  const ProcId pid = p.id();
+  e.rmr_dsm = var.owner != pid;
+
+  // CC write-through: every committed write goes to memory and invalidates
+  // all other cached copies — always an RMR.
+  e.rmr_wt = true;
+  for (auto it = var.wt_copies.begin(); it != var.wt_copies.end();) {
+    if (*it != pid)
+      it = var.wt_copies.erase(it);
+    else
+      ++it;
+  }
+
+  // CC write-back: a write hits only with an exclusive copy; otherwise it
+  // invalidates all other copies and takes the line exclusive.
+  if (var.wb_exclusive == pid) {
+    e.rmr_wb = false;
+  } else {
+    e.rmr_wb = true;
+    var.wb_sharers.clear();
+    var.wb_exclusive = pid;
+  }
+
+  if (e.rmr_dsm) p.cur_.rmr_dsm++;
+  if (e.rmr_wt) p.cur_.rmr_wt++;
+  if (e.rmr_wb) p.cur_.rmr_wb++;
+}
+
+// ---------------------------------------------------------------------------
+// Pending classification
+// ---------------------------------------------------------------------------
+
+PendingClass Simulator::classify_pending(ProcId pid) const {
+  const Proc& p = proc(pid);
+  if (p.done_ || !p.has_pending_) return PendingClass::kNone;
+
+  if (p.mode_ == Mode::kWrite) {
+    if (p.buffer_.empty()) return PendingClass::kEndFence;
+    const BufferedWrite& head = p.buffer_.front();
+    const Variable& var = vars_[static_cast<std::size_t>(head.var)];
+    const bool remote = var.owner != pid;
+    const bool critical = remote && var.last_writer != pid;
+    return critical ? PendingClass::kCommitCritical
+                    : PendingClass::kCommitNonCritical;
+  }
+
+  switch (p.pending_.kind) {
+    case OpKind::kWrite:
+      return PendingClass::kWriteIssue;
+    case OpKind::kRead: {
+      const VarId v = p.pending_.var;
+      if (p.buffered_value(v, nullptr)) return PendingClass::kLocalRead;
+      const Variable& var = vars_[static_cast<std::size_t>(v)];
+      if (var.owner == pid) return PendingClass::kLocalRead;
+      return p.remotely_read(v) ? PendingClass::kNonCriticalRead
+                                : PendingClass::kCriticalRead;
+    }
+    case OpKind::kFence:
+      return PendingClass::kBeginFence;
+    case OpKind::kCas:
+      return PendingClass::kCas;
+    case OpKind::kEnter:
+      return PendingClass::kEnter;
+    case OpKind::kCs:
+      return PendingClass::kCs;
+    case OpKind::kExit:
+      return PendingClass::kExit;
+  }
+  TPA_FAIL("unreachable op kind");
+}
+
+}  // namespace tpa::tso

@@ -1,0 +1,189 @@
+// Simulator — the TSO operational model of Section 2, executable.
+//
+// A scheduling adversary drives a set of process coroutines. At each step it
+// picks a process and either (a) *delivers* the process' next program event
+// — read, write issue, fence progress, CAS, or a transition event — or (b)
+// *commits* the first write in the process' write buffer. Writes become
+// visible only when committed; a fence forces the process into write mode
+// until its buffer drains (BeginFence .. commits .. EndFence).
+//
+// The simulator computes, online and per event: remoteness, criticality
+// (Definition 2), RMRs under the DSM model and the CC model with
+// write-through and write-back protocols, and awareness sets (Definition 1).
+// It records the full event trace plus the directive schedule, which is
+// sufficient to deterministically replay the run — including replays with a
+// subset of processes erased (the paper's E^{-Y} operator; see
+// tso/schedule.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "tso/event.h"
+#include "tso/proc.h"
+#include "tso/task.h"
+#include "tso/types.h"
+#include "util/bitset.h"
+
+namespace tpa::tso {
+
+struct SimConfig {
+  /// Track awareness sets (Definition 1). Needed by the lower-bound
+  /// construction and the trace analyzer; may be disabled for perf runs.
+  bool track_awareness = true;
+  /// Assert mutual exclusion: at most one process may have an enabled CS
+  /// transition at any time.
+  bool check_exclusion = true;
+  /// Record the event trace and directive schedule.
+  bool record_trace = true;
+  /// Partial store ordering: writes to *different* variables may commit out
+  /// of buffer order (Section 6 of the paper; older SPARC). Under PSO the
+  /// scheduler's commit move may pick any buffered variable; under TSO
+  /// (default) only the head of the FIFO buffer may commit.
+  bool pso = false;
+};
+
+/// A shared variable with its coherence bookkeeping.
+struct Variable {
+  Value value = 0;
+  Value initial = 0;
+  /// owner(v): the process whose memory segment holds v (DSM model), or
+  /// kNoProc when v is remote to everyone (always the case in CC).
+  ProcId owner = kNoProc;
+  /// writer(v, E): last process to commit a write to v.
+  ProcId last_writer = kNoProc;
+  /// Awareness set of the last writer at the time it issued that write.
+  DynBitset writer_aw;
+
+  // CC write-through: processes holding a valid cached copy.
+  std::unordered_set<ProcId> wt_copies;
+  // CC write-back: either one exclusive holder, or a set of sharers.
+  std::unordered_set<ProcId> wb_sharers;
+  ProcId wb_exclusive = kNoProc;
+};
+
+/// Classification of a process' pending (not yet executed) operation — what
+/// its next event would be. Used by the adversary to run processes "until
+/// about to execute a special event" (Lemma 5).
+enum class PendingClass : std::uint8_t {
+  kNone,             ///< no pending op (not started, or finished)
+  kWriteIssue,       ///< write into buffer: never special
+  kLocalRead,        ///< read from own buffer or a local variable
+  kNonCriticalRead,  ///< remote read of an already remotely-read variable
+  kCriticalRead,     ///< first remote read of the variable — special
+  kBeginFence,       ///< fence instruction — special
+  kCas,              ///< CAS barrier — special
+  kCommitNonCritical,///< mid-fence commit, writer(v) == p
+  kCommitCritical,   ///< mid-fence commit, writer(v) != p — special
+  kEndFence,         ///< mid-fence, buffer empty — special
+  kEnter,            ///< transition — special
+  kCs,               ///< transition — special
+  kExit,             ///< transition — special
+};
+
+const char* to_string(PendingClass c);
+
+/// True for the classes the paper calls special events (critical events,
+/// transition events, fence events).
+bool is_special(PendingClass c);
+
+class Simulator {
+ public:
+  explicit Simulator(std::size_t n_procs, SimConfig config = {});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  std::size_t num_procs() const { return procs_.size(); }
+  std::size_t num_vars() const { return vars_.size(); }
+  const SimConfig& config() const { return config_; }
+
+  /// Allocates a shared variable. `owner` places it in a process' local
+  /// memory segment (DSM model); default is remote-to-all (CC model).
+  VarId alloc_var(Value init = 0, ProcId owner = kNoProc);
+
+  /// Sets a variable's (initial) value before the execution starts — for
+  /// building pre-populated object states (e.g. a queue seeded with
+  /// tickets). Only legal while no event has been recorded.
+  void poke(VarId v, Value value);
+
+  /// Installs and starts a process' top-level program; it runs until its
+  /// first suspension point (typically a pending Enter).
+  void spawn(ProcId p, Task<> program);
+
+  Proc& proc(ProcId p);
+  const Proc& proc(ProcId p) const;
+
+  Value value(VarId v) const;
+  ProcId var_owner(VarId v) const;
+  ProcId last_writer(VarId v) const;
+  const Variable& variable(VarId v) const;
+
+  /// Performs one scheduler step for p: delivers its next program event, or
+  /// (mid-fence) commits the next buffered write / ends the fence. Returns
+  /// false if p has nothing to do (done or not pending).
+  bool deliver(ProcId p);
+
+  /// Commits a write from p's buffer (the adversary's "commit" move — legal
+  /// in any mode). `v == kNoVar` commits the head; naming a variable is
+  /// only legal under PSO (write-write reordering) unless it is the head.
+  /// Returns false if the buffer is empty (or v is not buffered).
+  bool commit(ProcId p, VarId v = kNoVar);
+
+  /// Classifies p's next event without executing it.
+  PendingClass classify_pending(ProcId p) const;
+
+  /// True if p's next event would be special (critical/transition/fence).
+  bool pending_special(ProcId p) const {
+    return is_special(classify_pending(p));
+  }
+
+  /// Act(E): processes that started a passage and have not completed it.
+  std::vector<ProcId> active() const;
+
+  /// Fin(E): processes that completed at least one passage.
+  std::vector<ProcId> finished() const;
+
+  /// Total contention of the recorded execution: number of processes that
+  /// issued at least one event.
+  std::size_t total_contention() const;
+
+  const Execution& execution() const { return trace_; }
+
+  /// Number of events recorded so far.
+  std::uint64_t num_events() const { return trace_.events.size(); }
+
+  /// Owners of all variables, indexed by VarId (kNoProc = remote to all).
+  std::vector<ProcId> var_owners() const;
+
+ private:
+  friend struct Proc::OpAwaiter;
+
+  void resume(Proc& p);
+  void note_new_pending(Proc& p);
+  void record(Event e);
+
+  void do_commit(Proc& p, std::size_t index = 0);
+  void perform_read(Proc& p);
+  void perform_write_issue(Proc& p);
+  void perform_cas(Proc& p);
+  void perform_transition(Proc& p);
+
+  /// Merges v's writer awareness into p's set (a read of v by p).
+  void absorb_awareness(Proc& p, const Variable& var);
+
+  // RMR accounting; updates cache directories and sets the event flags.
+  void account_read(Proc& p, Variable& var, Event& e);
+  void account_write(Proc& p, Variable& var, Event& e);
+
+  SimConfig config_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<Task<>> programs_;
+  std::vector<Variable> vars_;
+  Execution trace_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tpa::tso

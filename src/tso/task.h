@@ -1,0 +1,194 @@
+// Task<T> — the coroutine type in which simulated algorithms are written.
+//
+// A lock or object algorithm is straight-line coroutine code:
+//
+//   Task<> acquire(Proc& p) {
+//     co_await p.write(flag, 1);
+//     co_await p.fence();
+//     while (true) {                          // spin
+//       const Value v = co_await p.read(other);
+//       if (v == 0) break;
+//     }
+//   }
+//
+// Tasks are lazily started, support nesting (`co_await subtask` with
+// symmetric transfer), propagate exceptions, and — crucially for the
+// simulator — suspend the whole coroutine stack whenever a shared-memory
+// awaitable parks a SimOp on the process. Control then returns to the
+// simulator, which owns when (and whether) the op executes.
+//
+// WARNING (GCC 12 workaround): never place co_await inside a condition
+// (`if (co_await ... == 0)`, `while (co_await ...)`) or as a nested
+// sub-expression — GCC 12 fails to keep the temporary awaiter alive across
+// the suspension and await_suspend then writes through a dangling
+// reference. Always hoist into a standalone statement or initializer:
+// `const Value v = co_await ...; if (v == 0) ...`.
+// tests/test_coroutine_patterns.cpp pins the safe patterns.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace tpa::tso {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Symmetric transfer back to whoever co_awaited this task (or a noop
+      // handle for top-level tasks, returning control to the simulator).
+      return h.promise().continuation;
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+  Handle handle() const { return handle_; }
+
+  /// Awaiting a task starts it; when it completes, the awaiter resumes and
+  /// receives the task's value (rethrowing any stored exception).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> caller) noexcept {
+        handle.promise().continuation = caller;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception)
+          std::rethrow_exception(handle.promise().exception);
+        return std::move(*handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+  Handle handle() const { return handle_; }
+
+  /// Starts a top-level task (runs until its first suspension point).
+  void start() { handle_.resume(); }
+
+  /// Rethrows an exception captured inside the coroutine, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> caller) noexcept {
+        handle.promise().continuation = caller;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().exception)
+          std::rethrow_exception(handle.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace tpa::tso

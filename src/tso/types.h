@@ -1,0 +1,32 @@
+// Core identifier types for the TSO simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace tpa::tso {
+
+/// Process identifier, 0..n-1. Process IDs double as the total order used by
+/// the paper's write phase ("increasing ID order").
+using ProcId = std::int32_t;
+
+/// Shared-variable identifier (index into the simulator's memory).
+using VarId = std::int32_t;
+
+/// Values stored in shared variables.
+using Value = std::int64_t;
+
+inline constexpr ProcId kNoProc = -1;
+inline constexpr VarId kNoVar = -1;
+
+/// Process status per the paper's mutual-exclusion system model:
+/// Enter: ncs -> entry, CS: entry -> exit, Exit: exit -> ncs.
+enum class Status : std::uint8_t { kNcs, kEntry, kExit };
+
+/// mode(p, E): a process mid-fence may only commit buffered writes
+/// (write mode); otherwise it issues events normally (read mode).
+enum class Mode : std::uint8_t { kRead, kWrite };
+
+const char* to_string(Status s);
+const char* to_string(Mode m);
+
+}  // namespace tpa::tso

@@ -1,0 +1,188 @@
+#include "util/bignum.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tpa {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+}  // namespace
+
+BigNat::BigNat(u64 value) {
+  if (value) limbs_.push_back(value);
+}
+
+void BigNat::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNat BigNat::from_decimal(const std::string& text) {
+  TPA_CHECK(!text.empty(), "empty decimal string");
+  BigNat out;
+  for (char c : text) {
+    TPA_CHECK(c >= '0' && c <= '9', "invalid decimal digit '" << c << "'");
+    out.mul_small(10);
+    out = out + BigNat(static_cast<u64>(c - '0'));
+  }
+  return out;
+}
+
+BigNat BigNat::pow2(u64 exponent) {
+  BigNat out;
+  out.limbs_.assign(exponent / 64 + 1, 0);
+  out.limbs_.back() = 1ULL << (exponent % 64);
+  return out;
+}
+
+BigNat BigNat::factorial(u64 n) {
+  BigNat out(1);
+  for (u64 k = 2; k <= n; ++k) out.mul_small(k);
+  return out;
+}
+
+std::size_t BigNat::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(64 - __builtin_clzll(top));
+}
+
+int BigNat::compare(const BigNat& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNat BigNat::operator+(const BigNat& other) const {
+  BigNat out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 a = i < limbs_.size() ? limbs_[i] : 0;
+    const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(a) + b + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  if (carry) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigNat BigNat::operator-(const BigNat& other) const {
+  TPA_CHECK(compare(other) >= 0, "BigNat subtraction would be negative");
+  BigNat out;
+  out.limbs_.resize(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 lhs = static_cast<u128>(limbs_[i]);
+    const u128 rhs = static_cast<u128>(b) + borrow;
+    if (lhs >= rhs) {
+      out.limbs_[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] = static_cast<u64>((static_cast<u128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigNat BigNat::operator*(const BigNat& other) const {
+  if (is_zero() || other.is_zero()) return BigNat();
+  BigNat out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u128 a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur =
+          a * other.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigNat BigNat::pow(u64 exponent) const {
+  BigNat result(1);
+  BigNat base = *this;
+  while (exponent) {
+    if (exponent & 1) result = result * base;
+    exponent >>= 1;
+    if (exponent) base = base * base;
+  }
+  return result;
+}
+
+void BigNat::mul_small(u64 factor) {
+  if (factor == 0) {
+    limbs_.clear();
+    return;
+  }
+  u64 carry = 0;
+  for (auto& limb : limbs_) {
+    const u128 cur = static_cast<u128>(limb) * factor + carry;
+    limb = static_cast<u64>(cur);
+    carry = static_cast<u64>(cur >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+}
+
+u64 BigNat::divmod_small(u64 divisor) {
+  TPA_CHECK(divisor != 0, "division by zero");
+  u128 remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const u128 cur = (remainder << 64) | limbs_[i];
+    limbs_[i] = static_cast<u64>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  trim();
+  return static_cast<u64>(remainder);
+}
+
+std::string BigNat::to_decimal() const {
+  if (is_zero()) return "0";
+  BigNat tmp = *this;
+  std::string out;
+  while (!tmp.is_zero()) {
+    const u64 chunk = tmp.divmod_small(1000000000ULL);
+    std::string digits = std::to_string(chunk);
+    if (!tmp.is_zero()) digits.insert(0, 9 - digits.size(), '0');
+    out.insert(0, digits);
+  }
+  return out;
+}
+
+double BigNat::to_double() const {
+  double value = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;)
+    value = value * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  return value;
+}
+
+double BigNat::log2() const {
+  TPA_CHECK(!is_zero(), "log2 of zero");
+  // Top (up to) 192 bits give the mantissa; the remaining limbs contribute
+  // an exact power-of-two exponent.
+  const std::size_t used = std::min<std::size_t>(limbs_.size(), 3);
+  double mantissa = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > limbs_.size() - used;)
+    mantissa = mantissa * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  return std::log2(mantissa) + 64.0 * static_cast<double>(limbs_.size() - used);
+}
+
+}  // namespace tpa

@@ -1,0 +1,82 @@
+// BigNat — arbitrary-precision natural numbers.
+//
+// The bounds engine (src/bounds) evaluates Theorem 1's inequality
+//     f(i) <= N^{2^{-f(i)}} / (f(i)! * 4^{f(i)+2i})
+// exactly, by rewriting it over the integers as
+//     ( f(i) * f(i)! * 4^{f(i)+2i} )^{2^{f(i)}} <= N .
+// BigNat supplies the multiplication, exponentiation and factorial needed
+// for that exact form (for moderate f), alongside decimal I/O for the bench
+// tables. Log-domain arithmetic in src/bounds covers the astronomically
+// large regime where the exact form is intractable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpa {
+
+class BigNat {
+ public:
+  /// Zero.
+  BigNat() = default;
+
+  /// From a 64-bit value.
+  explicit BigNat(std::uint64_t value);
+
+  /// Parses a decimal string. Throws CheckFailure on invalid input.
+  static BigNat from_decimal(const std::string& text);
+
+  /// 2^exponent.
+  static BigNat pow2(std::uint64_t exponent);
+
+  /// n! (0! == 1).
+  static BigNat factorial(std::uint64_t n);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of bits in the binary representation; 0 for zero.
+  std::size_t bit_length() const;
+
+  /// Comparison: negative/zero/positive like strcmp.
+  int compare(const BigNat& other) const;
+
+  bool operator==(const BigNat& o) const { return compare(o) == 0; }
+  bool operator!=(const BigNat& o) const { return compare(o) != 0; }
+  bool operator<(const BigNat& o) const { return compare(o) < 0; }
+  bool operator<=(const BigNat& o) const { return compare(o) <= 0; }
+  bool operator>(const BigNat& o) const { return compare(o) > 0; }
+  bool operator>=(const BigNat& o) const { return compare(o) >= 0; }
+
+  BigNat operator+(const BigNat& other) const;
+  BigNat operator*(const BigNat& other) const;
+
+  /// Subtraction; requires *this >= other (naturals only).
+  BigNat operator-(const BigNat& other) const;
+
+  /// this^exponent via square-and-multiply. 0^0 == 1 by convention.
+  BigNat pow(std::uint64_t exponent) const;
+
+  /// Multiplies in place by a small factor.
+  void mul_small(std::uint64_t factor);
+
+  /// Divides in place by a small divisor, returning the remainder.
+  std::uint64_t divmod_small(std::uint64_t divisor);
+
+  /// Decimal representation.
+  std::string to_decimal() const;
+
+  /// Value as double (may overflow to +inf); used for quick magnitude checks.
+  double to_double() const;
+
+  /// log2 of the value as a double; requires non-zero.
+  double log2() const;
+
+ private:
+  void trim();
+
+  // Little-endian 64-bit limbs; empty vector represents zero.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace tpa

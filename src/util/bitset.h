@@ -1,0 +1,127 @@
+// DynBitset — a compact dynamic bitset used for awareness sets
+// (Definition 1 of the paper) and process-set bookkeeping.
+//
+// Awareness sets are unioned on every read of shared memory and snapshotted
+// on every buffered write, so the hot operations are |=, test, and set; all
+// are implemented over 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tpa {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+
+  /// Creates a bitset of `size` bits, all zero.
+  explicit DynBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    TPA_CHECK(i < size_, "bit index " << i << " out of range " << size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    TPA_CHECK(i < size_, "bit index " << i << " out of range " << size_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Union-assign. Both operands must have the same size.
+  DynBitset& operator|=(const DynBitset& other) {
+    TPA_CHECK(size_ == other.size_,
+              "bitset size mismatch " << size_ << " vs " << other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+
+  /// Intersection-assign.
+  DynBitset& operator&=(const DynBitset& other) {
+    TPA_CHECK(size_ == other.size_,
+              "bitset size mismatch " << size_ << " vs " << other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+
+  /// Removes from this set every bit set in `other`.
+  DynBitset& subtract(const DynBitset& other) {
+    TPA_CHECK(size_ == other.size_,
+              "bitset size mismatch " << size_ << " vs " << other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      words_[w] &= ~other.words_[w];
+    return *this;
+  }
+
+  bool operator==(const DynBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// True if this set and `other` share at least one bit.
+  bool intersects(const DynBitset& other) const {
+    TPA_CHECK(size_ == other.size_,
+              "bitset size mismatch " << size_ << " vs " << other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & other.words_[w]) return true;
+    return false;
+  }
+
+  /// True if every bit in this set is also in `other`.
+  bool is_subset_of(const DynBitset& other) const {
+    TPA_CHECK(size_ == other.size_,
+              "bitset size mismatch " << size_ << " vs " << other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & ~other.words_[w]) return false;
+    return true;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> to_indices() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        out.push_back(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tpa

@@ -1,0 +1,54 @@
+// Checked assertions for the tpa library.
+//
+// Invariant violations in this library indicate either a broken algorithm
+// under test (e.g. a mutual-exclusion violation) or a bug in the simulator
+// itself. Both must be loud: TPA_CHECK throws tpa::CheckFailure with a
+// formatted message, so tests can assert on failures and applications get a
+// catchable, descriptive error instead of a silent corruption.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tpa {
+
+/// Thrown when a TPA_CHECK-ed invariant does not hold.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TPA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace tpa
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+///   TPA_CHECK(x < n, "x=" << x << " n=" << n);
+#define TPA_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream tpa_check_os_;                                  \
+      tpa_check_os_ << msg;                                              \
+      ::tpa::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                  tpa_check_os_.str());                  \
+    }                                                                    \
+  } while (0)
+
+/// Unconditional failure with a streamed message.
+#define TPA_FAIL(msg)                                                    \
+  do {                                                                   \
+    std::ostringstream tpa_check_os_;                                    \
+    tpa_check_os_ << msg;                                                \
+    ::tpa::detail::check_failed("TPA_FAIL", __FILE__, __LINE__,          \
+                                tpa_check_os_.str());                    \
+  } while (0)

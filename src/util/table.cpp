@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tpa {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TPA_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TPA_CHECK(cells.size() == headers_.size(),
+            "row has " << cells.size() << " cells, expected "
+                       << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace tpa

@@ -1,0 +1,34 @@
+// TextTable — minimal fixed-width table printer for the bench binaries.
+//
+// Every experiment bench prints paper-style rows; this keeps the formatting
+// uniform (header, separator, right-aligned numeric cells).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tpa {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header + separator + rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+std::string fmt_fixed(double value, int digits = 2);
+
+}  // namespace tpa

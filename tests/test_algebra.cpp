@@ -1,0 +1,107 @@
+// Execution algebra (Fact 1): projection, erasure, concatenation, and the
+// sub-execution relation, validated on real simulator traces.
+#include <gtest/gtest.h>
+
+#include "algos/zoo.h"
+#include "trace/algebra.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using trace::concat;
+using trace::erase_procs;
+using trace::EventSeq;
+using trace::is_subexecution;
+using trace::project;
+using trace::same_events;
+using tso::Simulator;
+
+EventSeq zoo_trace(const std::string& lock, int n, std::uint64_t seed) {
+  Simulator sim(static_cast<std::size_t>(n));
+  const auto& f = algos::lock_factory(lock);
+  auto l = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), l, 2));
+  Rng rng(seed);
+  tso::run_random(sim, rng, 0.3, 1'000'000);
+  return sim.execution().events;
+}
+
+std::vector<bool> mask(std::size_t n, std::initializer_list<int> bits) {
+  std::vector<bool> m(n, false);
+  for (int b : bits) m[static_cast<std::size_t>(b)] = true;
+  return m;
+}
+
+TEST(Algebra, ProjectionAndErasurePartition) {
+  const auto e = zoo_trace("bakery", 4, 1);
+  const auto keep01 = mask(4, {0, 1});
+  const auto p = project(e, keep01);
+  const auto q = erase_procs(e, keep01);
+  EXPECT_EQ(p.size() + q.size(), e.size());
+  // Both halves are sub-executions of E.
+  EXPECT_TRUE(is_subexecution(p, e));
+  EXPECT_TRUE(is_subexecution(q, e));
+}
+
+TEST(Algebra, Fact1ConcatDistributes) {
+  // (E1 E2)^{-Y} = E1^{-Y} E2^{-Y}
+  const auto e = zoo_trace("ticket", 4, 2);
+  const auto e1 = EventSeq(e.begin(), e.begin() + static_cast<long>(e.size() / 2));
+  const auto e2 = EventSeq(e.begin() + static_cast<long>(e.size() / 2), e.end());
+  const auto y = mask(4, {1, 3});
+  EXPECT_TRUE(same_events(erase_procs(concat(e1, e2), y),
+                          concat(erase_procs(e1, y), erase_procs(e2, y))));
+}
+
+TEST(Algebra, Fact1ErasureComposes) {
+  // (E^{-Y})^{-Z} = E^{-Y ∪ Z}
+  const auto e = zoo_trace("mcs", 5, 3);
+  const auto y = mask(5, {0});
+  const auto z = mask(5, {2, 4});
+  auto yz = y;
+  for (std::size_t i = 0; i < yz.size(); ++i)
+    if (z[i]) yz[i] = true;
+  EXPECT_TRUE(same_events(erase_procs(erase_procs(e, y), z),
+                          erase_procs(e, yz)));
+}
+
+TEST(Algebra, ErasureOfNobodyIsIdentity) {
+  const auto e = zoo_trace("tas", 3, 4);
+  EXPECT_TRUE(same_events(erase_procs(e, mask(3, {})), e));
+}
+
+TEST(Algebra, ProjectionOfSingleProcessIsItsOwnSubsequence) {
+  const auto e = zoo_trace("clh", 4, 5);
+  for (int p = 0; p < 4; ++p) {
+    const auto proj = project(e, mask(4, {p}));
+    EXPECT_TRUE(is_subexecution(proj, e));
+    for (const auto& ev : proj) EXPECT_EQ(ev.proc, p);
+  }
+}
+
+TEST(Algebra, SubexecutionIsReflexiveAndRespectsOrder) {
+  const auto e = zoo_trace("tournament", 4, 6);
+  EXPECT_TRUE(is_subexecution(e, e));
+  EXPECT_TRUE(is_subexecution({}, e));
+  if (e.size() >= 2) {
+    // Swapped order is not a subsequence (seq numbers are strictly ordered).
+    EventSeq swapped = {e[1], e[0]};
+    EXPECT_FALSE(is_subexecution(swapped, e));
+  }
+}
+
+TEST(Algebra, ProjectErasureComplementary) {
+  // project(E, Y) == erase(E, complement(Y))
+  const auto e = zoo_trace("lamport-fast", 4, 7);
+  const auto y = mask(4, {1, 2});
+  std::vector<bool> not_y(4);
+  for (std::size_t i = 0; i < 4; ++i) not_y[i] = !y[i];
+  EXPECT_TRUE(same_events(project(e, y), erase_procs(e, not_y)));
+}
+
+}  // namespace
+}  // namespace tpa

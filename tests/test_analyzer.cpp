@@ -1,0 +1,119 @@
+// Double-bookkeeping cross-check: the offline ExecutionAnalyzer recomputes
+// Definitions 1-3 from raw event traces and must agree with the simulator's
+// online flags on every event, for every lock in the zoo, under hostile and
+// friendly schedules.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algos/zoo.h"
+#include "trace/analyzer.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::lock_zoo;
+using algos::run_passages;
+using trace::analyze;
+using trace::VarLayout;
+using tso::Simulator;
+
+class AnalyzerSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(AnalyzerSweep, OnlineEqualsOffline) {
+  const auto& f = lock_zoo()[std::get<0>(GetParam())];
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const int n = 4;
+  Simulator sim(n);
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+  if (seed == 0) {
+    tso::run_round_robin(sim, 10'000'000);
+  } else {
+    Rng rng(seed);
+    tso::run_random(sim, rng, 0.25, 10'000'000);
+  }
+
+  const VarLayout layout{sim.var_owners()};
+  const auto analysis = analyze(sim.execution(), sim.num_procs(), layout);
+  const auto report = trace::check_consistency(sim.execution(), analysis);
+  EXPECT_TRUE(report.ok) << f.name << ": " << report.detail;
+
+  // Aggregates must agree too.
+  for (int p = 0; p < n; ++p) {
+    EXPECT_EQ(analysis.fences_completed[static_cast<std::size_t>(p)],
+              sim.proc(p).fences_completed())
+        << f.name << " p" << p;
+    EXPECT_EQ(analysis.passages_done[static_cast<std::size_t>(p)],
+              sim.proc(p).passages_done())
+        << f.name << " p" << p;
+    EXPECT_EQ(analysis.status[static_cast<std::size_t>(p)],
+              sim.proc(p).status())
+        << f.name << " p" << p;
+  }
+  for (std::size_t v = 0; v < sim.num_vars(); ++v) {
+    EXPECT_EQ(analysis.last_writer[v],
+              sim.last_writer(static_cast<tso::VarId>(v)))
+        << f.name << " v" << v;
+  }
+  // Awareness sets must match the simulator's.
+  for (int p = 0; p < n; ++p) {
+    EXPECT_TRUE(analysis.awareness[static_cast<std::size_t>(p)] ==
+                sim.proc(p).awareness())
+        << f.name << " p" << p;
+  }
+}
+
+std::vector<std::tuple<std::size_t, std::uint64_t>> sweep_params() {
+  std::vector<std::tuple<std::size_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < lock_zoo().size(); ++i)
+    for (std::uint64_t seed : {0ull, 7ull, 1337ull}) out.emplace_back(i, seed);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, AnalyzerSweep, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<AnalyzerSweep::ParamType>& info) {
+      std::string name = lock_zoo()[std::get<0>(info.param)].name + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Analyzer, ActFinTracking) {
+  Simulator sim(3);
+  const auto& f = algos::lock_factory("ticket");
+  auto lock = f.make(sim, 3);
+  for (int p = 0; p < 3; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  // Let only p0 run to completion.
+  while (!sim.proc(0).done()) sim.deliver(0);
+  sim.deliver(1);  // p1 enters
+  const VarLayout layout{sim.var_owners()};
+  const auto analysis = analyze(sim.execution(), 3, layout);
+  EXPECT_EQ(analysis.finished(), (std::vector<tso::ProcId>{0}));
+  EXPECT_EQ(analysis.active(), (std::vector<tso::ProcId>{1}));
+}
+
+TEST(Analyzer, RejectsCorruptTrace) {
+  // A commit without a matching buffered write must be rejected.
+  tso::Execution bogus;
+  tso::Event e;
+  e.kind = tso::EventKind::kWriteCommit;
+  e.proc = 0;
+  e.var = 0;
+  e.value = 1;
+  bogus.events.push_back(e);
+  const VarLayout layout{{tso::kNoProc}};
+  EXPECT_THROW(analyze(bogus, 1, layout), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tpa

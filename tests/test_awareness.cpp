@@ -1,0 +1,129 @@
+// Awareness sets (Definition 1): direct awareness through reading a
+// last-committed write, transitive awareness through the writer's awareness
+// *at issue time*, and the invisibility of buffered writes.
+#include <gtest/gtest.h>
+
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+Task<> writer_task(Proc& p, VarId v, Value x) {
+  co_await p.write(v, x);
+  co_await p.fence();
+}
+
+Task<> reader_task(Proc& p, VarId v) { co_await p.read(v); }
+
+Task<> read_then_write(Proc& p, VarId r, VarId w, Value x) {
+  co_await p.read(r);
+  co_await p.write(w, x);
+  co_await p.fence();
+}
+
+Task<> write_then_read(Proc& p, VarId w, Value x, VarId r) {
+  co_await p.write(w, x);
+  co_await p.fence();
+  co_await p.read(r);
+}
+
+Task<> read_then_cas(Proc& p, VarId r, VarId c, Value desired) {
+  co_await p.read(r);         // become aware of the writer of r
+  co_await p.cas(c, 0, desired);  // publish with current awareness
+}
+
+TEST(Awareness, InitiallySelfOnly) {
+  Simulator sim(3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(sim.proc(p).awareness().count(), 1u);
+    EXPECT_TRUE(sim.proc(p).awareness().test(static_cast<std::size_t>(p)));
+  }
+}
+
+TEST(Awareness, ReadOfCommittedWriteCreatesAwareness) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_task(sim.proc(0), v, 1));
+  sim.spawn(1, reader_task(sim.proc(1), v));
+  for (int i = 0; i < 4; ++i) sim.deliver(0);  // p0 commits
+  sim.deliver(1);                              // p1 reads
+  EXPECT_TRUE(sim.proc(1).awareness().test(0)) << "p1 became aware of p0";
+  EXPECT_FALSE(sim.proc(0).awareness().test(1)) << "awareness is directional";
+}
+
+TEST(Awareness, BufferedWriteLeaksNothing) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_task(sim.proc(0), v, 1));
+  sim.spawn(1, reader_task(sim.proc(1), v));
+  sim.deliver(0);  // p0 issues (buffered, not committed)
+  sim.deliver(1);  // p1 reads the initial value
+  EXPECT_FALSE(sim.proc(1).awareness().test(0))
+      << "an uncommitted write must not create awareness";
+}
+
+TEST(Awareness, TransitiveThroughChain) {
+  // p0 writes a; p1 reads a then writes b; p2 reads b => aware of p0 and p1.
+  Simulator sim(3);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, writer_task(sim.proc(0), a, 1));
+  sim.spawn(1, read_then_write(sim.proc(1), a, b, 2));
+  sim.spawn(2, reader_task(sim.proc(2), b));
+  for (int i = 0; i < 4; ++i) sim.deliver(0);
+  for (int i = 0; i < 5; ++i) sim.deliver(1);
+  sim.deliver(2);
+  EXPECT_TRUE(sim.proc(2).awareness().test(0)) << "transitive via p1's write";
+  EXPECT_TRUE(sim.proc(2).awareness().test(1));
+}
+
+TEST(Awareness, SnapshotTakenAtIssueTime) {
+  // p1 issues a write to b BEFORE reading a (and thus before becoming aware
+  // of p0). Definition 1 uses the awareness at *issue* time, so a reader of
+  // b must NOT become aware of p0 even though p1 was aware of p0 when the
+  // write to b was committed.
+  Simulator sim(3);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, writer_task(sim.proc(0), a, 1));
+  sim.spawn(1, write_then_read(sim.proc(1), b, 2, a));  // issue b, fence, read a
+  sim.spawn(2, reader_task(sim.proc(2), b));
+
+  for (int i = 0; i < 4; ++i) sim.deliver(0);  // p0 commits a
+  sim.deliver(1);                              // p1 issues b=2 (unaware of p0)
+  sim.deliver(1);                              // BeginFence
+  sim.deliver(1);                              // commit b
+  sim.deliver(1);                              // EndFence
+  sim.deliver(1);                              // p1 reads a -> aware of p0
+  EXPECT_TRUE(sim.proc(1).awareness().test(0));
+  sim.deliver(2);  // p2 reads b
+  EXPECT_TRUE(sim.proc(2).awareness().test(1));
+  EXPECT_FALSE(sim.proc(2).awareness().test(0))
+      << "p1 was unaware of p0 when it issued the write to b";
+}
+
+TEST(Awareness, CasSnapshotIsAtExecutionTime) {
+  // CAS issues and commits atomically, so its snapshot includes everything
+  // the process knows at that moment.
+  Simulator sim(3);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, writer_task(sim.proc(0), a, 1));
+  sim.spawn(1, read_then_cas(sim.proc(1), a, b, 5));
+  sim.spawn(2, reader_task(sim.proc(2), b));
+  for (int i = 0; i < 4; ++i) sim.deliver(0);
+  sim.deliver(1);
+  sim.deliver(1);
+  sim.deliver(2);
+  EXPECT_TRUE(sim.proc(2).awareness().test(0))
+      << "p2 reads b (CAS'd by p1 after p1 learned of p0)";
+}
+
+}  // namespace
+}  // namespace tpa

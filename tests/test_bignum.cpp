@@ -1,0 +1,130 @@
+// BigNat arbitrary-precision arithmetic.
+#include <gtest/gtest.h>
+
+#include "util/bignum.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+TEST(BigNat, BasicConstructionAndDecimal) {
+  EXPECT_EQ(BigNat().to_decimal(), "0");
+  EXPECT_EQ(BigNat(0).to_decimal(), "0");
+  EXPECT_EQ(BigNat(12345).to_decimal(), "12345");
+  EXPECT_EQ(BigNat(~0ULL).to_decimal(), "18446744073709551615");
+}
+
+TEST(BigNat, FromDecimalRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigNat::from_decimal(big).to_decimal(), big);
+  EXPECT_EQ(BigNat::from_decimal("0").to_decimal(), "0");
+  EXPECT_EQ(BigNat::from_decimal("000042").to_decimal(), "42");
+  EXPECT_THROW(BigNat::from_decimal("12a3"), CheckFailure);
+  EXPECT_THROW(BigNat::from_decimal(""), CheckFailure);
+}
+
+TEST(BigNat, AdditionWithCarries) {
+  const BigNat a = BigNat(~0ULL);
+  const BigNat b(1);
+  EXPECT_EQ((a + b).to_decimal(), "18446744073709551616");
+  EXPECT_EQ((a + a).to_decimal(), "36893488147419103230");
+}
+
+TEST(BigNat, SubtractionWithBorrows) {
+  const BigNat a = BigNat::from_decimal("18446744073709551616");  // 2^64
+  EXPECT_EQ((a - BigNat(1)).to_decimal(), "18446744073709551615");
+  EXPECT_EQ((a - a).to_decimal(), "0");
+  EXPECT_THROW(BigNat(1) - BigNat(2), CheckFailure);
+}
+
+TEST(BigNat, MultiplicationCrossLimb) {
+  const BigNat a = BigNat(~0ULL);
+  EXPECT_EQ((a * a).to_decimal(), "340282366920938463426481119284349108225");
+  EXPECT_EQ((a * BigNat(0)).to_decimal(), "0");
+  EXPECT_EQ((BigNat(0) * a).to_decimal(), "0");
+}
+
+TEST(BigNat, Pow2AndBitLength) {
+  EXPECT_EQ(BigNat::pow2(0).to_decimal(), "1");
+  EXPECT_EQ(BigNat::pow2(10).to_decimal(), "1024");
+  EXPECT_EQ(BigNat::pow2(64).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(BigNat::pow2(100).bit_length(), 101u);
+  EXPECT_EQ(BigNat(0).bit_length(), 0u);
+  EXPECT_EQ(BigNat(1).bit_length(), 1u);
+  EXPECT_EQ(BigNat(255).bit_length(), 8u);
+}
+
+TEST(BigNat, PowMatchesRepeatedMultiply) {
+  const BigNat three(3);
+  BigNat expect(1);
+  for (int e = 0; e <= 40; ++e) {
+    EXPECT_EQ(three.pow(static_cast<std::uint64_t>(e)).compare(expect), 0)
+        << "3^" << e;
+    expect = expect * three;
+  }
+  EXPECT_EQ(BigNat(0).pow(0).to_decimal(), "1") << "0^0 == 1 by convention";
+  EXPECT_EQ(BigNat(0).pow(5).to_decimal(), "0");
+}
+
+TEST(BigNat, Factorial) {
+  EXPECT_EQ(BigNat::factorial(0).to_decimal(), "1");
+  EXPECT_EQ(BigNat::factorial(1).to_decimal(), "1");
+  EXPECT_EQ(BigNat::factorial(5).to_decimal(), "120");
+  EXPECT_EQ(BigNat::factorial(20).to_decimal(), "2432902008176640000");
+  EXPECT_EQ(
+      BigNat::factorial(30).to_decimal(),
+      "265252859812191058636308480000000");
+}
+
+TEST(BigNat, ComparisonTotalOrder) {
+  const BigNat a(5), b(7);
+  const BigNat big = BigNat::pow2(200);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a < big);
+  EXPECT_TRUE(big > b);
+  EXPECT_TRUE(a == BigNat(5));
+  EXPECT_TRUE(a != b);
+}
+
+TEST(BigNat, DivmodSmall) {
+  BigNat a = BigNat::from_decimal("1000000000000000000000");
+  EXPECT_EQ(a.divmod_small(7), 6u) << "10^21 mod 7 == 6";
+  // a is now floor(10^21 / 7).
+  EXPECT_EQ(a.to_decimal(), "142857142857142857142");
+}
+
+TEST(BigNat, Log2Accuracy) {
+  EXPECT_NEAR(BigNat(1024).log2(), 10.0, 1e-9);
+  EXPECT_NEAR(BigNat::pow2(500).log2(), 500.0, 1e-9);
+  const BigNat f100 = BigNat::factorial(100);
+  // log2(100!) = 524.76499...
+  EXPECT_NEAR(f100.log2(), 524.76499, 1e-3);
+}
+
+TEST(BigNat, RandomizedAddSubInverse) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BigNat a(rng());
+    BigNat b(rng());
+    for (int i = 0; i < static_cast<int>(rng.below(4)); ++i) a = a * BigNat(rng());
+    for (int i = 0; i < static_cast<int>(rng.below(4)); ++i) b = b * BigNat(rng());
+    const BigNat sum = a + b;
+    EXPECT_EQ((sum - b).compare(a), 0);
+    EXPECT_EQ((sum - a).compare(b), 0);
+  }
+}
+
+TEST(BigNat, RandomizedMulDistributes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigNat a(rng()), b(rng()), c(rng());
+    EXPECT_EQ((a * (b + c)).compare(a * b + a * c), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,137 @@
+// Bounds engine: Theorem 1's condition (log-domain vs exact BigNat
+// cross-check), Corollary 2/3 closed forms, Theorem 3's active-set bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/tradeoff.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using namespace tpa::bounds;
+
+TEST(Bounds, Log2Factorial) {
+  EXPECT_NEAR(log2_factorial(1), 0.0, 1e-9);
+  EXPECT_NEAR(log2_factorial(5), std::log2(120.0), 1e-9);
+  EXPECT_NEAR(log2_factorial(20),
+              BigNat::factorial(20).log2(), 1e-6);
+}
+
+TEST(Bounds, MinLog2NMatchesExactForm) {
+  // The log-domain threshold and the exact BigNat inequality must agree:
+  // for log2N just above the threshold the exact condition holds, just
+  // below it fails.
+  for (std::uint32_t f = 1; f <= 10; ++f) {
+    for (std::uint32_t i : {0u, 1u, 3u, 7u}) {
+      const double threshold = min_log2_n(static_cast<double>(f), static_cast<int>(i));
+      const auto above = static_cast<std::uint64_t>(std::ceil(threshold)) + 2;
+      const auto below_d = threshold - 2.0;
+      EXPECT_TRUE(theorem1_condition_exact(f, i, BigNat::pow2(above)))
+          << "f=" << f << " i=" << i << " log2N=" << above;
+      if (below_d > 1.0) {
+        const auto below = static_cast<std::uint64_t>(std::floor(below_d));
+        EXPECT_FALSE(theorem1_condition_exact(f, i, BigNat::pow2(below)))
+            << "f=" << f << " i=" << i << " log2N=" << below;
+      }
+    }
+  }
+}
+
+TEST(Bounds, ExactLhsSmallValues) {
+  // f=1, i=0: (1 * 1! * 4^1)^2 = 16.
+  EXPECT_EQ(theorem1_lhs_exact(1, 0).to_decimal(), "16");
+  // f=2, i=0: (2 * 2 * 4^2)^4 = 64^4 = 16777216.
+  EXPECT_EQ(theorem1_lhs_exact(2, 0).to_decimal(), "16777216");
+  // f=1, i=1: (1 * 1 * 4^3)^2 = 4096.
+  EXPECT_EQ(theorem1_lhs_exact(1, 1).to_decimal(), "4096");
+}
+
+TEST(Bounds, ForcedFencesMonotoneInN) {
+  const auto f = linear_adaptivity(1.0);
+  int prev = 0;
+  for (double log2n : {8.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 65536.0}) {
+    const int fences = forced_fences(f, log2n);
+    EXPECT_GE(fences, prev) << "log2N=" << log2n;
+    prev = fences;
+  }
+  EXPECT_GE(prev, 3) << "at log2N=65536 at least a few fences are forced";
+}
+
+TEST(Bounds, ForcedFencesShrinkWithSteeperAdaptivity) {
+  const double log2n = 1 << 16;
+  const int lin = forced_fences(linear_adaptivity(1.0), log2n);
+  const int lin4 = forced_fences(linear_adaptivity(4.0), log2n);
+  const int expo = forced_fences(exponential_adaptivity(1.0), log2n);
+  EXPECT_GE(lin, lin4) << "larger c forces fewer fences";
+  EXPECT_GE(lin, expo)
+      << "f(i)=i is below f(i)=2^i, so linear forces at least as many";
+  EXPECT_GE(expo, 1);
+}
+
+TEST(Bounds, Corollary2ClosedFormTracksSearch) {
+  // The closed form i = loglogN/(3c) must be a *lower* bound on the exact
+  // search (the corollary's computation is conservative).
+  for (double c : {1.0, 2.0}) {
+    for (double log2n : {256.0, 4096.0, 65536.0, 1048576.0}) {
+      const double closed = corollary2_fences(c, log2n);
+      const int searched = forced_fences(linear_adaptivity(c), log2n);
+      EXPECT_LE(static_cast<int>(closed), searched + 1)
+          << "c=" << c << " log2N=" << log2n;
+      EXPECT_GE(searched, static_cast<int>(closed) - 1);
+    }
+  }
+}
+
+TEST(Bounds, Corollary2IsLogLog) {
+  // i = log2(log2 N) / (3c): squaring N (doubling log2 N) adds exactly
+  // 1/(3c) — equal steps on a doubly-logarithmic ladder.
+  const double c = 1.0;
+  const double d1 = corollary2_fences(c, 8.0);   // N = 2^8,  loglogN = 3
+  const double d2 = corollary2_fences(c, 16.0);  // N = 2^16, loglogN = 4
+  const double d3 = corollary2_fences(c, 32.0);  // N = 2^32, loglogN = 5
+  EXPECT_NEAR(d1, 3.0 / 3.0, 1e-9);
+  EXPECT_NEAR(d2 - d1, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(d3 - d2, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Bounds, Corollary3IsLogLogLog) {
+  const double c = 1.0;
+  // log2N = 2^(2^3) vs 2^(2^6): logloglog goes 3 -> 6 (minus 1, over c).
+  const double a = corollary3_fences(c, std::exp2(8));
+  const double b = corollary3_fences(c, std::exp2(64));
+  EXPECT_NEAR(a, 2.0, 1e-6);
+  EXPECT_NEAR(b, 5.0, 1e-6);
+}
+
+TEST(Bounds, Theorem3ActBound) {
+  // With l = 0 the bound is log2N - 4i; it decays doubly exponentially in l.
+  EXPECT_NEAR(log2_act_lower_bound(0, 0, 1024.0), 1024.0, 1e-9);
+  EXPECT_NEAR(log2_act_lower_bound(0, 1, 1024.0), 1020.0, 1e-9);
+  const double l1 = log2_act_lower_bound(1, 0, 1024.0);
+  const double l2 = log2_act_lower_bound(2, 0, 1024.0);
+  EXPECT_GT(l1, l2);
+  EXPECT_NEAR(l1, 512.0 - 0.0 - 2.0, 1e-9);
+  // Once 2^-l log2N drops below the subtracted terms the bound is <= 0 —
+  // the construction can no longer guarantee survivors.
+  EXPECT_LT(log2_act_lower_bound(12, 0, 1024.0), 0.0);
+}
+
+TEST(Bounds, AdaptivityFunctions) {
+  const auto lin = linear_adaptivity(2.0);
+  EXPECT_NEAR(lin(3), 6.0, 1e-12);
+  const auto expo = exponential_adaptivity(2.0);
+  EXPECT_NEAR(expo(3), 64.0, 1e-12);
+  const auto cst = constant_adaptivity(5.0);
+  EXPECT_NEAR(cst(100), 5.0, 1e-12);
+  EXPECT_THROW(linear_adaptivity(0.0), tpa::CheckFailure);
+}
+
+TEST(Bounds, ConditionRejectsTinyN) {
+  EXPECT_FALSE(theorem1_condition(2.0, 1, 8.0)) << "N=256 is far too small";
+  EXPECT_TRUE(theorem1_condition(1.0, 0, 64.0));
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,75 @@
+// Larger-scale construction runs: invariants stay verified at N=64, the
+// linear forced-barrier relationship persists, and the verification-off
+// fast path produces identical results.
+#include <gtest/gtest.h>
+
+#include "algos/zoo.h"
+#include "lowerbound/construction.h"
+
+namespace tpa {
+namespace {
+
+using lowerbound::Construction;
+using lowerbound::ConstructionConfig;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+
+ScenarioBuilder builder(const std::string& lock, int n) {
+  const auto& f = algos::lock_factory(lock);
+  return [&f, n](Simulator& sim) {
+    auto l = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), l, 1));
+  };
+}
+
+TEST(ConstructionScale, AdaptiveBakeryAt64Verified) {
+  const int n = 64;
+  Construction c(n, builder("adaptive-bakery", n), {});
+  const auto r = c.run();
+  EXPECT_TRUE(r.invariants_ok) << r.invariant_detail;
+  EXPECT_EQ(r.witness_barriers, 63u);
+  EXPECT_EQ(r.witness_contention, 64u);
+}
+
+TEST(ConstructionScale, SplitterAt24Verified) {
+  const int n = 24;
+  Construction c(n, builder("adaptive-splitter", n), {});
+  const auto r = c.run();
+  EXPECT_TRUE(r.invariants_ok) << r.invariant_detail;
+  EXPECT_EQ(r.witness_barriers, 23u);
+  EXPECT_EQ(r.witness_contention, 24u);
+}
+
+TEST(ConstructionScale, VerificationOffMatchesVerifiedRun) {
+  const int n = 32;
+  ConstructionConfig verified;
+  ConstructionConfig fast;
+  fast.verify_invariants = false;
+  Construction c1(n, builder("adaptive-bakery", n), verified);
+  Construction c2(n, builder("adaptive-bakery", n), fast);
+  const auto r1 = c1.run();
+  const auto r2 = c2.run();
+  EXPECT_EQ(r1.rounds, r2.rounds);
+  EXPECT_EQ(r1.finished, r2.finished);
+  EXPECT_EQ(r1.witness_barriers, r2.witness_barriers);
+  EXPECT_EQ(r1.witness_contention, r2.witness_contention);
+  EXPECT_EQ(r1.total_events, r2.total_events)
+      << "verification must not perturb the construction";
+}
+
+TEST(ConstructionScale, ForcedBarriersAreMonotoneInN) {
+  std::uint32_t prev = 0;
+  for (int n : {8, 16, 32, 64}) {
+    ConstructionConfig cfg;
+    cfg.verify_invariants = n <= 32;
+    Construction c(static_cast<std::size_t>(n), builder("ticket", n), cfg);
+    const auto r = c.run();
+    EXPECT_GE(r.witness_barriers, prev) << "n=" << n;
+    prev = r.witness_barriers;
+  }
+  EXPECT_EQ(prev, 63u);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,138 @@
+// Interval and point contention accounting (the paper's Section 1 notions):
+// point <= interval <= total, staggered passages separate them, and the
+// adaptive locks' work correlates with the measured contention.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/bakery.h"
+#include "algos/splitter.h"
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::run_passages;
+using tso::Simulator;
+
+TEST(Contention, SoloPassageIsOne) {
+  Simulator sim(4);
+  const auto& f = algos::lock_factory("ticket");
+  auto lock = f.make(sim, 4);
+  sim.spawn(0, run_passages(sim.proc(0), lock, 2));
+  while (!sim.proc(0).done()) sim.deliver(0);
+  for (const auto& st : sim.proc(0).finished_passages()) {
+    EXPECT_EQ(st.interval_contention, 1u);
+    EXPECT_EQ(st.point_contention, 1u);
+  }
+}
+
+TEST(Contention, ConcurrentPassagesSeeEachOther) {
+  const int n = 3;
+  Simulator sim(n);
+  const auto& f = algos::lock_factory("bakery");
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  // All three enter before anyone finishes.
+  for (int p = 0; p < n; ++p) sim.deliver(p);  // Enter x3
+  tso::run_round_robin(sim, 10'000'000);
+  for (int p = 0; p < n; ++p) {
+    const auto& st = sim.proc(p).finished_passages().at(0);
+    EXPECT_EQ(st.interval_contention, 3u) << "p" << p;
+    EXPECT_EQ(st.point_contention, 3u) << "p" << p;
+  }
+}
+
+TEST(Contention, StaggeredPassagesSeparateIntervalFromPoint) {
+  // p0 holds its passage open while p1 then p2 run complete, disjoint
+  // passages: p0's interval sees all three but its point stays at 2.
+  const int n = 3;
+  Simulator sim(n);
+  const auto& f = algos::lock_factory("ticket");
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+
+  // p0 enters and acquires (runs until it is about to take CS, then stops).
+  std::uint64_t guard = 0;
+  while (sim.classify_pending(0) != tso::PendingClass::kCs) {
+    ASSERT_TRUE(sim.deliver(0));
+    ASSERT_LT(++guard, 100'000u);
+  }
+  // p1 runs a full passage (it spins until p0... no: ticket FIFO means p1
+  // waits for p0!). Use the other order: p0 holds the *passage* but we let
+  // it pass CS and hold the exit section instead — simpler: finish p0's CS
+  // and release, then keep its Exit pending while p1/p2 run.
+  sim.deliver(0);  // CS
+  while (sim.classify_pending(0) != tso::PendingClass::kExit) {
+    ASSERT_TRUE(sim.deliver(0));
+    ASSERT_LT(++guard, 100'000u);
+  }
+  // p1's complete passage, then p2's — never concurrent with each other.
+  for (int q : {1, 2}) {
+    while (!sim.proc(q).done()) {
+      ASSERT_TRUE(sim.deliver(q));
+      ASSERT_LT(++guard, 1'000'000u);
+    }
+  }
+  sim.deliver(0);  // p0's Exit
+  ASSERT_TRUE(sim.proc(0).done());
+
+  const auto& p0 = sim.proc(0).finished_passages().at(0);
+  EXPECT_EQ(p0.interval_contention, 3u)
+      << "p0 overlapped with both p1 and p2";
+  EXPECT_EQ(p0.point_contention, 2u)
+      << "but never with more than one at a time";
+  const auto& p1 = sim.proc(1).finished_passages().at(0);
+  EXPECT_EQ(p1.interval_contention, 2u) << "p1 overlapped p0 only";
+  EXPECT_EQ(p1.point_contention, 2u);
+}
+
+TEST(Contention, PointNeverExceedsIntervalAcrossZoo) {
+  for (const auto& f : algos::lock_zoo()) {
+    const int n = 4;
+    Simulator sim(n);
+    auto lock = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+    Rng rng(71);
+    tso::run_random(sim, rng, 0.3, 20'000'000);
+    for (int p = 0; p < n; ++p) {
+      for (const auto& st : sim.proc(p).finished_passages()) {
+        EXPECT_GE(st.interval_contention, 1u) << f.name;
+        EXPECT_LE(st.point_contention, st.interval_contention) << f.name;
+        EXPECT_LE(st.interval_contention, static_cast<std::uint32_t>(n))
+            << f.name;
+      }
+    }
+  }
+}
+
+TEST(Contention, AdaptiveWorkTracksMeasuredInterval) {
+  // For the adaptive splitter lock, per-passage critical events should be
+  // bounded by a function of the measured interval contention, not of n.
+  const int n = 32;
+  const int k = 4;
+  Simulator sim(n);
+  auto lock = std::make_shared<algos::AdaptiveSplitterLock>(sim, n);
+  for (int p = 0; p < k; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  Rng rng(9);
+  tso::run_random(sim, rng, 0.3, 20'000'000);
+  for (int p = 0; p < k; ++p) {
+    const auto& st = sim.proc(p).finished_passages().at(0);
+    ASSERT_LE(st.interval_contention, static_cast<std::uint32_t>(k));
+    // O(k^2) collect over <= k diagonals of <= k cells, times 2 scans plus
+    // registration: a generous bound that still excludes anything Θ(n).
+    EXPECT_LE(st.critical,
+              8u * st.interval_contention * st.interval_contention + 16u)
+        << "p" << p;
+  }
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,100 @@
+// Corollary 1, composed end-to-end: the fence lower bound transfers through
+// the Lemma 9 reduction to counters (and hence stacks/queues).
+//
+// (a) An *adaptive* counter (built from the pure read/write adaptive
+//     splitter lock) pays registration fences scaling with contention —
+//     an adaptive O(1)-fence counter cannot exist, and ours indeed is not.
+// (b) The construction attacks a mutex built *from a counter* (Algorithm 1
+//     over the CAS counter): the forced barriers land on the counter
+//     operations, which is exactly how the lower bound transfers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/splitter.h"
+#include "lowerbound/construction.h"
+#include "objects/lockfree.h"
+#include "objects/reduction.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using objects::CasCounter;
+using objects::CounterMutex;
+using objects::LockedCounter;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+
+Task<> inc_n(Proc& p, std::shared_ptr<objects::SimCounter> c, int times) {
+  for (int i = 0; i < times; ++i) co_await c->fetch_increment(p);
+}
+
+TEST(Corollary1, AdaptiveCounterPaysFencesNotProportionalWork) {
+  // Counter ops through the adaptive splitter lock: solo op cost is O(1)
+  // (independent of n), but the first contended op pays the registration
+  // fences — the counter inherits the lock's tradeoff.
+  const int n = 32;
+  Simulator sim(n);
+  auto lock = std::make_shared<algos::AdaptiveSplitterLock>(sim, n);
+  auto counter = std::make_shared<LockedCounter>(sim, lock);
+  sim.spawn(0, inc_n(sim.proc(0), counter, 3));
+  std::uint64_t guard = 0;
+  while (!sim.proc(0).done()) {
+    ASSERT_TRUE(sim.deliver(0));
+    ASSERT_LT(++guard, 100'000u);
+  }
+  // Solo: registration (2 fences) happened once; ops stay O(1).
+  EXPECT_LE(sim.proc(0).fences_completed(), 20u)
+      << "3 solo ops through a 32-process arena must not cost Θ(n) fences";
+  EXPECT_EQ(sim.value(/*counter's var*/ sim.num_vars() - 1), 3)
+      << "the last allocated variable is the counter cell";
+}
+
+TEST(Corollary1, ConstructionAttacksTheMutexFromCounter) {
+  // Algorithm 1 over a CAS counter: each passage performs exactly one
+  // fetch&increment. The adversary's forced barriers are therefore forced
+  // onto counter operations — the reduction transferring the bound.
+  const int n = 8;
+  tso::ScenarioBuilder build = [n](Simulator& sim) {
+    auto counter = std::make_shared<CasCounter>(sim);
+    auto mutex = std::make_shared<CounterMutex>(sim, n, counter);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), mutex, 1));
+  };
+  lowerbound::Construction c(n, build, {});
+  const auto r = c.run();
+  EXPECT_TRUE(r.invariants_ok) << r.invariant_detail;
+  EXPECT_GE(r.finished, 1u);
+  // The witness's barriers all pass through fetch&increment retries plus
+  // Algorithm 1's O(1) own fences.
+  EXPECT_EQ(r.witness_contention, static_cast<std::size_t>(n));
+  EXPECT_GE(r.witness_barriers, static_cast<std::uint32_t>(n - 1));
+}
+
+TEST(Corollary1, CounterValuesStayCorrectUnderTheAdversary) {
+  // Even while the adversary starves and erases processes, the finished
+  // passages' tickets must be the counter's unique increasing values.
+  const int n = 6;
+  std::shared_ptr<CasCounter> counter_keep;
+  tso::ScenarioBuilder build = [&counter_keep, n](Simulator& sim) {
+    counter_keep = std::make_shared<CasCounter>(sim);
+    auto mutex = std::make_shared<CounterMutex>(sim, n, counter_keep);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), mutex, 1));
+  };
+  lowerbound::Construction c(n, build, {});
+  const auto r = c.run();
+  EXPECT_TRUE(r.invariants_ok);
+  // |Fin| processes completed; they consumed tickets 0..|Fin|-1 among the
+  // participants (the erased/witness processes may hold later tickets).
+  EXPECT_GE(c.sim().value(counter_keep->var()),
+            static_cast<Value>(r.finished));
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,105 @@
+// Regression tests for the coroutine patterns the library relies on.
+//
+// Background: GCC 12 miscompiles `co_await` expressions placed inside
+// condition expressions (`if (co_await x == 0)`) — the temporary awaiter is
+// not kept alive across the suspension, so await_suspend writes through a
+// dangling reference and the op is silently lost. All library code uses the
+// hoisted form; these tests pin that the hoisted form works through deep
+// task nesting, loops, co_return, and virtual-dispatch coroutines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/lock.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using algos::SimLock;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+// A lock whose acquire exercises: loop + hoisted co_await + co_return,
+// through virtual dispatch, awaited from two coroutine levels above.
+struct PatternLock : SimLock {
+  VarId v;
+  explicit PatternLock(Simulator& sim) : v(sim.alloc_var(0)) {}
+  Task<> acquire(Proc& p) override {
+    while (true) {
+      const Value old = co_await p.cas(v, 0, 1);
+      if (old == 0) co_return;
+    }
+  }
+  Task<> release(Proc& p) override {
+    co_await p.write(v, 0);
+    co_await p.fence();
+  }
+  std::string name() const override { return "pattern"; }
+};
+
+TEST(CoroutinePatterns, HoistedAwaitInLoopThroughThreeLevels) {
+  Simulator sim(1);
+  auto lock = std::make_shared<PatternLock>(sim);
+  sim.spawn(0, algos::run_passages(sim.proc(0), lock, 3));
+  tso::run_round_robin(sim, 10'000);
+  EXPECT_EQ(sim.proc(0).passages_done(), 3u);
+  EXPECT_TRUE(sim.proc(0).done());
+}
+
+Task<> deep3(Proc& p, VarId v) { co_await p.write(v, 3); }
+Task<> deep2(Proc& p, VarId v) {
+  co_await deep3(p, v);
+  const Value got = co_await p.read(v);
+  EXPECT_EQ(got, 3);  // read-own-buffer
+}
+Task<> deep1(Proc& p, VarId v) {
+  co_await deep2(p, v);
+  co_await p.fence();
+}
+
+TEST(CoroutinePatterns, ValuesPropagateThroughNestedTasks) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, deep1(sim.proc(0), v));
+  tso::run_round_robin(sim, 1'000);
+  EXPECT_TRUE(sim.proc(0).done());
+  EXPECT_EQ(sim.value(v), 3);
+}
+
+Task<int> value_task(Proc& p, VarId v) {
+  const Value got = co_await p.read(v);
+  co_return static_cast<int>(got) * 2;
+}
+Task<> value_consumer(Proc& p, VarId v, int* out) {
+  const int doubled = co_await value_task(p, v);
+  *out = doubled;
+}
+
+TEST(CoroutinePatterns, ValueReturningTask) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(21);
+  int out = 0;
+  sim.spawn(0, value_consumer(sim.proc(0), v, &out));
+  tso::run_round_robin(sim, 1'000);
+  EXPECT_EQ(out, 42);
+}
+
+Task<> thrower(Proc& p, VarId v) {
+  co_await p.read(v);
+  throw std::runtime_error("boom");
+}
+
+TEST(CoroutinePatterns, ExceptionsPropagateToDeliver) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, thrower(sim.proc(0), v));
+  EXPECT_THROW(sim.deliver(0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tpa

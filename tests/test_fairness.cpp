@@ -1,0 +1,120 @@
+// First-come-first-served fairness of the bakery family, checked from raw
+// traces: if p's doorway completes before q's doorway begins, p enters the
+// critical section first. (The bakery is the canonical FCFS lock; FIFO
+// hand-off locks like ticket/MCS satisfy an analogous property at the
+// acquire point.)
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using tso::EventKind;
+using tso::Simulator;
+
+struct PassageTimes {
+  std::uint64_t doorway_start = 0;  // first write issue after Enter
+  std::uint64_t doorway_end = 0;    // second EndFence of the passage
+  std::uint64_t cs = 0;
+  bool complete = false;
+};
+
+// Extracts per-(proc, passage) doorway/CS timestamps from a bakery trace.
+std::vector<PassageTimes> bakery_passages(const tso::Execution& exec, int n,
+                                          int passages) {
+  std::vector<PassageTimes> out(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(passages));
+  std::map<std::pair<int, int>, int> end_fences;  // (proc, passage) -> count
+  for (const auto& e : exec.events) {
+    const auto key =
+        static_cast<std::size_t>(e.proc) * static_cast<std::size_t>(passages) +
+        e.passage;
+    if (key >= out.size()) continue;
+    PassageTimes& t = out[key];
+    switch (e.kind) {
+      case EventKind::kWriteIssue:
+        if (t.doorway_start == 0) t.doorway_start = e.seq + 1;
+        break;
+      case EventKind::kEndFence:
+        if (!e.implied_by_cas) {
+          const int c = ++end_fences[{e.proc, static_cast<int>(e.passage)}];
+          if (c == 2) t.doorway_end = e.seq + 1;
+        }
+        break;
+      case EventKind::kCs:
+        t.cs = e.seq + 1;
+        t.complete = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(Fairness, BakeryIsFcfsUnderRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int n = 4, passages = 3;
+    Simulator sim(n);
+    const auto& f = algos::lock_factory("bakery");
+    auto lock = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+    Rng rng(seed);
+    tso::run_random(sim, rng, 0.3, 50'000'000);
+
+    const auto times = bakery_passages(sim.execution(), n, passages);
+    int checked_pairs = 0;
+    for (const auto& a : times) {
+      if (!a.complete || a.doorway_end == 0) continue;
+      for (const auto& b : times) {
+        if (&a == &b || !b.complete || b.doorway_start == 0) continue;
+        if (a.doorway_end < b.doorway_start) {
+          EXPECT_LT(a.cs, b.cs)
+              << "FCFS violated (seed " << seed << "): a passage whose "
+              << "doorway closed at " << a.doorway_end
+              << " entered the CS after one whose doorway opened at "
+              << b.doorway_start;
+          ++checked_pairs;
+        }
+      }
+    }
+    EXPECT_GT(checked_pairs, 0) << "seed " << seed
+                                << ": no ordered pairs — test vacuous";
+  }
+}
+
+TEST(Fairness, TicketIsFifoAtTheAcquirePoint) {
+  // Ticket lock: CS order equals fetch&increment (ticket) order.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int n = 4, passages = 2;
+    Simulator sim(n);
+    const auto& f = algos::lock_factory("ticket");
+    auto lock = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+    Rng rng(seed * 13);
+    tso::run_random(sim, rng, 0.3, 50'000'000);
+
+    // Successful CAS events on the ticket variable (v0) in trace order must
+    // match CS order.
+    std::vector<std::pair<int, int>> ticket_order, cs_order;  // (proc, pass)
+    for (const auto& e : sim.execution().events) {
+      if (e.kind == EventKind::kCas && e.var == 0 && e.cas_success)
+        ticket_order.emplace_back(e.proc, static_cast<int>(e.passage));
+      if (e.kind == EventKind::kCs)
+        cs_order.emplace_back(e.proc, static_cast<int>(e.passage));
+    }
+    EXPECT_EQ(ticket_order, cs_order) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,118 @@
+// For-all-schedules property testing via the explorer's on_complete hook:
+// within the context bound, EVERY schedule must satisfy the paper's
+// bookkeeping invariants — online/offline cost agreement (Definitions 1-3)
+// and Lemma 4 erasure equivalence for invisible processes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/zoo.h"
+#include "trace/analyzer.h"
+#include "tso/explorer.h"
+#include "tso/schedule.h"
+#include "tso/sim.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using tso::Proc;
+using tso::ScenarioBuilder;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+ScenarioBuilder lock_builder(const std::string& name, int n) {
+  const auto& f = algos::lock_factory(name);
+  return [&f, n](Simulator& sim) {
+    auto lock = f.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  };
+}
+
+TEST(ForAllSchedules, AnalyzerAgreesOnEverySchedule) {
+  for (const char* name : {"tas", "bakery", "adaptive-bakery"}) {
+    const int n = 2;
+    const auto build = lock_builder(name, n);
+    tso::ExplorerConfig cfg;
+    cfg.preemptions = 2;
+    cfg.on_complete = [n](const Simulator& sim) {
+      const trace::VarLayout layout{sim.var_owners()};
+      const auto analysis =
+          trace::analyze(sim.execution(), static_cast<std::size_t>(n), layout);
+      const auto rep = trace::check_consistency(sim.execution(), analysis);
+      TPA_CHECK(rep.ok, rep.detail);
+    };
+    const auto r = tso::explore(n, {}, build, cfg);
+    EXPECT_FALSE(r.violation_found) << name << ": " << r.violation;
+    EXPECT_TRUE(r.exhausted) << name;
+    EXPECT_GT(r.schedules, 10u) << name;
+  }
+}
+
+// Disjoint scenario: each process touches only its own variable, so every
+// process is invisible to every other and ANY erasure must replay cleanly
+// (Lemma 4) — on every schedule within the bound.
+Task<> private_incr(Proc& p, VarId v, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const Value cur = co_await p.read(v);
+    co_await p.write(v, cur + 1);
+    co_await p.fence();
+  }
+}
+
+TEST(ForAllSchedules, Lemma4HoldsForEveryScheduleOfDisjointProcs) {
+  const int n = 3;
+  ScenarioBuilder build = [n](Simulator& sim) {
+    std::vector<VarId> vars;
+    for (int p = 0; p < n; ++p) vars.push_back(sim.alloc_var(0));
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p,
+                private_incr(sim.proc(p), vars[static_cast<std::size_t>(p)],
+                             2));
+  };
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.on_complete = [n, &build](const Simulator& sim) {
+    for (int victim = 0; victim < n; ++victim) {
+      std::vector<bool> erased(static_cast<std::size_t>(n), false);
+      erased[static_cast<std::size_t>(victim)] = true;
+      auto replayed = tso::replay(static_cast<std::size_t>(n), {}, build,
+                                  sim.execution().directives, &erased);
+      const auto check = tso::verify_replay_equivalence(
+          sim.execution(), replayed->execution(), erased);
+      TPA_CHECK(check.ok, "Lemma 4 failed erasing p" << victim << ": "
+                                                     << check.detail);
+    }
+  };
+  const auto r = tso::explore(n, {}, build, cfg);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.schedules, 50u);
+}
+
+TEST(ForAllSchedules, ContentionBoundsOnEverySchedule) {
+  // point <= interval <= n must hold on every schedule of a contended run.
+  const int n = 2;
+  const auto build = lock_builder("ticket", n);
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.on_complete = [n](const Simulator& sim) {
+    for (int p = 0; p < n; ++p) {
+      for (const auto& st : sim.proc(p).finished_passages()) {
+        TPA_CHECK(st.point_contention >= 1 &&
+                      st.point_contention <= st.interval_contention &&
+                      st.interval_contention <= static_cast<std::uint32_t>(n),
+                  "contention bounds violated for p" << p);
+      }
+    }
+  };
+  const auto r = tso::explore(n, {}, build, cfg);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,79 @@
+// Trace formatting: pretty-printer, CSV export, summaries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algos/zoo.h"
+#include "trace/format.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using tso::Simulator;
+
+tso::Execution sample_trace() {
+  Simulator sim(2);
+  const auto& f = algos::lock_factory("tas");
+  auto lock = f.make(sim, 2);
+  for (int p = 0; p < 2; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  tso::run_round_robin(sim, 100'000);
+  return sim.execution();
+}
+
+TEST(Format, PrintsEveryEvent) {
+  const auto exec = sample_trace();
+  std::ostringstream os;
+  trace::print_execution(os, exec);
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, exec.events.size());
+  EXPECT_NE(out.find("Enter"), std::string::npos);
+  EXPECT_NE(out.find("Cas"), std::string::npos);
+  EXPECT_NE(out.find("crit"), std::string::npos);
+}
+
+TEST(Format, LimitTruncatesWithEllipsis) {
+  const auto exec = sample_trace();
+  std::ostringstream os;
+  trace::FormatOptions opt;
+  opt.limit = 3;
+  trace::print_execution(os, exec, opt);
+  EXPECT_NE(os.str().find("more events"), std::string::npos);
+}
+
+TEST(Format, VarNamesUsedWhenProvided) {
+  const auto exec = sample_trace();
+  std::vector<std::string> names(8, "");
+  names[0] = "lock";
+  std::ostringstream os;
+  trace::FormatOptions opt;
+  opt.var_names = &names;
+  trace::print_execution(os, exec, opt);
+  EXPECT_NE(os.str().find("lock="), std::string::npos);
+  EXPECT_EQ(os.str().find("v0="), std::string::npos);
+}
+
+TEST(Format, CsvHasHeaderAndRows) {
+  const auto exec = sample_trace();
+  std::ostringstream os;
+  trace::write_csv(os, exec);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("seq,proc,kind"), 0u);
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, exec.events.size() + 1);
+}
+
+TEST(Format, Summary) {
+  const auto exec = sample_trace();
+  const std::string s = trace::summarize(exec);
+  EXPECT_NE(s.find("2 participating processes"), std::string::npos);
+  EXPECT_NE(s.find("events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpa

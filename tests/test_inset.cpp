@@ -1,0 +1,207 @@
+// IN-set (Definition 4) and regularity/ordered predicates (Definitions 5-6)
+// on crafted executions that isolate each condition.
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.h"
+#include "trace/inset.h"
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using trace::analyze;
+using trace::VarLayout;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+struct World {
+  Simulator sim;
+  explicit World(std::size_t n) : sim(n) {}
+  trace::Analysis analysis() {
+    return analyze(sim.execution(), sim.num_procs(), layout());
+  }
+  VarLayout layout() { return {sim.var_owners()}; }
+};
+
+Task<> entering(Proc& p) {
+  co_await p.enter();
+  co_await p.fence();  // park on something harmless
+}
+
+Task<> enter_and_read(Proc& p, VarId v) {
+  co_await p.enter();
+  co_await p.read(v);
+  co_await p.fence();
+}
+
+Task<> enter_and_commit(Proc& p, VarId v, Value x) {
+  co_await p.enter();
+  co_await p.write(v, x);
+  co_await p.fence();
+}
+
+TEST(Inset, EmptyExecutionIsRegular) {
+  World w(3);
+  const auto a = w.analysis();
+  const auto rep = trace::check_regular(w.sim.execution(), a, w.layout());
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(Inset, EnteredProcessesAreRegular) {
+  World w(3);
+  for (int p = 0; p < 3; ++p) w.sim.spawn(p, entering(w.sim.proc(p)));
+  for (int p = 0; p < 3; ++p) w.sim.deliver(p);  // Enter each
+  const auto a = w.analysis();
+  EXPECT_EQ(a.active().size(), 3u);
+  const auto rep = trace::check_regular(w.sim.execution(), a, w.layout());
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(Inset, In1ViolatedByAwareness) {
+  World w(2);
+  const VarId v = w.sim.alloc_var(0);
+  w.sim.spawn(0, enter_and_commit(w.sim.proc(0), v, 5));
+  w.sim.spawn(1, enter_and_read(w.sim.proc(1), v));
+  for (int i = 0; i < 5; ++i) w.sim.deliver(0);  // enter,issue,begin,commit,end
+  w.sim.deliver(1);                              // enter
+  w.sim.deliver(1);                              // read -> aware of p0
+  const auto a = w.analysis();
+  // p0 and p1 are both active, p1 aware of p0: Act is not an IN-set.
+  const auto rep = trace::check_regular(w.sim.execution(), a, w.layout());
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.detail.find("IN1"), std::string::npos) << rep.detail;
+}
+
+TEST(Inset, In2ViolatedByNonEntryInvisible) {
+  World w(1);
+  // p0 never enters: INV={p0} fails IN2 (and INV ⊆ Act fails first).
+  const auto a = w.analysis();
+  std::vector<bool> inv = {true};
+  const auto rep =
+      trace::check_inset_static(w.sim.execution(), a, w.layout(), inv);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Inset, In4ViolatedByRemoteAccessToActiveOwnedVar) {
+  World w(2);
+  const VarId v = w.sim.alloc_var(0, /*owner=*/1);  // local to p1
+  w.sim.spawn(0, enter_and_read(w.sim.proc(0), v));
+  w.sim.spawn(1, entering(w.sim.proc(1)));
+  w.sim.deliver(1);  // p1 enters (active)
+  w.sim.deliver(0);  // p0 enters
+  w.sim.deliver(0);  // p0 remotely reads p1's variable
+  const auto a = w.analysis();
+  const auto rep = trace::check_regular(w.sim.execution(), a, w.layout());
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.detail.find("IN4"), std::string::npos) << rep.detail;
+}
+
+TEST(Inset, In5ViolatedByVisibleInvisibleWriter) {
+  World w(2);
+  const VarId v = w.sim.alloc_var(0);
+  w.sim.spawn(0, enter_and_commit(w.sim.proc(0), v, 5));
+  w.sim.spawn(1, enter_and_read(w.sim.proc(1), v));
+  // p1 reads v FIRST (sees 0, no awareness), THEN p0 commits: two active
+  // accessors and the last writer p0 is active -> IN5 fails, IN1 holds.
+  w.sim.deliver(1);  // enter p1
+  w.sim.deliver(1);  // p1 reads v=0
+  for (int i = 0; i < 5; ++i) w.sim.deliver(0);  // p0 enter..commit..end
+  const auto a = w.analysis();
+  std::vector<bool> inv = {true, true};
+  const auto semi =
+      trace::check_inset_semi(w.sim.execution(), a, w.layout(), inv);
+  EXPECT_TRUE(semi.ok) << semi.detail;  // IN1-IN4 fine
+  const auto full =
+      trace::check_inset_static(w.sim.execution(), a, w.layout(), inv);
+  EXPECT_FALSE(full.ok);
+  EXPECT_NE(full.detail.find("IN5"), std::string::npos) << full.detail;
+}
+
+TEST(Inset, SubsetOfInsetIsInset) {
+  World w(3);
+  for (int p = 0; p < 3; ++p) w.sim.spawn(p, entering(w.sim.proc(p)));
+  for (int p = 0; p < 3; ++p) w.sim.deliver(p);
+  const auto a = w.analysis();
+  for (int keep = 0; keep < 3; ++keep) {
+    std::vector<bool> inv(3, false);
+    inv[static_cast<std::size_t>(keep)] = true;
+    const auto rep =
+        trace::check_inset_static(w.sim.execution(), a, w.layout(), inv);
+    EXPECT_TRUE(rep.ok) << "singleton {" << keep << "}: " << rep.detail;
+  }
+}
+
+// ---- Ordered executions (Definition 6) -------------------------------------
+
+Task<> enter_commit_stall(Proc& p, VarId v, Value x) {
+  co_await p.enter();
+  co_await p.write(v, x);
+  co_await p.fence();
+  co_await p.read(v);  // park after the fence completes
+  co_await p.fence();
+}
+
+TEST(Ordered, CommitRunInIdOrderIsOrdered) {
+  // Both processes commit to v in increasing ID order, mid-fence: (c).
+  World w(2);
+  const VarId v = w.sim.alloc_var(0);
+  w.sim.spawn(0, enter_commit_stall(w.sim.proc(0), v, 1));
+  w.sim.spawn(1, enter_commit_stall(w.sim.proc(1), v, 2));
+  for (int p = 0; p < 2; ++p) {
+    w.sim.deliver(p);  // Enter
+    w.sim.deliver(p);  // issue write
+    w.sim.deliver(p);  // BeginFence
+  }
+  w.sim.deliver(0);  // commit by p0
+  w.sim.deliver(1);  // commit by p1 (adjacent, increasing ID)
+  const auto a = w.analysis();
+  const auto rep = trace::check_ordered(w.sim.execution(), a, w.layout());
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  // But not regular: v is accessed by both active processes and its last
+  // writer p1 is active.
+  const auto reg = trace::check_regular(w.sim.execution(), a, w.layout());
+  EXPECT_FALSE(reg.ok);
+}
+
+TEST(Ordered, WrongIdOrderIsNotOrdered) {
+  World w(2);
+  const VarId v = w.sim.alloc_var(0);
+  w.sim.spawn(0, enter_commit_stall(w.sim.proc(0), v, 1));
+  w.sim.spawn(1, enter_commit_stall(w.sim.proc(1), v, 2));
+  for (int p = 0; p < 2; ++p) {
+    w.sim.deliver(p);
+    w.sim.deliver(p);
+    w.sim.deliver(p);
+  }
+  w.sim.deliver(1);  // commit by p1 FIRST
+  w.sim.deliver(0);  // then p0 — decreasing ID: not ordered
+  const auto a = w.analysis();
+  const auto rep = trace::check_ordered(w.sim.execution(), a, w.layout());
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Ordered, CompletedFenceAfterRunBreaksCondition) {
+  World w(2);
+  const VarId v = w.sim.alloc_var(0);
+  w.sim.spawn(0, enter_commit_stall(w.sim.proc(0), v, 1));
+  w.sim.spawn(1, enter_commit_stall(w.sim.proc(1), v, 2));
+  for (int p = 0; p < 2; ++p) {
+    w.sim.deliver(p);
+    w.sim.deliver(p);
+    w.sim.deliver(p);
+  }
+  w.sim.deliver(0);
+  w.sim.deliver(1);
+  // p1 completes its fence: condition (c)'s "still executing" clause fails
+  // and p1 stays visible on v.
+  w.sim.deliver(1);  // EndFence for p1
+  const auto a = w.analysis();
+  const auto rep = trace::check_ordered(w.sim.execution(), a, w.layout());
+  EXPECT_FALSE(rep.ok);
+}
+
+}  // namespace
+}  // namespace tpa

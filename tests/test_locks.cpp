@@ -1,0 +1,212 @@
+// Lock-zoo correctness: mutual exclusion and completion for every algorithm
+// under round-robin and randomized TSO schedules (parameterized sweep), plus
+// per-algorithm cost expectations — the separation the paper is about.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "algos/bakery.h"
+#include "algos/queue_locks.h"
+#include "algos/tournament.h"
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::lock_zoo;
+using algos::run_passages;
+using tso::Simulator;
+
+struct RunResult {
+  std::uint32_t total_passages = 0;
+  bool all_done = true;
+};
+
+RunResult run_scenario(const algos::LockFactory& f, int n, int passages,
+                       std::uint64_t seed, double commit_prob) {
+  Simulator sim(static_cast<std::size_t>(n));
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, passages));
+  if (seed == 0) {
+    tso::run_round_robin(sim, 50'000'000);
+  } else {
+    Rng rng(seed);
+    tso::run_random(sim, rng, commit_prob, 50'000'000);
+  }
+  RunResult r;
+  for (int p = 0; p < n; ++p) {
+    r.total_passages += sim.proc(p).passages_done();
+    r.all_done = r.all_done && sim.proc(p).done();
+  }
+  return r;
+}
+
+// ---- Parameterized sweep: (lock index, seed) -------------------------------
+
+class LockSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(LockSweep, ExclusionAndCompletion) {
+  const auto& f = lock_zoo()[std::get<0>(GetParam())];
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const int n = 5;
+  const int passages = 3;
+  // Mutual exclusion violations throw from inside the scheduler; reaching
+  // the end with all passages done is the pass condition.
+  const RunResult r = run_scenario(f, n, passages, seed, 0.3);
+  EXPECT_TRUE(r.all_done) << f.name << " did not complete under seed " << seed;
+  EXPECT_EQ(r.total_passages, static_cast<std::uint32_t>(n * passages))
+      << f.name;
+}
+
+std::vector<std::tuple<std::size_t, std::uint64_t>> sweep_params() {
+  std::vector<std::tuple<std::size_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < lock_zoo().size(); ++i)
+    for (std::uint64_t seed : {0ull, 1ull, 2ull, 3ull, 4ull, 5ull, 42ull,
+                               1234ull})
+      out.emplace_back(i, seed);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, LockSweep, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<LockSweep::ParamType>& info) {
+      std::string name = lock_zoo()[std::get<0>(info.param)].name + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- Aggressive commit-probability sweep for the read/write locks ---------
+
+class CommitProbSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CommitProbSweep, BakeryFamilyUnderCommitRates) {
+  for (const char* name : {"bakery", "adaptive-bakery", "tournament",
+                           "lamport-fast"}) {
+    const auto& f = algos::lock_factory(name);
+    const RunResult r = run_scenario(f, 4, 2, 99, GetParam());
+    EXPECT_TRUE(r.all_done) << name << " @ commit_prob " << GetParam();
+    EXPECT_EQ(r.total_passages, 8u) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CommitProbSweep,
+                         ::testing::Values(0.0, 0.05, 0.5, 0.95));
+
+// ---- Solo progress (weak obstruction-freedom) ------------------------------
+
+TEST(LockProgress, SoloPassageTerminatesForEveryLock) {
+  for (const auto& f : lock_zoo()) {
+    Simulator sim(4);  // others exist but take no steps
+    auto lock = f.make(sim, 4);
+    sim.spawn(0, run_passages(sim.proc(0), lock, 1));
+    std::uint64_t steps = 0;
+    while (!sim.proc(0).done()) {
+      ASSERT_TRUE(sim.deliver(0)) << f.name;
+      ASSERT_LT(++steps, 100'000u) << f.name << ": solo run does not finish";
+    }
+    EXPECT_EQ(sim.proc(0).passages_done(), 1u) << f.name;
+  }
+}
+
+// ---- Cost expectations ------------------------------------------------------
+
+TEST(LockCosts, BakeryHasConstantFencesAndLinearReads) {
+  for (int n : {4, 8, 16}) {
+    Simulator sim(static_cast<std::size_t>(n));
+    auto lock = std::make_shared<algos::BakeryLock>(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+    tso::run_round_robin(sim, 50'000'000);
+    for (int p = 0; p < n; ++p) {
+      const auto& st = sim.proc(p).finished_passages().at(0);
+      EXPECT_EQ(st.fences, 3u) << "bakery: 2 entry + 1 exit fences, n=" << n;
+      EXPECT_EQ(st.cas_ops, 0u);
+      EXPECT_GE(st.critical, static_cast<std::uint32_t>(n))
+          << "bakery scans all n slots";
+    }
+  }
+}
+
+TEST(LockCosts, TournamentFencesGrowLogarithmically) {
+  for (int n : {2, 4, 8, 16}) {
+    Simulator sim(static_cast<std::size_t>(n));
+    auto lock = std::make_shared<algos::TournamentLock>(sim, n);
+    int levels = lock->levels();
+    sim.spawn(0, run_passages(sim.proc(0), lock, 1));
+    while (!sim.proc(0).done()) sim.deliver(0);
+    const auto& st = sim.proc(0).finished_passages().at(0);
+    EXPECT_EQ(st.fences, static_cast<std::uint32_t>(levels + 1))
+        << "one fence per level + one release fence, n=" << n;
+  }
+}
+
+TEST(LockCosts, AdaptiveBakeryWorkTracksContentionNotN) {
+  // Solo passage in a huge arena: critical events must be O(1), not O(n).
+  const int n = 256;
+  Simulator sim(n);
+  auto lock = std::make_shared<algos::AdaptiveBakery>(sim, n);
+  sim.spawn(0, run_passages(sim.proc(0), lock, 2));
+  while (!sim.proc(0).done()) sim.deliver(0);
+  const auto& first = sim.proc(0).finished_passages().at(0);
+  const auto& second = sim.proc(0).finished_passages().at(1);
+  EXPECT_LE(first.critical, 12u)
+      << "solo passage cost must not depend on n=256";
+  EXPECT_LE(second.critical, 12u);
+  EXPECT_EQ(second.cas_ops, 0u) << "registration happens once";
+
+  // Contrast: plain bakery pays Θ(n) even solo.
+  Simulator sim2(n);
+  auto bakery = std::make_shared<algos::BakeryLock>(sim2, n);
+  sim2.spawn(0, run_passages(sim2.proc(0), bakery, 1));
+  while (!sim2.proc(0).done()) sim2.deliver(0);
+  EXPECT_GE(sim2.proc(0).finished_passages().at(0).critical,
+            static_cast<std::uint32_t>(n));
+}
+
+TEST(LockCosts, McsIsLocalSpinInDsm) {
+  // Under DSM, an MCS waiter's spin variable is local: its RMR count per
+  // passage stays constant even while it waits a long time.
+  const int n = 3;
+  Simulator sim(n);
+  auto lock = std::make_shared<algos::McsLock>(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  // p0 acquires; p1 and p2 enqueue; p1/p2 spin a while; then run to done.
+  tso::run_round_robin(sim, 2'000);
+  tso::run_round_robin(sim, 50'000'000);
+  for (int p = 0; p < n; ++p) {
+    const auto& st = sim.proc(p).finished_passages().at(0);
+    EXPECT_LE(st.rmr_dsm, 20u) << "MCS DSM RMRs must be constant, p" << p;
+  }
+}
+
+TEST(LockCosts, ExclusionCheckerCatchesABrokenLock) {
+  // A "lock" that does nothing must trip the simulator's exclusion check.
+  struct NoLock : algos::SimLock {
+    tso::Task<> acquire(tso::Proc&) override { co_return; }
+    tso::Task<> release(tso::Proc&) override { co_return; }
+    std::string name() const override { return "none"; }
+  };
+  Simulator sim(2);
+  auto lock = std::make_shared<NoLock>();
+  for (int p = 0; p < 2; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  EXPECT_THROW(
+      {
+        sim.deliver(0);  // p0 Enter -> pending CS
+        sim.deliver(1);  // p1 Enter -> pending CS: exclusion violation
+      },
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,329 @@
+// Section 5 objects: semantics (counter monotonicity/uniqueness, stack
+// LIFO, queue FIFO), obstruction-freedom, and the Lemma 9 reduction chain —
+// one-time mutual exclusion from counter / queue / stack with O(1) overhead.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algos/spin_locks.h"
+#include "objects/lockfree.h"
+#include "objects/reduction.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using objects::CasCounter;
+using objects::CounterMutex;
+using objects::kEmpty;
+using objects::MichaelScottQueue;
+using objects::QueueCounter;
+using objects::SimCounter;
+using objects::SimQueue;
+using objects::SimStack;
+using objects::StackCounter;
+using objects::TreiberStack;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+
+Task<> inc_n(Proc& p, std::shared_ptr<SimCounter> c, int times,
+             std::vector<Value>* out) {
+  for (int i = 0; i < times; ++i) {
+    const Value v = co_await c->fetch_increment(p);
+    out->push_back(v);
+  }
+}
+
+TEST(CasCounterTest, UniqueMonotoneValuesUnderContention) {
+  const int n = 4, per = 5;
+  Simulator sim(n);
+  auto counter = std::make_shared<CasCounter>(sim);
+  std::vector<std::vector<Value>> got(n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, inc_n(sim.proc(p), counter, per, &got[p]));
+  Rng rng(3);
+  tso::run_random(sim, rng, 0.4, 1'000'000);
+
+  std::set<Value> all;
+  for (int p = 0; p < n; ++p) {
+    ASSERT_EQ(got[p].size(), static_cast<std::size_t>(per));
+    EXPECT_TRUE(std::is_sorted(got[p].begin(), got[p].end()))
+        << "per-process values must be increasing";
+    all.insert(got[p].begin(), got[p].end());
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(n * per)) << "no duplicates";
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), n * per - 1);
+}
+
+Task<> pusher(Proc& p, std::shared_ptr<SimStack> s, Value base, int times) {
+  for (int i = 0; i < times; ++i) co_await s->push(p, base + i);
+}
+
+Task<> popper(Proc& p, std::shared_ptr<SimStack> s, int times,
+              std::vector<Value>* out) {
+  for (int i = 0; i < times; ++i) {
+    const Value v = co_await s->pop(p);
+    if (v != kEmpty) out->push_back(v);
+  }
+}
+
+Task<> lifo_prog(Proc& p, std::shared_ptr<SimStack> s,
+                 std::vector<Value>* out) {
+  co_await s->push(p, 1);
+  co_await s->push(p, 2);
+  co_await s->push(p, 3);
+  for (int i = 0; i < 4; ++i) {
+    const Value v = co_await s->pop(p);
+    out->push_back(v);
+  }
+}
+
+TEST(TreiberStackTest, SequentialLifo) {
+  Simulator sim(1);
+  auto stack = std::make_shared<TreiberStack>(sim, 1, 8);
+  std::vector<Value> got;
+  sim.spawn(0, lifo_prog(sim.proc(0), stack, &got));
+  tso::run_round_robin(sim, 100'000);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], 3);
+  EXPECT_EQ(got[1], 2);
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], kEmpty);
+}
+
+TEST(TreiberStackTest, ConcurrentPushPopNoLossNoDup) {
+  const int n = 4, per = 4;
+  Simulator sim(n);
+  auto stack = std::make_shared<TreiberStack>(sim, n, per);
+  std::vector<std::vector<Value>> got(n);
+  // Two pushers, two poppers.
+  sim.spawn(0, pusher(sim.proc(0), stack, 100, per));
+  sim.spawn(1, pusher(sim.proc(1), stack, 200, per));
+  sim.spawn(2, popper(sim.proc(2), stack, 3 * per, &got[2]));
+  sim.spawn(3, popper(sim.proc(3), stack, 3 * per, &got[3]));
+  Rng rng(9);
+  tso::run_random(sim, rng, 0.4, 1'000'000);
+
+  std::multiset<Value> popped;
+  popped.insert(got[2].begin(), got[2].end());
+  popped.insert(got[3].begin(), got[3].end());
+  // Every popped value is unique and was pushed.
+  std::set<Value> unique(popped.begin(), popped.end());
+  EXPECT_EQ(unique.size(), popped.size()) << "no value popped twice";
+  for (Value v : popped)
+    EXPECT_TRUE((v >= 100 && v < 100 + per) || (v >= 200 && v < 200 + per));
+}
+
+TEST(TreiberStackTest, SeededPopsInOrder) {
+  Simulator sim(1);
+  auto stack = std::make_shared<TreiberStack>(sim, 1, 1, /*seed_capacity=*/3);
+  stack->seed_initial(sim, {7, 8, 9});
+  std::vector<Value> got;
+  sim.spawn(0, popper(sim.proc(0), stack, 4, &got));
+  tso::run_round_robin(sim, 100'000);
+  ASSERT_EQ(got.size(), 3u);  // kEmpty filtered out
+  EXPECT_EQ(got, (std::vector<Value>{7, 8, 9}));
+}
+
+Task<> enqueuer(Proc& p, std::shared_ptr<SimQueue> q, Value base, int times) {
+  for (int i = 0; i < times; ++i) co_await q->enqueue(p, base + i);
+}
+
+Task<> dequeuer(Proc& p, std::shared_ptr<SimQueue> q, int times,
+                std::vector<Value>* out) {
+  for (int i = 0; i < times; ++i) {
+    const Value v = co_await q->dequeue(p);
+    if (v != kEmpty) out->push_back(v);
+  }
+}
+
+Task<> fifo_prog(Proc& p, std::shared_ptr<SimQueue> q,
+                 std::vector<Value>* out) {
+  co_await q->enqueue(p, 1);
+  co_await q->enqueue(p, 2);
+  co_await q->enqueue(p, 3);
+  for (int i = 0; i < 4; ++i) {
+    const Value v = co_await q->dequeue(p);
+    out->push_back(v);
+  }
+}
+
+TEST(MsQueueTest, SequentialFifo) {
+  Simulator sim(1);
+  auto queue = std::make_shared<MichaelScottQueue>(sim, 1, 8);
+  std::vector<Value> got;
+  sim.spawn(0, fifo_prog(sim.proc(0), queue, &got));
+  tso::run_round_robin(sim, 100'000);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+  EXPECT_EQ(got[2], 3);
+  EXPECT_EQ(got[3], kEmpty);
+}
+
+TEST(MsQueueTest, PerProducerOrderPreserved) {
+  const int n = 4, per = 4;
+  Simulator sim(n);
+  auto queue = std::make_shared<MichaelScottQueue>(sim, n, per);
+  std::vector<std::vector<Value>> got(n);
+  sim.spawn(0, enqueuer(sim.proc(0), queue, 100, per));
+  sim.spawn(1, enqueuer(sim.proc(1), queue, 200, per));
+  sim.spawn(2, dequeuer(sim.proc(2), queue, 3 * per, &got[2]));
+  sim.spawn(3, dequeuer(sim.proc(3), queue, 3 * per, &got[3]));
+  Rng rng(17);
+  tso::run_random(sim, rng, 0.4, 1'000'000);
+
+  // FIFO per producer: each consumer's subsequence from one producer is
+  // increasing.
+  for (int c : {2, 3}) {
+    std::vector<Value> a, b;
+    for (Value v : got[static_cast<std::size_t>(c)])
+      (v < 200 ? a : b).push_back(v);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  }
+  std::set<Value> all;
+  all.insert(got[2].begin(), got[2].end());
+  all.insert(got[3].begin(), got[3].end());
+  EXPECT_EQ(all.size(), got[2].size() + got[3].size()) << "no duplicates";
+}
+
+Task<> solo_ops_prog(Proc& p, std::shared_ptr<SimCounter> c,
+                     std::shared_ptr<SimStack> s, std::shared_ptr<SimQueue> q,
+                     std::vector<Value>* out) {
+  const Value a = co_await c->fetch_increment(p);
+  out->push_back(a);
+  co_await s->push(p, 1);
+  const Value b = co_await s->pop(p);
+  out->push_back(b);
+  co_await q->enqueue(p, 2);
+  const Value d = co_await q->dequeue(p);
+  out->push_back(d);
+}
+
+TEST(ObstructionFreedom, SoloOperationsTerminate) {
+  // Weak obstruction-freedom: a solo run of any operation completes.
+  Simulator sim(2);
+  auto counter = std::make_shared<CasCounter>(sim);
+  auto stack = std::make_shared<TreiberStack>(sim, 2, 2);
+  auto queue = std::make_shared<MichaelScottQueue>(sim, 2, 2);
+  std::vector<Value> got;
+  sim.spawn(0, solo_ops_prog(sim.proc(0), counter, stack, queue, &got));
+  std::uint64_t steps = 0;
+  while (!sim.proc(0).done()) {
+    ASSERT_TRUE(sim.deliver(0));
+    ASSERT_LT(++steps, 10'000u);
+  }
+  EXPECT_EQ(got, (std::vector<Value>{0, 1, 2}));
+}
+
+// ---- Lemma 9: one-time mutex from counter / queue / stack ------------------
+
+void run_counter_mutex(std::shared_ptr<SimCounter> counter, Simulator& sim,
+                       int n) {
+  auto mutex = std::make_shared<CounterMutex>(sim, n, std::move(counter));
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), mutex, 1));
+  Rng rng(123);
+  tso::run_random(sim, rng, 0.3, 5'000'000);
+  for (int p = 0; p < n; ++p)
+    ASSERT_EQ(sim.proc(p).passages_done(), 1u) << "p" << p;
+}
+
+TEST(Lemma9, MutexFromCasCounter) {
+  const int n = 5;
+  Simulator sim(n);
+  run_counter_mutex(std::make_shared<CasCounter>(sim), sim, n);
+}
+
+TEST(Lemma9, MutexFromQueue) {
+  const int n = 5;
+  Simulator sim(n);
+  auto queue = std::make_shared<MichaelScottQueue>(sim, n, 0, n);
+  std::vector<Value> tickets;
+  for (int i = 0; i < n; ++i) tickets.push_back(i);
+  queue->seed_initial(sim, tickets);
+  run_counter_mutex(std::make_shared<QueueCounter>(queue), sim, n);
+}
+
+TEST(Lemma9, MutexFromStack) {
+  const int n = 5;
+  Simulator sim(n);
+  auto stack = std::make_shared<TreiberStack>(sim, n, 0, n);
+  std::vector<Value> tickets;  // 0 must pop first
+  for (int i = 0; i < n; ++i) tickets.push_back(i);
+  stack->seed_initial(sim, tickets);
+  run_counter_mutex(std::make_shared<StackCounter>(stack), sim, n);
+}
+
+TEST(Lemma9, PassageOverheadIsConstant) {
+  // Each passage performs exactly one fetch&increment plus O(1) fences:
+  // count the non-counter fences of a solo passage.
+  const int n = 8;
+  Simulator sim(n);
+  auto counter = std::make_shared<CasCounter>(sim);
+  auto mutex = std::make_shared<CounterMutex>(sim, n, counter);
+  sim.spawn(0, algos::run_passages(sim.proc(0), mutex, 1));
+  while (!sim.proc(0).done()) sim.deliver(0);
+  const auto& st = sim.proc(0).finished_passages().at(0);
+  EXPECT_EQ(st.cas_ops, 1u) << "exactly one counter operation";
+  EXPECT_LE(st.fences, 3u) << "O(1) fences beyond the counter op";
+  EXPECT_LE(st.critical, 6u) << "O(1) critical events beyond the counter op";
+}
+
+// ---- Easy direction: objects from a lock -----------------------------------
+
+Task<> locked_queue_prog(Proc& p, std::shared_ptr<SimQueue> qq,
+                         std::vector<Value>* out) {
+  co_await qq->enqueue(p, 1);
+  co_await qq->enqueue(p, 2);
+  for (int i = 0; i < 3; ++i) {
+    const Value v = co_await qq->dequeue(p);
+    out->push_back(v);
+  }
+}
+
+Task<> locked_stack_prog(Proc& p, std::shared_ptr<SimStack> st,
+                         std::vector<Value>* out) {
+  co_await st->push(p, 1);
+  co_await st->push(p, 2);
+  for (int i = 0; i < 3; ++i) {
+    const Value v = co_await st->pop(p);
+    out->push_back(v);
+  }
+}
+
+TEST(LockedObjects, CounterQueueStackBehave) {
+  const int n = 3;
+  Simulator sim(n);
+  auto lock = std::make_shared<algos::TasLock>(sim);
+  auto counter = std::make_shared<objects::LockedCounter>(sim, lock);
+  std::vector<std::vector<Value>> got(n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, inc_n(sim.proc(p), counter, 3, &got[p]));
+  Rng rng(5);
+  tso::run_random(sim, rng, 0.4, 1'000'000);
+  std::set<Value> all;
+  for (auto& g : got) all.insert(g.begin(), g.end());
+  EXPECT_EQ(all.size(), 9u);
+
+  Simulator sim2(2);
+  auto lock2 = std::make_shared<algos::TasLock>(sim2);
+  auto q = std::make_shared<objects::LockedQueue>(sim2, lock2, 8);
+  auto s = std::make_shared<objects::LockedStack>(sim2, lock2, 8);
+  std::vector<Value> qs, ss;
+  sim2.spawn(0, locked_queue_prog(sim2.proc(0), q, &qs));
+  sim2.spawn(1, locked_stack_prog(sim2.proc(1), s, &ss));
+  tso::run_round_robin(sim2, 1'000'000);
+  EXPECT_EQ(qs, (std::vector<Value>{1, 2, kEmpty}));
+  EXPECT_EQ(ss, (std::vector<Value>{2, 1, kEmpty}));
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,167 @@
+// Deterministic replay and erasure (Lemma 1 / Lemma 4 as runtime checks).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/zoo.h"
+#include "trace/algebra.h"
+#include "trace/analyzer.h"
+#include "trace/inset.h"
+#include "tso/schedule.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::run_passages;
+using tso::Directive;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+// Increment a private variable `r` times with fences.
+Task<> private_counter_prog(Proc& pr, VarId v, int r) {
+  for (int i = 0; i < r; ++i) {
+    const Value cur = co_await pr.read(v);
+    co_await pr.write(v, cur + 1);
+    co_await pr.fence();
+  }
+}
+
+// Scenario: each process increments its own private counter variable k
+// times, with fences. Processes never touch each other's variables, so
+// every process is invisible to every other — any subset can be erased.
+tso::ScenarioBuilder disjoint_builder(int n, int rounds) {
+  return [n, rounds](Simulator& sim) {
+    std::vector<VarId> vars;
+    for (int p = 0; p < n; ++p) vars.push_back(sim.alloc_var(0));
+    for (int p = 0; p < n; ++p) {
+      sim.spawn(p, private_counter_prog(
+                       sim.proc(p), vars[static_cast<std::size_t>(p)],
+                       rounds));
+    }
+  };
+}
+
+TEST(Replay, IdentityReplayReproducesTrace) {
+  const int n = 3;
+  const auto build = disjoint_builder(n, 2);
+  Simulator sim(n);
+  build(sim);
+  Rng rng(5);
+  tso::run_random(sim, rng, 0.3, 100'000);
+
+  auto replayed = tso::replay(n, {}, build, sim.execution().directives);
+  ASSERT_EQ(replayed->num_events(), sim.num_events());
+  EXPECT_TRUE(trace::same_events(sim.execution().events,
+                                 replayed->execution().events));
+}
+
+TEST(Replay, ErasingInvisibleProcessesPreservesSurvivors) {
+  const int n = 4;
+  const auto build = disjoint_builder(n, 3);
+  Simulator sim(n);
+  build(sim);
+  Rng rng(11);
+  tso::run_random(sim, rng, 0.2, 100'000);
+
+  // Erase p1 and p3; survivors must replay identically (Lemma 4).
+  std::vector<bool> erased = {false, true, false, true};
+  auto replayed =
+      tso::replay(n, {}, build, sim.execution().directives, &erased);
+  const auto check = tso::verify_replay_equivalence(
+      sim.execution(), replayed->execution(), erased);
+  EXPECT_TRUE(check.ok) << check.detail;
+
+  // Event-algebra view agrees with the semantic replay (kinds/vars/values).
+  const auto erased_seq = trace::erase_procs(sim.execution().events, erased);
+  ASSERT_EQ(erased_seq.size(), replayed->num_events());
+  for (std::size_t i = 0; i < erased_seq.size(); ++i) {
+    EXPECT_EQ(erased_seq[i].kind, replayed->execution().events[i].kind);
+    EXPECT_EQ(erased_seq[i].var, replayed->execution().events[i].var);
+    EXPECT_EQ(erased_seq[i].value, replayed->execution().events[i].value);
+  }
+}
+
+// Scenario where p1 reads a variable p0 committed — p0 is NOT invisible.
+Task<> dep_writer_prog(Proc& pr, VarId var) {
+  co_await pr.write(var, 42);
+  co_await pr.fence();
+}
+
+Task<> dep_reader_prog(Proc& pr, VarId var) {
+  const Value got = co_await pr.read(var);
+  co_await pr.write(var, got + 1);
+  co_await pr.fence();
+}
+
+tso::ScenarioBuilder dependent_builder() {
+  return [](Simulator& sim) {
+    const VarId v = sim.alloc_var(0);
+    sim.spawn(0, dep_writer_prog(sim.proc(0), v));
+    sim.spawn(1, dep_reader_prog(sim.proc(1), v));
+  };
+}
+
+TEST(Replay, ErasingAVisibleProcessIsDetected) {
+  const auto build = dependent_builder();
+  Simulator sim(2);
+  build(sim);
+  // p0 commits, then p1 reads 42 and writes 43.
+  tso::run_round_robin(sim, 100'000);
+  ASSERT_EQ(sim.value(0), 43);
+
+  std::vector<bool> erased = {true, false};
+  auto replayed = tso::replay(2, {}, build, sim.execution().directives,
+                              &erased);
+  const auto check = tso::verify_replay_equivalence(
+      sim.execution(), replayed->execution(), erased);
+  EXPECT_FALSE(check.ok)
+      << "p1 read p0's value; erasing p0 must change p1's events";
+}
+
+TEST(Replay, In3SubsetCheckOnDisjointScenario) {
+  const int n = 3;
+  const auto build = disjoint_builder(n, 2);
+  Simulator sim(n);
+  build(sim);
+  tso::run_round_robin(sim, 100'000, /*eager_commit=*/false);
+
+  for (int erased_proc = 0; erased_proc < n; ++erased_proc) {
+    std::vector<bool> mask(n, false);
+    mask[static_cast<std::size_t>(erased_proc)] = true;
+    const auto report =
+        trace::check_in3_subset(n, {}, build, sim.execution(), mask);
+    EXPECT_TRUE(report.ok) << "erasing p" << erased_proc << ": "
+                           << report.detail;
+  }
+}
+
+TEST(Replay, WorksForEveryZooLockWithoutErasure) {
+  // Full-zoo determinism check: replaying the recorded schedule of a
+  // contended run reproduces the identical event trace.
+  for (const auto& f : algos::lock_zoo()) {
+    const int n = 3;
+    const auto build = [&f, n](Simulator& sim) {
+      auto lock = f.make(sim, n);
+      for (int p = 0; p < n; ++p)
+        sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+    };
+    Simulator sim(n);
+    build(sim);
+    Rng rng(77);
+    tso::run_random(sim, rng, 0.3, 10'000'000);
+
+    auto replayed = tso::replay(n, {}, build, sim.execution().directives);
+    EXPECT_TRUE(trace::same_events(sim.execution().events,
+                                   replayed->execution().events))
+        << f.name;
+  }
+}
+
+}  // namespace
+}  // namespace tpa

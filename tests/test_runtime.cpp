@@ -1,0 +1,102 @@
+// Native instrumented locks: mutual exclusion under real threads, and the
+// fence/RMW accounting that makes the adaptive price observable on x86.
+#include <gtest/gtest.h>
+
+#include "runtime/harness.h"
+#include "runtime/locks.h"
+
+namespace tpa {
+namespace {
+
+using runtime::rt_lock_zoo;
+using runtime::run_stress;
+using runtime::thread_counters;
+
+class RtZoo : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RtZoo, ExclusionUnderThreads) {
+  const auto& f = rt_lock_zoo()[GetParam()];
+  const int threads = 4;
+  auto lock = f.make(threads);
+  const auto r = run_stress(*lock, threads, 2000);
+  EXPECT_TRUE(r.exclusion_ok)
+      << f.name << ": shared counter lost increments";
+  EXPECT_EQ(r.total_ops, 8000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, RtZoo, ::testing::Range<std::size_t>(0, 9),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string name = rt_lock_zoo()[info.param].name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(RtCounters, SingleThreadBarrierCounts) {
+  // Deterministic single-thread counts per passage.
+  struct Expect {
+    const char* name;
+    double barriers;  // fences + rmws per uncontended passage
+  };
+  // tas: 1 CAS. ticket: 1 fetch_add. bakery: 2 fences. mcs: 1 xchg + 1 CAS.
+  for (const Expect e : std::initializer_list<Expect>{
+           {"tas", 1}, {"ticket", 1}, {"bakery", 2}, {"mcs", 2}}) {
+    auto lock = runtime::rt_lock_zoo()[0].make(1);
+    for (const auto& f : rt_lock_zoo())
+      if (f.name == e.name) lock = f.make(1);
+    const auto before = thread_counters();
+    for (int i = 0; i < 10; ++i) {
+      lock->lock(0);
+      lock->unlock(0);
+    }
+    const auto delta = thread_counters() - before;
+    EXPECT_NEAR(static_cast<double>(delta.barriers()) / 10.0, e.barriers,
+                1e-9)
+        << e.name;
+  }
+}
+
+TEST(RtCounters, AdaptiveBakerySoloIsCheapAfterRegistration) {
+  const int n = 64;
+  const auto& f = rt_lock_zoo()[rt_lock_zoo().size() - 2];
+  ASSERT_EQ(f.name, "adaptive-bakery");
+  auto lock = f.make(n);
+  lock->lock(0);
+  lock->unlock(0);  // first passage: registration CAS
+  const auto before = thread_counters();
+  for (int i = 0; i < 10; ++i) {
+    lock->lock(0);
+    lock->unlock(0);
+  }
+  const auto delta = thread_counters() - before;
+  EXPECT_EQ(delta.rmws, 0u) << "no CAS after registration";
+  EXPECT_EQ(delta.fences, 20u) << "2 fences per passage";
+  // Work is O(k): solo in a 64-slot arena touches ~1 slot per scan.
+  EXPECT_LE(delta.loads, 200u) << "loads must not scale with n=64";
+}
+
+TEST(RtCounters, PlainBakeryScansAllN) {
+  const int n = 64;
+  std::unique_ptr<runtime::RtLock> lock;
+  for (const auto& f : rt_lock_zoo())
+    if (f.name == "bakery") lock = f.make(n);
+  const auto before = thread_counters();
+  lock->lock(0);
+  lock->unlock(0);
+  const auto delta = thread_counters() - before;
+  EXPECT_GE(delta.loads, static_cast<std::uint64_t>(2 * n))
+      << "bakery scans all n slots twice";
+}
+
+TEST(RtHarness, ReportsSaneRates) {
+  auto lock = rt_lock_zoo()[2].make(2);  // ticket
+  const auto r = run_stress(*lock, 2, 5000);
+  EXPECT_TRUE(r.exclusion_ok);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_NEAR(r.rmws_per_op, 1.0, 0.01) << "one fetch_add per passage";
+  EXPECT_GE(r.max_thread_barriers_per_op, r.barriers_per_op - 1e-9);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,109 @@
+// Scheduler strategies: determinism, termination, drain behaviour, and the
+// livelock/stuck distinction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/zoo.h"
+#include "trace/algebra.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::run_passages;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+Task<> writer_no_fence(Proc& p, VarId v) {
+  co_await p.write(v, 1);
+  // deliberately no fence: the scheduler must drain the buffer eventually
+}
+
+TEST(Schedulers, RoundRobinDrainsBuffersOfFinishedPrograms) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_no_fence(sim.proc(0), v));
+  tso::run_round_robin(sim, 1000, /*eager_commit=*/false);
+  EXPECT_EQ(sim.value(v), 1) << "hardware flushes stores eventually";
+  EXPECT_TRUE(tso::all_done(sim));
+}
+
+TEST(Schedulers, RoundRobinIsDeterministic) {
+  auto trace = [](bool eager) {
+    Simulator sim(3);
+    const auto& f = algos::lock_factory("bakery");
+    auto lock = f.make(sim, 3);
+    for (int p = 0; p < 3; ++p)
+      sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+    tso::run_round_robin(sim, 1'000'000, eager);
+    return sim.execution().events;
+  };
+  EXPECT_TRUE(trace::same_events(trace(true), trace(true)));
+  EXPECT_TRUE(trace::same_events(trace(false), trace(false)));
+}
+
+TEST(Schedulers, RandomIsDeterministicPerSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Simulator sim(3);
+    const auto& f = algos::lock_factory("mcs");
+    auto lock = f.make(sim, 3);
+    for (int p = 0; p < 3; ++p)
+      sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+    Rng rng(seed);
+    tso::run_random(sim, rng, 0.3, 1'000'000);
+    return sim.execution().events;
+  };
+  EXPECT_TRUE(trace::same_events(trace(5), trace(5)));
+  EXPECT_FALSE(trace::same_events(trace(5), trace(6)))
+      << "different seeds should give different interleavings";
+}
+
+TEST(Schedulers, MaxStepsBoundsLivelock) {
+  // A TTAS waiter spins forever while the holder never releases (we only
+  // spawn the waiter after taking the lock away): run_random must stop at
+  // the step bound without flagging "stuck" (delivering a spin read is
+  // progress in the model).
+  Simulator sim(2);
+  const auto& f = algos::lock_factory("ttas");
+  auto lock = f.make(sim, 2);
+  sim.spawn(0, run_passages(sim.proc(0), lock, 1));
+  sim.spawn(1, run_passages(sim.proc(1), lock, 1));
+  // p0 acquires and stops before releasing (we never schedule it again).
+  for (int i = 0; i < 4; ++i) sim.deliver(0);  // Enter, read, CAS, CS
+  std::uint64_t steps = 0;
+  while (steps < 5'000) {
+    ASSERT_TRUE(sim.deliver(1)) << "spinning is progress in the model";
+    ++steps;
+  }
+  EXPECT_EQ(sim.proc(1).passages_done(), 0u)
+      << "the waiter spins forever while the holder is suspended";
+}
+
+TEST(Schedulers, AllDoneSemantics) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_no_fence(sim.proc(0), v));
+  EXPECT_FALSE(tso::all_done(sim)) << "p0 has a pending write issue";
+  sim.deliver(0);  // issue; program ends but the buffer is non-empty
+  EXPECT_FALSE(tso::all_done(sim)) << "buffered write still pending";
+  sim.commit(0);
+  EXPECT_TRUE(tso::all_done(sim))
+      << "p1 never had a program; p0 done and drained";
+}
+
+TEST(Schedulers, EagerCommitMakesWritesVisibleImmediately) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_no_fence(sim.proc(0), v));
+  tso::run_round_robin(sim, 3, /*eager_commit=*/true);
+  EXPECT_EQ(sim.value(v), 1);
+}
+
+}  // namespace
+}  // namespace tpa

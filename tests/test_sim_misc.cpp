@@ -1,0 +1,140 @@
+// Simulator odds and ends: argument validation, poke semantics, transition
+// legality, pending classification coverage, contention accounting, and
+// trace-off mode.
+#include <gtest/gtest.h>
+
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using tso::PendingClass;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+TEST(SimMisc, ArgumentValidation) {
+  Simulator sim(2);
+  EXPECT_THROW(sim.proc(-1), CheckFailure);
+  EXPECT_THROW(sim.proc(2), CheckFailure);
+  EXPECT_THROW(sim.value(0), CheckFailure) << "no variables allocated yet";
+  EXPECT_THROW(sim.alloc_var(0, /*owner=*/5), CheckFailure);
+  const VarId v = sim.alloc_var(7, /*owner=*/1);
+  EXPECT_EQ(sim.value(v), 7);
+  EXPECT_EQ(sim.var_owner(v), 1);
+  EXPECT_EQ(sim.last_writer(v), tso::kNoProc);
+}
+
+Task<> read_only(Proc& p, VarId v) { co_await p.read(v); }
+
+TEST(SimMisc, PokeOnlyBeforeExecution) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.poke(v, 99);
+  EXPECT_EQ(sim.value(v), 99);
+  sim.spawn(0, read_only(sim.proc(0), v));
+  sim.deliver(0);  // first event recorded
+  EXPECT_THROW(sim.poke(v, 1), CheckFailure);
+}
+
+Task<> just_cs(Proc& p) { co_await p.cs(); }
+
+TEST(SimMisc, IllegalTransitionRejected) {
+  Simulator sim(1);
+  sim.spawn(0, just_cs(sim.proc(0)));
+  EXPECT_THROW(sim.deliver(0), CheckFailure) << "CS without Enter";
+}
+
+Task<> classify_prog(Proc& p, VarId local, VarId remote) {
+  co_await p.write(local, 1);  // kWriteIssue
+  co_await p.read(local);      // kLocalRead (buffered)
+  co_await p.read(remote);     // kCriticalRead then kNonCriticalRead
+  co_await p.read(remote);
+  co_await p.fence();          // kBeginFence / commits / kEndFence
+  co_await p.cas(remote, 0, 1);  // kCas
+}
+
+TEST(SimMisc, PendingClassificationCoverage) {
+  Simulator sim(2);
+  const VarId local = sim.alloc_var(0, /*owner=*/0);
+  const VarId remote = sim.alloc_var(0);
+  sim.spawn(0, classify_prog(sim.proc(0), local, remote));
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kWriteIssue);
+  sim.deliver(0);
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kLocalRead);
+  sim.deliver(0);
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kCriticalRead);
+  sim.deliver(0);
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kNonCriticalRead);
+  sim.deliver(0);
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kBeginFence);
+  sim.deliver(0);  // BeginFence
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kCommitNonCritical)
+      << "the buffered write targets the process' own (local) variable";
+  sim.deliver(0);  // commit local write
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kEndFence);
+  sim.deliver(0);  // EndFence
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kCas);
+  sim.deliver(0);
+  EXPECT_EQ(sim.classify_pending(0), PendingClass::kNone);
+  EXPECT_TRUE(sim.proc(0).done());
+}
+
+TEST(SimMisc, CommitOfLocalVarNotCritical) {
+  // A commit to the process' own segment is never critical (Definition 2
+  // requires a *remote* write).
+  Simulator sim(1);
+  const VarId local = sim.alloc_var(0, /*owner=*/0);
+  sim.spawn(0, classify_prog(sim.proc(0), local, sim.alloc_var(0)));
+  for (int i = 0; i < 6; ++i) sim.deliver(0);
+  for (const auto& e : sim.execution().events) {
+    if (e.kind == tso::EventKind::kWriteCommit) {
+      EXPECT_FALSE(e.critical) << "local commit must not be critical";
+    }
+  }
+}
+
+TEST(SimMisc, TotalContentionCountsParticipants) {
+  Simulator sim(4);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, read_only(sim.proc(0), v));
+  sim.spawn(1, read_only(sim.proc(1), v));
+  EXPECT_EQ(sim.total_contention(), 0u) << "nothing executed yet";
+  sim.deliver(0);
+  EXPECT_EQ(sim.total_contention(), 1u);
+  sim.deliver(1);
+  EXPECT_EQ(sim.total_contention(), 2u);
+}
+
+TEST(SimMisc, TraceOffModeStillComputesCosts) {
+  tso::SimConfig cfg;
+  cfg.record_trace = false;
+  cfg.track_awareness = false;
+  Simulator sim(2, cfg);
+  const auto& f = algos::lock_factory("bakery");
+  auto lock = f.make(sim, 2);
+  for (int p = 0; p < 2; ++p)
+    sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  tso::run_round_robin(sim, 1'000'000);
+  EXPECT_EQ(sim.num_events(), 0u) << "no trace recorded";
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_EQ(sim.proc(p).passages_done(), 1u);
+    EXPECT_EQ(sim.proc(p).finished_passages().at(0).fences, 3u)
+        << "per-passage counters work without the trace";
+  }
+}
+
+TEST(SimMisc, DoubleSpawnRejected) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, read_only(sim.proc(0), v));
+  EXPECT_THROW(sim.spawn(0, read_only(sim.proc(0), v)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,37 @@
+// Smoke tests: the simulator boots, a trivial program runs, a lock works
+// under the friendliest schedule.
+#include <gtest/gtest.h>
+
+#include "algos/spin_locks.h"
+#include "algos/zoo.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using algos::run_passages;
+using tso::Simulator;
+
+TEST(Smoke, SimulatorConstructs) {
+  Simulator sim(4);
+  EXPECT_EQ(sim.num_procs(), 4u);
+  EXPECT_EQ(sim.num_vars(), 0u);
+  const auto v = sim.alloc_var(42);
+  EXPECT_EQ(sim.value(v), 42);
+}
+
+TEST(Smoke, TasLockSinglePassageEachRoundRobin) {
+  Simulator sim(3);
+  auto lock = std::make_shared<algos::TasLock>(sim);
+  for (int p = 0; p < 3; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  tso::run_round_robin(sim, 1'000'000);
+  for (int p = 0; p < 3; ++p)
+    EXPECT_EQ(sim.proc(p).passages_done(), 1u) << "p" << p;
+}
+
+TEST(Smoke, ZooIsComplete) { EXPECT_EQ(algos::lock_zoo().size(), 12u); }
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,155 @@
+// TSO write-buffer semantics (Section 2 of the paper, items 1-3):
+// FIFO commit order, in-place coalescing (at most one buffered write per
+// variable), read-own-buffer, fence drain, and delayed visibility.
+#include <gtest/gtest.h>
+
+#include "tso/sim.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using tso::EventKind;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+Task<> write_two(Proc& p, VarId a, VarId b) {
+  co_await p.write(a, 1);
+  co_await p.write(b, 2);
+  co_await p.fence();
+}
+
+TEST(TsoBuffer, WritesInvisibleUntilCommitted) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, write_two(sim.proc(0), a, b));
+  sim.deliver(0);  // issue write a
+  sim.deliver(0);  // issue write b
+  EXPECT_EQ(sim.value(a), 0) << "issued write must not be visible";
+  EXPECT_EQ(sim.value(b), 0);
+  EXPECT_EQ(sim.proc(0).buffer().size(), 2u);
+}
+
+TEST(TsoBuffer, FenceDrainsInFifoOrder) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, write_two(sim.proc(0), a, b));
+  sim.deliver(0);  // issue a
+  sim.deliver(0);  // issue b
+  sim.deliver(0);  // BeginFence
+  EXPECT_EQ(sim.classify_pending(0), tso::PendingClass::kCommitCritical);
+  sim.deliver(0);  // commit a
+  EXPECT_EQ(sim.value(a), 1);
+  EXPECT_EQ(sim.value(b), 0) << "FIFO: b commits after a";
+  sim.deliver(0);  // commit b
+  EXPECT_EQ(sim.value(b), 2);
+  sim.deliver(0);  // EndFence
+  EXPECT_EQ(sim.proc(0).fences_completed(), 1u);
+  EXPECT_TRUE(sim.proc(0).done());
+}
+
+Task<> coalesce(Proc& p, VarId a, VarId b) {
+  co_await p.write(a, 1);
+  co_await p.write(b, 2);
+  co_await p.write(a, 3);  // replaces the older buffered write to a in place
+  co_await p.fence();
+}
+
+TEST(TsoBuffer, CoalescingReplacesInPlace) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, coalesce(sim.proc(0), a, b));
+  sim.deliver(0);
+  sim.deliver(0);
+  sim.deliver(0);
+  ASSERT_EQ(sim.proc(0).buffer().size(), 2u)
+      << "at most one buffered write per variable";
+  EXPECT_EQ(sim.proc(0).buffer()[0].var, a) << "a keeps its (front) position";
+  EXPECT_EQ(sim.proc(0).buffer()[0].value, 3);
+  sim.deliver(0);  // BeginFence
+  sim.deliver(0);  // commit a=3 first (kept position)
+  EXPECT_EQ(sim.value(a), 3);
+  EXPECT_EQ(sim.value(b), 0);
+}
+
+Task<> read_own(Proc& p, VarId a, Value* out) {
+  co_await p.write(a, 7);
+  const Value got = co_await p.read(a);
+  *out = got;
+  co_await p.fence();
+}
+
+TEST(TsoBuffer, ReadsOwnBufferedWrite) {
+  Simulator sim(2);
+  const VarId a = sim.alloc_var(0);
+  Value got = -1;
+  sim.spawn(0, read_own(sim.proc(0), a, &got));
+  sim.deliver(0);  // issue
+  sim.deliver(0);  // read
+  EXPECT_EQ(got, 7) << "read must be served from the own write buffer";
+  EXPECT_EQ(sim.value(a), 0) << "the read must not commit the write";
+  // The buffered read is not a variable access.
+  const auto& events = sim.execution().events;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, EventKind::kRead);
+  EXPECT_TRUE(events[1].from_buffer);
+  EXPECT_FALSE(events[1].accesses_var);
+  EXPECT_FALSE(events[1].critical);
+}
+
+Task<> reader(Proc& p, VarId a, Value* out) {
+  const Value got = co_await p.read(a);
+  *out = got;
+}
+
+TEST(TsoBuffer, OtherProcessReadsOldValueUntilCommit) {
+  Simulator sim(2);
+  const VarId a = sim.alloc_var(10);
+  Value got = -1;
+  sim.spawn(0, write_two(sim.proc(0), a, a));  // coalesces to one entry
+  sim.spawn(1, reader(sim.proc(1), a, &got));
+  sim.deliver(0);  // p0 issues a=1
+  sim.deliver(0);  // p0 issues a=2 (coalesce)
+  sim.deliver(1);  // p1 reads
+  EXPECT_EQ(got, 10) << "p1 must see the initial value pre-commit";
+  sim.commit(0);
+  EXPECT_EQ(sim.value(a), 2);
+}
+
+TEST(TsoBuffer, ExplicitCommitDirective) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, write_two(sim.proc(0), a, b));
+  sim.deliver(0);
+  sim.deliver(0);
+  EXPECT_TRUE(sim.commit(0));  // commit a even though no fence yet
+  EXPECT_EQ(sim.value(a), 1);
+  EXPECT_EQ(sim.proc(0).buffer().size(), 1u);
+  EXPECT_TRUE(sim.commit(0));
+  EXPECT_FALSE(sim.commit(0)) << "empty buffer commit must return false";
+}
+
+Task<> empty_fence(Proc& p) { co_await p.fence(); }
+
+TEST(TsoBuffer, FenceWithEmptyBufferIsBeginThenEnd) {
+  Simulator sim(1);
+  sim.spawn(0, empty_fence(sim.proc(0)));
+  sim.deliver(0);  // BeginFence
+  EXPECT_EQ(sim.classify_pending(0), tso::PendingClass::kEndFence);
+  sim.deliver(0);  // EndFence
+  EXPECT_EQ(sim.proc(0).fences_completed(), 1u);
+  const auto& events = sim.execution().events;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kBeginFence);
+  EXPECT_EQ(events[1].kind, EventKind::kEndFence);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,209 @@
+// Cost accounting: criticality (Definition 2) and RMRs in the DSM model and
+// the CC model under write-through and write-back protocols.
+#include <gtest/gtest.h>
+
+#include "tso/sim.h"
+
+namespace tpa {
+namespace {
+
+using tso::EventKind;
+using tso::Proc;
+using tso::Simulator;
+using tso::Task;
+using tso::Value;
+using tso::VarId;
+
+Task<> read_n(Proc& p, VarId v, int times) {
+  for (int i = 0; i < times; ++i) co_await p.read(v);
+}
+
+TEST(Criticality, OnlyFirstRemoteReadIsCritical) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, read_n(sim.proc(0), v, 3));
+  for (int i = 0; i < 3; ++i) sim.deliver(0);
+  const auto& events = sim.execution().events;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].critical);
+  EXPECT_FALSE(events[1].critical);
+  EXPECT_FALSE(events[2].critical);
+  EXPECT_EQ(sim.proc(0).current_passage().critical, 1u)
+      << "exactly one critical event; the record is reset at the next Enter";
+}
+
+Task<> read_local(Proc& p, VarId v, int times) {
+  for (int i = 0; i < times; ++i) co_await p.read(v);
+}
+
+TEST(Criticality, LocalReadsNeverCritical) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0, /*owner=*/0);
+  sim.spawn(0, read_local(sim.proc(0), v, 2));
+  sim.deliver(0);
+  sim.deliver(0);
+  for (const auto& e : sim.execution().events) {
+    EXPECT_FALSE(e.remote);
+    EXPECT_FALSE(e.critical);
+    EXPECT_FALSE(e.rmr_dsm) << "DSM: local access is free";
+  }
+}
+
+Task<> write_commit(Proc& p, VarId v, Value x) {
+  co_await p.write(v, x);
+  co_await p.fence();
+}
+
+TEST(Criticality, CommitCriticalIffLastWriterDiffers) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, write_commit(sim.proc(0), v, 1));
+  sim.spawn(1, write_commit(sim.proc(1), v, 2));
+  // p0: issue, BeginFence, commit, EndFence.
+  for (int i = 0; i < 4; ++i) sim.deliver(0);
+  // p1 commits over p0's value: critical.
+  for (int i = 0; i < 4; ++i) sim.deliver(1);
+  const auto& events = sim.execution().events;
+  // events: p0 issue, begin, commit, end; p1 issue, begin, commit, end
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events[2].kind, EventKind::kWriteCommit);
+  EXPECT_TRUE(events[2].critical) << "first commit (writer ⊥ -> p0)";
+  EXPECT_EQ(events[6].kind, EventKind::kWriteCommit);
+  EXPECT_TRUE(events[6].critical) << "p1 overwrites p0";
+}
+
+Task<> write_twice(Proc& p, VarId v) {
+  co_await p.write(v, 1);
+  co_await p.fence();
+  co_await p.write(v, 2);
+  co_await p.fence();
+}
+
+TEST(Criticality, RepeatCommitBySameWriterNotCritical) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, write_twice(sim.proc(0), v));
+  for (int i = 0; i < 8; ++i) sim.deliver(0);
+  const auto& events = sim.execution().events;
+  int commit_idx = 0;
+  for (const auto& e : events) {
+    if (e.kind != EventKind::kWriteCommit) continue;
+    if (commit_idx == 0)
+      EXPECT_TRUE(e.critical) << "first commit critical";
+    else
+      EXPECT_FALSE(e.critical) << "overwriting own value is not critical";
+    ++commit_idx;
+  }
+  EXPECT_EQ(commit_idx, 2);
+}
+
+// ---- RMR accounting --------------------------------------------------------
+
+TEST(Rmr, DsmChargesEveryRemoteAccess) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0, /*owner=*/1);
+  sim.spawn(0, read_n(sim.proc(0), v, 3));
+  for (int i = 0; i < 3; ++i) sim.deliver(0);
+  for (const auto& e : sim.execution().events)
+    EXPECT_TRUE(e.rmr_dsm) << "DSM: every remote access is an RMR";
+}
+
+TEST(Rmr, WriteThroughReadMissThenHit) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, read_n(sim.proc(0), v, 2));
+  sim.deliver(0);
+  sim.deliver(0);
+  const auto& events = sim.execution().events;
+  EXPECT_TRUE(events[0].rmr_wt) << "first read misses, creates copy";
+  EXPECT_FALSE(events[1].rmr_wt) << "second read hits the cached copy";
+  EXPECT_TRUE(events[0].rmr_wb);
+  EXPECT_FALSE(events[1].rmr_wb);
+}
+
+Task<> reader_then_wait(Proc& p, VarId v) {
+  co_await p.read(v);
+  co_await p.read(v);
+}
+
+TEST(Rmr, WriteThroughCommitInvalidatesOtherCopies) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, reader_then_wait(sim.proc(0), v));
+  sim.spawn(1, write_commit(sim.proc(1), v, 5));
+  sim.deliver(0);  // p0 read: miss, caches copy
+  for (int i = 0; i < 4; ++i) sim.deliver(1);  // p1 commits (invalidates p0)
+  sim.deliver(0);  // p0 reads again: miss again
+  const auto& events = sim.execution().events;
+  EXPECT_TRUE(events[0].rmr_wt);
+  EXPECT_TRUE(events.back().rmr_wt) << "copy was invalidated by p1's commit";
+  EXPECT_TRUE(events.back().rmr_wb);
+}
+
+TEST(Rmr, WriteBackSecondCommitBySameWriterFree) {
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, write_twice(sim.proc(0), v));
+  for (int i = 0; i < 8; ++i) sim.deliver(0);
+  int commit_idx = 0;
+  for (const auto& e : sim.execution().events) {
+    if (e.kind != EventKind::kWriteCommit) continue;
+    if (commit_idx == 0) {
+      EXPECT_TRUE(e.rmr_wb) << "first commit takes the line exclusive";
+    } else {
+      EXPECT_FALSE(e.rmr_wb) << "write hit on exclusive line";
+      EXPECT_TRUE(e.rmr_wt) << "write-through always pays";
+    }
+    ++commit_idx;
+  }
+}
+
+Task<> cas_once(Proc& p, VarId v, Value expect, Value desired, Value* old) {
+  const Value got = co_await p.cas(v, expect, desired);
+  *old = got;
+}
+
+TEST(Cas, SemanticsAndCriticality) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  Value old0 = -1, old1 = -1;
+  sim.spawn(0, cas_once(sim.proc(0), v, 0, 1, &old0));
+  sim.spawn(1, cas_once(sim.proc(1), v, 0, 2, &old1));
+  sim.deliver(0);
+  sim.deliver(1);
+  EXPECT_EQ(old0, 0);
+  EXPECT_EQ(old1, 1) << "p1's CAS must fail and report p0's value";
+  EXPECT_EQ(sim.value(v), 1);
+  const auto& events = sim.execution().events;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].cas_success);
+  EXPECT_FALSE(events[1].cas_success);
+  EXPECT_TRUE(events[0].critical);
+  EXPECT_TRUE(events[1].critical) << "failed CAS still a first remote read";
+  EXPECT_EQ(sim.proc(0).current_passage().cas_ops, 1u)
+      << "one CAS barrier; the record is reset at the next Enter";
+}
+
+Task<> cas_drains(Proc& p, VarId a, VarId v) {
+  co_await p.write(a, 9);
+  co_await p.cas(v, 0, 1);
+}
+
+TEST(Cas, DrainsBufferFirst) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, cas_drains(sim.proc(0), a, v));
+  sim.deliver(0);  // issue a=9
+  sim.deliver(0);  // BeginFence (implied by CAS)
+  EXPECT_EQ(sim.value(a), 0);
+  sim.deliver(0);  // commit a
+  EXPECT_EQ(sim.value(a), 9);
+  sim.deliver(0);  // EndFence + CAS
+  EXPECT_EQ(sim.value(v), 1);
+  const auto& events = sim.execution().events;
+  EXPECT_EQ(events.back().kind, EventKind::kCas);
+}
+
+}  // namespace
+}  // namespace tpa

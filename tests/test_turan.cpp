@@ -1,0 +1,107 @@
+// Turán independent-set extraction: correctness (independence) and the
+// Theorem 2 size guarantee, on structured and random graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lowerbound/turan.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using lowerbound::greedy_independent_set;
+using lowerbound::turan_bound;
+
+bool is_independent(const std::vector<int>& set,
+                    const std::vector<std::pair<int, int>>& edges) {
+  std::set<int> s(set.begin(), set.end());
+  for (const auto& [a, b] : edges)
+    if (a != b && s.count(a) && s.count(b)) return false;
+  return true;
+}
+
+std::size_t dedup_edge_count(int n,
+                             const std::vector<std::pair<int, int>>& edges) {
+  std::set<std::pair<int, int>> s;
+  for (auto [a, b] : edges) {
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    s.insert({a, b});
+  }
+  (void)n;
+  return s.size();
+}
+
+TEST(Turan, EmptyGraphKeepsEverything) {
+  const auto set = greedy_independent_set(7, {});
+  EXPECT_EQ(set.size(), 7u);
+}
+
+TEST(Turan, CompleteGraphKeepsOne) {
+  std::vector<std::pair<int, int>> edges;
+  const int n = 6;
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  const auto set = greedy_independent_set(n, edges);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(is_independent(set, edges));
+}
+
+TEST(Turan, PathGraphAlternates) {
+  std::vector<std::pair<int, int>> edges;
+  const int n = 9;
+  for (int v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  const auto set = greedy_independent_set(n, edges);
+  EXPECT_TRUE(is_independent(set, edges));
+  EXPECT_GE(set.size(), 5u) << "path of 9 has an independent set of 5";
+}
+
+TEST(Turan, StarGraphKeepsLeaves) {
+  std::vector<std::pair<int, int>> edges;
+  const int n = 10;
+  for (int v = 1; v < n; ++v) edges.emplace_back(0, v);
+  const auto set = greedy_independent_set(n, edges);
+  EXPECT_TRUE(is_independent(set, edges));
+  EXPECT_EQ(set.size(), 9u) << "all leaves are independent";
+}
+
+TEST(Turan, SelfLoopsAndDuplicatesIgnored) {
+  std::vector<std::pair<int, int>> edges = {{0, 0}, {1, 2}, {2, 1}, {1, 2}};
+  const auto set = greedy_independent_set(4, edges);
+  EXPECT_TRUE(is_independent(set, edges));
+  EXPECT_GE(set.size(), 3u);  // {0, 1 or 2, 3}
+}
+
+class TuranRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TuranRandom, GuaranteeHoldsOnRandomGraphs) {
+  Rng rng(GetParam());
+  const int n = 20 + static_cast<int>(rng.below(80));
+  const double p = rng.uniform() * 0.3;
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (rng.chance(p)) edges.emplace_back(a, b);
+
+  const auto set = greedy_independent_set(n, edges);
+  EXPECT_TRUE(is_independent(set, edges));
+  const std::size_t m = dedup_edge_count(n, edges);
+  EXPECT_GE(set.size(), turan_bound(n, m))
+      << "n=" << n << " m=" << m << " (Theorem 2 guarantee)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TuranRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(Turan, BoundFormula) {
+  EXPECT_EQ(turan_bound(10, 0), 10u);
+  EXPECT_EQ(turan_bound(6, 15), 1u);  // K6: d=5 -> ceil(6/6)=1
+  EXPECT_EQ(turan_bound(0, 0), 0u);
+  // Path of 9 (m=8): d = 16/9, bound = ceil(81/25) = 4 <= 5 achieved.
+  EXPECT_EQ(turan_bound(9, 8), 4u);
+}
+
+}  // namespace
+}  // namespace tpa

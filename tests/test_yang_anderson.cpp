@@ -1,0 +1,92 @@
+// Yang-Anderson tree lock ([28] in the paper): exhaustive small-scope
+// exclusion, Θ(log n) fences, and the defining property — local spinning
+// (constant RMRs per passage in the DSM model, even while waiting long).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/yang_anderson.h"
+#include "algos/zoo.h"
+#include "tso/explorer.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/rng.h"
+
+namespace tpa {
+namespace {
+
+using algos::run_passages;
+using algos::YangAndersonLock;
+using tso::Simulator;
+
+TEST(YangAnderson, ExhaustivelySafeAtSmallScope) {
+  const int n = 2;
+  tso::ScenarioBuilder build = [n](Simulator& sim) {
+    auto lock = std::make_shared<YangAndersonLock>(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, run_passages(sim.proc(p), lock, 1));
+  };
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.max_schedules = 500'000;
+  const auto r = tso::explore(n, {}, build, cfg);
+  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(YangAnderson, SoloFencesAreOnePerLevelPlusExit) {
+  for (int n : {2, 4, 8, 16}) {
+    Simulator sim(static_cast<std::size_t>(n));
+    auto lock = std::make_shared<YangAndersonLock>(sim, n);
+    const int levels = lock->levels();
+    sim.spawn(0, run_passages(sim.proc(0), lock, 1));
+    while (!sim.proc(0).done()) sim.deliver(0);
+    const auto& st = sim.proc(0).finished_passages().at(0);
+    EXPECT_EQ(st.fences, static_cast<std::uint32_t>(2 * levels))
+        << "one entry + one exit fence per level, n=" << n;
+    EXPECT_EQ(st.cas_ops, 0u) << "pure read/write";
+  }
+}
+
+TEST(YangAnderson, LocalSpinInDsm) {
+  // Let p1 acquire, then make p0 wait a long time at the root: its DSM RMR
+  // count must stay constant because it spins on its own segment.
+  const int n = 2;
+  Simulator sim(n);
+  auto lock = std::make_shared<YangAndersonLock>(sim, n);
+  sim.spawn(0, run_passages(sim.proc(0), lock, 1));
+  sim.spawn(1, run_passages(sim.proc(1), lock, 1));
+  // p1 acquires fully.
+  std::uint64_t guard = 0;
+  while (sim.classify_pending(1) != tso::PendingClass::kCs) {
+    ASSERT_TRUE(sim.deliver(1));
+    ASSERT_LT(++guard, 10'000u);
+  }
+  // p0 runs into the wait and spins for a long time.
+  for (int i = 0; i < 5'000; ++i) sim.deliver(0);
+  const auto& st = sim.proc(0).current_passage();
+  EXPECT_LE(st.rmr_dsm, 12u)
+      << "waiting must cost O(1) DSM RMRs (local spinning)";
+  EXPECT_GT(st.events, 4'000u) << "p0 really did spin all that time";
+
+  // Release and let everyone finish, for completeness.
+  tso::run_round_robin(sim, 1'000'000);
+  EXPECT_EQ(sim.proc(0).passages_done(), 1u);
+  EXPECT_EQ(sim.proc(1).passages_done(), 1u);
+}
+
+TEST(YangAnderson, FairUnderHeavyRandomContention) {
+  const int n = 8;
+  Simulator sim(n);
+  const auto& f = algos::lock_factory("yang-anderson");
+  auto lock = f.make(sim, n);
+  for (int p = 0; p < n; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 3));
+  Rng rng(2024);
+  tso::run_random(sim, rng, 0.3, 50'000'000);
+  for (int p = 0; p < n; ++p)
+    EXPECT_EQ(sim.proc(p).passages_done(), 3u) << "p" << p;
+}
+
+}  // namespace
+}  // namespace tpa
