@@ -1,9 +1,12 @@
 #include "trace/format.h"
 
+#include <istream>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <vector>
+
+#include "util/check.h"
 
 namespace tpa::trace {
 
@@ -69,6 +72,101 @@ std::string summarize(const tso::Execution& execution) {
      << execution.directives.size() << " directives, " << procs.size()
      << " participating processes";
   return os.str();
+}
+
+void write_witness(std::ostream& os, const Witness& witness) {
+  os << "tpa-witness v1\n";
+  os << "scenario " << witness.scenario << "\n";
+  os << "procs " << witness.n_procs << "\n";
+  os << "pso " << (witness.pso ? 1 : 0) << "\n";
+  std::string msg = witness.violation;
+  for (char& c : msg)
+    if (c == '\n' || c == '\r') c = ' ';
+  os << "violation " << msg << "\n";
+  for (const auto& d : witness.directives) {
+    if (d.kind == tso::ActionKind::kDeliver) {
+      os << "d " << d.proc << "\n";
+    } else {
+      os << "c " << d.proc;
+      if (d.var != tso::kNoVar) os << " " << d.var;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+namespace {
+
+std::string chomp(std::string line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+    line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+Witness read_witness(std::istream& is) {
+  Witness w;
+  std::string line;
+  TPA_CHECK(static_cast<bool>(std::getline(is, line)),
+            "witness: empty input");
+  TPA_CHECK(chomp(line) == "tpa-witness v1",
+            "witness: bad header '" << line << "'");
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    line = chomp(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "scenario") {
+      ls >> std::ws;
+      std::getline(ls, w.scenario);
+    } else if (key == "procs") {
+      TPA_CHECK(static_cast<bool>(ls >> w.n_procs),
+                "witness: bad procs line '" << line << "'");
+    } else if (key == "pso") {
+      int v = 0;
+      TPA_CHECK(static_cast<bool>(ls >> v),
+                "witness: bad pso line '" << line << "'");
+      w.pso = v != 0;
+    } else if (key == "violation") {
+      ls >> std::ws;
+      std::getline(ls, w.violation);
+    } else if (key == "d" || key == "c") {
+      tso::Directive d;
+      d.kind =
+          key == "d" ? tso::ActionKind::kDeliver : tso::ActionKind::kCommit;
+      TPA_CHECK(static_cast<bool>(ls >> d.proc),
+                "witness: bad directive line '" << line << "'");
+      d.var = tso::kNoVar;
+      if (key == "c") {
+        tso::VarId v;
+        if (ls >> v) d.var = v;
+      }
+      w.directives.push_back(d);
+    } else {
+      TPA_FAIL("witness: unknown key '" << key << "'");
+    }
+  }
+  TPA_CHECK(saw_end, "witness: missing 'end' terminator");
+  TPA_CHECK(w.n_procs > 0, "witness: missing or zero 'procs'");
+  return w;
+}
+
+std::string witness_to_string(const Witness& witness) {
+  std::ostringstream os;
+  write_witness(os, witness);
+  return os.str();
+}
+
+Witness witness_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_witness(is);
 }
 
 }  // namespace tpa::trace

@@ -1,9 +1,14 @@
 // Human-readable and CSV rendering of executions — for examples, debugging
-// adversary runs, and exporting traces to external tooling.
+// adversary runs, and exporting traces to external tooling — plus the
+// witness text format that makes every explorer/fuzzer violation a
+// replayable artifact (the regression corpus under tests/corpus/; workflow
+// in docs/FUZZING.md).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "tso/event.h"
 
@@ -28,5 +33,38 @@ void write_csv(std::ostream& os, const tso::Execution& execution);
 
 /// One-line summary: "#events, #directives, participants".
 std::string summarize(const tso::Execution& execution);
+
+/// A replayable violation artifact: a scenario identifier (resolved back to
+/// a ScenarioBuilder by the replaying harness), the simulator parameters
+/// needed to rebuild it, the recorded violation message, and the (typically
+/// shrunk) directive schedule that reproduces it.
+struct Witness {
+  std::string scenario;   ///< free-form id, e.g. "bakery-none-2p"
+  std::size_t n_procs = 0;
+  bool pso = false;       ///< SimConfig::pso in effect when recorded
+  std::string violation;  ///< expected failure (or a recognizable part)
+  std::vector<tso::Directive> directives;
+};
+
+/// Serializes a witness in the line-oriented text format:
+///
+///   tpa-witness v1
+///   scenario <id>
+///   procs <n>
+///   pso <0|1>
+///   violation <message, single line>
+///   d <proc>          # deliver
+///   c <proc> [<var>]  # commit (head when <var> is omitted; PSO names one)
+///   end
+///
+/// Blank lines and lines starting with '#' are ignored by the reader.
+void write_witness(std::ostream& os, const Witness& witness);
+
+/// Parses write_witness output; raises CheckFailure on malformed input.
+Witness read_witness(std::istream& is);
+
+/// String-based conveniences over the stream versions.
+std::string witness_to_string(const Witness& witness);
+Witness witness_from_string(const std::string& text);
 
 }  // namespace tpa::trace

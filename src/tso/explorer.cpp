@@ -1,41 +1,180 @@
 #include "tso/explorer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <list>
+#include <memory>
+#include <utility>
+
+#include "tso/fuzz.h"
 #include "util/check.h"
+#include "util/work_queue.h"
 
 namespace tpa::tso {
 
 namespace {
 
+// ---- shared cross-thread exploration state ------------------------------
+
+struct Shared {
+  explicit Shared(std::uint64_t budget) : max_schedules(budget) {}
+
+  const std::uint64_t max_schedules;
+  std::atomic<std::uint64_t> used{0};  ///< schedules + truncated, all threads
+  std::atomic<bool> over{false};       ///< budget tripped somewhere
+  /// Smallest frontier index that found a violation. Subtrees with larger
+  /// indices abandon early: their violation could never win, so the
+  /// reported witness is independent of thread timing.
+  std::atomic<std::size_t> winner{std::numeric_limits<std::size_t>::max()};
+
+  bool over_budget() {
+    if (used.load(std::memory_order_relaxed) >= max_schedules) {
+      over.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  void charge() { used.fetch_add(1, std::memory_order_relaxed); }
+  void claim(std::size_t index) {
+    std::size_t cur = winner.load(std::memory_order_relaxed);
+    while (index < cur && !winner.compare_exchange_weak(
+                              cur, index, std::memory_order_relaxed)) {
+    }
+  }
+  bool beaten(std::size_t index) const {
+    return winner.load(std::memory_order_relaxed) < index;
+  }
+};
+
+// ---- sleep-set pruning ---------------------------------------------------
+
+/// What a process' next scheduler step would do, abstracted to the level the
+/// independence relation needs. Stable while the process does not step.
+struct ActionSig {
+  enum Kind : std::uint8_t {
+    kIssue,   ///< write issue: touches only the process' own buffer
+    kCommit,  ///< write commit of `var` (explicit, or mid-fence deliver)
+    kOther    ///< reads, fences, CAS, transitions — treated as dependent
+  };
+  Kind kind = kOther;
+  VarId var = kNoVar;
+};
+
+/// Conservative independence: a write issue is purely process-local (the
+/// issued value is fixed, the awareness snapshot only depends on the
+/// issuer's own past reads), so it commutes with any step of another
+/// process; commits by different processes to *different* variables commute
+/// because every effect of a commit (value, last_writer, awareness, cache
+/// directories, RMR flags) is per-variable. Everything else is dependent.
+bool independent(const ActionSig& a, const ActionSig& b) {
+  if (a.kind == ActionSig::kIssue || b.kind == ActionSig::kIssue) return true;
+  return a.kind == ActionSig::kCommit && b.kind == ActionSig::kCommit &&
+         a.var != b.var;
+}
+
+struct SleepEntry {
+  ProcId proc;
+  ActionSig sig;
+};
+using SleepSet = std::vector<SleepEntry>;
+
+bool can_act(const Simulator& sim, ProcId p) {
+  const Proc& proc = sim.proc(p);
+  if (!proc.done() && proc.has_pending()) return true;
+  return !proc.buffer().empty();
+}
+
+/// One scheduler step for p: its next event, or a buffer drain once its
+/// program has ended. Returns false if p cannot act.
+bool step(Simulator& sim, ProcId p) {
+  if (sim.deliver(p)) return true;
+  return sim.commit(p);
+}
+
+ActionSig action_sig(const Simulator& sim, ProcId p) {
+  const Proc& proc = sim.proc(p);
+  if (!proc.done() && proc.has_pending()) {
+    switch (sim.classify_pending(p)) {
+      case PendingClass::kWriteIssue:
+        return {ActionSig::kIssue, proc.pending().var};
+      case PendingClass::kCommitNonCritical:
+      case PendingClass::kCommitCritical:
+        // Mid-fence deliver commits the buffer head.
+        return {ActionSig::kCommit, proc.buffer().front().var};
+      default:
+        return {ActionSig::kOther, kNoVar};
+    }
+  }
+  if (!proc.buffer().empty())  // drain commit of a finished program
+    return {ActionSig::kCommit, proc.buffer().front().var};
+  return {ActionSig::kOther, kNoVar};
+}
+
+// ---- option enumeration (shared by DFS and frontier expansion) -----------
+
+struct Options {
+  std::vector<ProcId> cand;     ///< processes that can act
+  std::vector<ProcId> options;  ///< explored children, in order
+  bool current_runnable = false;
+};
+
+/// Candidates in a stable order; continuing the current process is free,
+/// preempting it costs budget. If the current process cannot act, switching
+/// is free.
+Options enumerate_options(const Simulator& sim, std::size_t n, ProcId current,
+                          int preemptions) {
+  Options o;
+  for (std::size_t p = 0; p < n; ++p)
+    if (can_act(sim, static_cast<ProcId>(p)))
+      o.cand.push_back(static_cast<ProcId>(p));
+  o.current_runnable =
+      current != kNoProc &&
+      std::find(o.cand.begin(), o.cand.end(), current) != o.cand.end();
+  if (o.current_runnable) {
+    o.options.push_back(current);
+    if (preemptions > 0)
+      for (ProcId p : o.cand)
+        if (p != current) o.options.push_back(p);
+  } else {
+    o.options = o.cand;
+  }
+  return o;
+}
+
+// ---- the DFS core (runs from the root, or from a frontier prefix) --------
+
 class Dfs {
  public:
-  Dfs(std::size_t n_procs, SimConfig sim_config, const ScenarioBuilder& build,
-      const ExplorerConfig& config)
-      : n_(n_procs), sim_cfg_(sim_config), build_(build), cfg_(config) {}
+  Dfs(std::size_t n_procs, const SimConfig& sim_config,
+      const ScenarioBuilder& build, const ExplorerConfig& config,
+      Shared* shared, std::size_t index)
+      : n_(n_procs),
+        sim_cfg_(sim_config),
+        build_(build),
+        cfg_(config),
+        shared_(shared),
+        index_(index) {}
 
-  ExplorerResult run() {
-    auto sim = fresh();
-    dfs(std::move(sim), kNoProc, cfg_.preemptions);
-    return std::move(result_);
+  void run_root() {
+    picks_.clear();
+    dfs(fresh(), kNoProc, cfg_.preemptions, {});
   }
+
+  void run_from(const std::vector<ProcId>& prefix, ProcId current,
+                int preemptions, SleepSet sleep) {
+    picks_ = prefix;
+    dfs(rebuild(), current, preemptions, std::move(sleep));
+  }
+
+  ExplorerResult take_result() { return std::move(result_); }
 
  private:
   std::unique_ptr<Simulator> fresh() {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
     build_(*sim);
     return sim;
-  }
-
-  static bool can_act(const Simulator& sim, ProcId p) {
-    const Proc& proc = sim.proc(p);
-    if (!proc.done() && proc.has_pending()) return true;
-    return !proc.buffer().empty();
-  }
-
-  /// One scheduler step for p: its next event, or a buffer drain once its
-  /// program has ended. Returns false if p cannot act.
-  static bool step(Simulator& sim, ProcId p) {
-    if (sim.deliver(p)) return true;
-    return sim.commit(p);
   }
 
   /// Rebuilds the simulator state for the current `picks_` prefix.
@@ -48,90 +187,303 @@ class Dfs {
     return sim;
   }
 
-  bool budget_exhausted() {
-    if (result_.schedules + result_.truncated >= cfg_.max_schedules) {
+  bool stop() {
+    if (result_.violation_found) return true;
+    if (shared_->beaten(index_)) return true;
+    if (shared_->over_budget()) {
       result_.exhausted = false;
       return true;
     }
     return false;
   }
 
-  void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions) {
-    if (result_.violation_found || budget_exhausted()) return;
+  void record_violation(const Simulator& sim, const char* what) {
+    result_.violation_found = true;
+    result_.violation = what;
+    result_.witness = sim.execution().directives;
+    shared_->claim(index_);
+  }
+
+  void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
+           SleepSet sleep) {
+    if (stop()) return;
     if (picks_.size() >= cfg_.max_steps) {
       result_.truncated++;
+      shared_->charge();
       return;
     }
 
-    // Candidates, in a stable order.
-    std::vector<ProcId> cand;
-    for (std::size_t p = 0; p < n_; ++p)
-      if (can_act(*sim, static_cast<ProcId>(p)))
-        cand.push_back(static_cast<ProcId>(p));
-    if (cand.empty()) {
+    const Options opt = enumerate_options(*sim, n_, current, preemptions);
+    if (opt.cand.empty()) {
       result_.schedules++;  // a complete schedule: everyone done & drained
+      shared_->charge();
       if (cfg_.on_complete) {
         try {
           cfg_.on_complete(*sim);
         } catch (const CheckFailure& e) {
-          result_.violation_found = true;
-          result_.violation = e.what();
-          result_.witness = sim->execution().directives;
+          record_violation(*sim, e.what());
         }
       }
       return;
     }
 
-    // Option list: continuing the current process is free; preempting it
-    // costs budget. If the current process cannot act, switching is free.
-    std::vector<ProcId> options;
-    const bool current_runnable =
-        current != kNoProc &&
-        std::find(cand.begin(), cand.end(), current) != cand.end();
-    if (current_runnable) {
-      options.push_back(current);
-      if (preemptions > 0)
-        for (ProcId p : cand)
-          if (p != current) options.push_back(p);
-    } else {
-      options = cand;
+    // Signatures are taken at the node's state, before any child consumes
+    // the simulator; sleeping processes have not stepped since their entry
+    // was recorded, so their stored signatures stay valid.
+    std::vector<ActionSig> sigs;
+    if (cfg_.sleep_sets) {
+      sigs.reserve(opt.options.size());
+      for (ProcId p : opt.options) sigs.push_back(action_sig(*sim, p));
     }
 
-    for (std::size_t i = 0; i < options.size(); ++i) {
-      if (result_.violation_found || budget_exhausted()) return;
-      const ProcId p = options[i];
-      if (i > 0) sim = rebuild();  // the first child consumed the state
+    for (std::size_t i = 0; i < opt.options.size(); ++i) {
+      if (stop()) return;
+      const ProcId p = opt.options[i];
+      if (cfg_.sleep_sets &&
+          std::any_of(sleep.begin(), sleep.end(),
+                      [p](const SleepEntry& e) { return e.proc == p; })) {
+        continue;  // equivalent to an explored schedule where p moves later
+      }
+      SleepSet child_sleep;
+      if (cfg_.sleep_sets)
+        for (const SleepEntry& e : sleep)
+          if (independent(e.sig, sigs[i])) child_sleep.push_back(e);
+      if (sim == nullptr) sim = rebuild();  // a previous child consumed it
       try {
         const bool ok = step(*sim, p);
         TPA_CHECK(ok, "candidate p" << p << " could not act");
       } catch (const CheckFailure& e) {
-        result_.violation_found = true;
-        result_.violation = e.what();
-        result_.witness = sim->execution().directives;
+        record_violation(*sim, e.what());
         return;
       }
       picks_.push_back(p);
-      const int cost = (current_runnable && p != current) ? 1 : 0;
-      dfs(std::move(sim), p, preemptions - cost);
+      const int cost = (opt.current_runnable && p != current) ? 1 : 0;
+      dfs(std::move(sim), p, preemptions - cost, std::move(child_sleep));
       picks_.pop_back();
       sim = nullptr;
+      if (cfg_.sleep_sets) sleep.push_back({p, sigs[i]});
     }
   }
 
   std::size_t n_;
   SimConfig sim_cfg_;
   const ScenarioBuilder& build_;
-  ExplorerConfig cfg_;
+  const ExplorerConfig& cfg_;
+  Shared* shared_;
+  std::size_t index_;
   std::vector<ProcId> picks_;
   ExplorerResult result_;
 };
+
+// ---- frontier partitioning for the parallel mode -------------------------
+
+/// A schedule prefix at which a worker's subtree DFS is rooted.
+struct Node {
+  std::vector<ProcId> picks;
+  ProcId current = kNoProc;
+  int preemptions = 0;
+  SleepSet sleep;
+};
+
+/// Expands the root into a frontier of subtree prefixes, kept in DFS order
+/// (each expansion replaces a node, in place, by its ordered children), so
+/// the frontier index is a DFS-order key. Leaves reached during expansion —
+/// complete or truncated schedules — are handled inline with exactly the
+/// DFS' accounting; a violation or exhausted budget ends the whole
+/// exploration here, with an empty frontier.
+class FrontierBuilder {
+ public:
+  FrontierBuilder(std::size_t n_procs, const SimConfig& sim_config,
+                  const ScenarioBuilder& build, const ExplorerConfig& config,
+                  Shared* shared)
+      : n_(n_procs),
+        sim_cfg_(sim_config),
+        build_(build),
+        cfg_(config),
+        shared_(shared) {}
+
+  std::vector<Node> build(std::size_t target) {
+    std::list<Node> nodes;
+    nodes.push_back(Node{{}, kNoProc, cfg_.preemptions, {}});
+    // Each expansion costs O(branching × depth) replay steps; the cap only
+    // guards against degenerate chains (branching 1) eating the pre-pass.
+    std::size_t expansions = 0;
+    const std::size_t max_expansions = target * 64 + 256;
+    while (!done_ && !nodes.empty() && nodes.size() < target &&
+           expansions < max_expansions) {
+      auto best = nodes.begin();
+      for (auto it = std::next(nodes.begin()); it != nodes.end(); ++it)
+        if (it->picks.size() < best->picks.size()) best = it;
+      expand(nodes, best);
+      ++expansions;
+    }
+    if (done_) return {};
+    return {std::make_move_iterator(nodes.begin()),
+            std::make_move_iterator(nodes.end())};
+  }
+
+  ExplorerResult take_result() { return std::move(result_); }
+
+ private:
+  std::unique_ptr<Simulator> rebuild(const std::vector<ProcId>& picks) {
+    auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    build_(*sim);
+    for (ProcId p : picks) {
+      const bool ok = step(*sim, p);
+      TPA_CHECK(ok, "frontier replay diverged at p" << p);
+    }
+    return sim;
+  }
+
+  void violation(const Simulator& sim, const char* what) {
+    result_.violation_found = true;
+    result_.violation = what;
+    result_.witness = sim.execution().directives;
+    done_ = true;
+  }
+
+  void expand(std::list<Node>& nodes, std::list<Node>::iterator it) {
+    Node node = std::move(*it);
+    const auto pos = nodes.erase(it);
+    if (shared_->over_budget()) {
+      result_.exhausted = false;
+      done_ = true;
+      return;
+    }
+    if (node.picks.size() >= cfg_.max_steps) {
+      result_.truncated++;
+      shared_->charge();
+      return;
+    }
+    auto sim = rebuild(node.picks);
+    const Options opt =
+        enumerate_options(*sim, n_, node.current, node.preemptions);
+    if (opt.cand.empty()) {
+      result_.schedules++;
+      shared_->charge();
+      if (cfg_.on_complete) {
+        try {
+          cfg_.on_complete(*sim);
+        } catch (const CheckFailure& e) {
+          violation(*sim, e.what());
+        }
+      }
+      return;
+    }
+
+    std::vector<ActionSig> sigs;
+    if (cfg_.sleep_sets) {
+      sigs.reserve(opt.options.size());
+      for (ProcId p : opt.options) sigs.push_back(action_sig(*sim, p));
+    }
+
+    SleepSet running = node.sleep;
+    for (std::size_t i = 0; i < opt.options.size(); ++i) {
+      const ProcId p = opt.options[i];
+      if (cfg_.sleep_sets &&
+          std::any_of(running.begin(), running.end(),
+                      [p](const SleepEntry& e) { return e.proc == p; }))
+        continue;
+      Node child;
+      child.picks = node.picks;
+      child.picks.push_back(p);
+      child.current = p;
+      const int cost = (opt.current_runnable && p != node.current) ? 1 : 0;
+      child.preemptions = node.preemptions - cost;
+      if (cfg_.sleep_sets) {
+        for (const SleepEntry& e : running)
+          if (independent(e.sig, sigs[i])) child.sleep.push_back(e);
+        running.push_back({p, sigs[i]});
+      }
+      // Validate the child's first step now so worker rebuilds of frontier
+      // prefixes can never hit a violation mid-replay.
+      auto probe = rebuild(node.picks);
+      try {
+        const bool ok = step(*probe, p);
+        TPA_CHECK(ok, "candidate p" << p << " could not act");
+      } catch (const CheckFailure& e) {
+        violation(*probe, e.what());
+        return;
+      }
+      nodes.insert(pos, std::move(child));
+    }
+  }
+
+  std::size_t n_;
+  SimConfig sim_cfg_;
+  const ScenarioBuilder& build_;
+  const ExplorerConfig& cfg_;
+  Shared* shared_;
+  bool done_ = false;
+  ExplorerResult result_;
+};
+
+ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
+                                const ScenarioBuilder& build,
+                                const ExplorerConfig& config, Shared* shared) {
+  FrontierBuilder fb(n_procs, sim_config, build, config, shared);
+  const auto target = static_cast<std::size_t>(config.threads) * 8;
+  std::vector<Node> frontier = fb.build(target);
+  ExplorerResult result = fb.take_result();
+  if (result.violation_found || frontier.empty()) return result;
+
+  std::vector<ExplorerResult> sub(frontier.size());
+  parallel_for_index(
+      frontier.size(), config.threads, [&](std::size_t i) {
+        if (shared->beaten(i)) return;  // a smaller index already won
+        Dfs dfs(n_procs, sim_config, build, config, shared, i);
+        try {
+          dfs.run_from(frontier[i].picks, frontier[i].current,
+                       frontier[i].preemptions, std::move(frontier[i].sleep));
+          sub[i] = dfs.take_result();
+        } catch (const CheckFailure& e) {
+          // A diverged prefix replay: the builder is schedule-dependent.
+          // Surface it loudly as a (deterministically claimed) violation.
+          sub[i].violation_found = true;
+          sub[i].violation = e.what();
+          shared->claim(i);
+        }
+      });
+
+  auto winner = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    result.schedules += sub[i].schedules;
+    result.truncated += sub[i].truncated;
+    if (!sub[i].exhausted) result.exhausted = false;
+    if (sub[i].violation_found && i < winner) winner = i;
+  }
+  if (winner != std::numeric_limits<std::size_t>::max()) {
+    result.violation_found = true;
+    result.violation = std::move(sub[winner].violation);
+    result.witness = std::move(sub[winner].witness);
+  }
+  if (shared->over.load(std::memory_order_relaxed)) result.exhausted = false;
+  return result;
+}
 
 }  // namespace
 
 ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
                        const ScenarioBuilder& build, ExplorerConfig config) {
-  Dfs dfs(n_procs, sim_config, build, config);
-  return dfs.run();
+  Shared shared(config.max_schedules);
+  ExplorerResult result;
+  if (config.threads <= 1) {
+    Dfs dfs(n_procs, sim_config, build, config, &shared, 0);
+    dfs.run_root();
+    result = dfs.take_result();
+  } else {
+    result = explore_parallel(n_procs, sim_config, build, config, &shared);
+  }
+
+  if (result.violation_found && config.shrink && !result.witness.empty()) {
+    ShrinkOutcome shrunk = shrink_witness(n_procs, sim_config, build,
+                                          result.witness, config.on_complete);
+    if (shrunk.witness.size() < result.witness.size()) {
+      result.raw_witness = std::move(result.witness);
+      result.witness = std::move(shrunk.witness);
+    }
+  }
+  return result;
 }
 
 }  // namespace tpa::tso

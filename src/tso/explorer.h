@@ -44,12 +44,46 @@ struct ExplorerConfig {
   std::uint64_t max_schedules = 2'000'000;
   /// Invariant checked at the end of every complete schedule.
   ScheduleHook on_complete;
+
+  /// Worker threads. 1 runs the classic sequential DFS. With more, the
+  /// schedule space is partitioned into subtrees rooted at a frontier of
+  /// schedule prefixes (enumerated in DFS order) and the subtrees are
+  /// explored concurrently via util/work_queue.h. The partition is exact,
+  /// so on a violation-free scenario the aggregated `schedules`/`truncated`
+  /// counts are identical to the sequential run's, for any thread count.
+  /// Violations are reported first-in-DFS-order-wins: the earliest frontier
+  /// subtree containing one supplies the witness, independent of thread
+  /// timing, so results are reproducible (the *counts* of a violating or
+  /// budget-capped run may vary — later subtrees are abandoned early).
+  /// Builders must be safe to invoke concurrently on distinct simulators.
+  int threads = 1;
+
+  /// Sleep-set pruning (Godefroid-style partial-order reduction, with a
+  /// last-writer independence relation): skips interleavings that only
+  /// reorder commutative steps — write issues (purely process-local) against
+  /// anything, and commits by different processes to different variables.
+  /// Cuts the explored schedule count, so it is off by default where count
+  /// parity with the plain bound matters; combined with the preemption
+  /// bound it is a heuristic (the bound already makes exploration
+  /// incomplete), but every schedule it skips is equivalent to an explored
+  /// one, so violations within the bound are preserved in practice
+  /// (tests/test_explorer_parallel.cpp checks this on the zoo).
+  bool sleep_sets = false;
+
+  /// Delta-debug any violation witness to a locally minimal, still-violating
+  /// directive sequence before returning it (see tso/fuzz.h). The shrunk
+  /// witness replays deterministically via tso::replay just like the raw
+  /// one, only shorter.
+  bool shrink = true;
 };
 
 struct ExplorerResult {
   bool violation_found = false;
   std::string violation;            ///< failure message (first found)
   std::vector<Directive> witness;   ///< schedule reproducing the violation
+                                    ///< (shrunk when config.shrink is set)
+  std::vector<Directive> raw_witness;  ///< pre-shrink witness (empty if
+                                       ///< shrinking is off or a no-op)
   std::uint64_t schedules = 0;      ///< complete schedules explored
   std::uint64_t truncated = 0;      ///< schedules cut off at max_steps
   bool exhausted = true;            ///< false if max_schedules was hit

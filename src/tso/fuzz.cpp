@@ -1,0 +1,282 @@
+#include "tso/fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "tso/schedulers.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tpa::tso {
+
+namespace {
+
+bool apply_directive(Simulator& sim, const Directive& d) {
+  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
+                                        : sim.commit(d.proc, d.var);
+}
+
+// FNV-1a, folded over one directive at a time.
+void digest_directive(std::uint64_t* h, const Directive& d) {
+  auto mix = [h](std::uint64_t byte) {
+    *h ^= byte;
+    *h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(d.kind));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.proc)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.var)));
+}
+
+/// One fuzz run in flight: the applied schedule plus its outcome.
+struct RunOutcome {
+  std::vector<Directive> schedule;
+  bool violated = false;
+  bool complete = false;
+  std::string violation;
+};
+
+/// Drives `sim` with uniformly random actor choice until completion, the
+/// step cap, or a violation. Buffered writes commit with `commit_prob` per
+/// step (a finished program's buffer always drains when the process is
+/// picked); under PSO the committed entry is chosen uniformly.
+void continue_random(Simulator& sim, Rng& rng, double commit_prob,
+                     std::uint64_t max_steps, RunOutcome* out) {
+  const std::size_t n = sim.num_procs();
+  std::vector<ProcId> actors;
+  while (out->schedule.size() < max_steps) {
+    actors.clear();
+    for (std::size_t q = 0; q < n; ++q) {
+      const Proc& proc = sim.proc(static_cast<ProcId>(q));
+      if ((!proc.done() && proc.has_pending()) || !proc.buffer().empty())
+        actors.push_back(static_cast<ProcId>(q));
+    }
+    if (actors.empty()) {
+      out->complete = true;
+      return;
+    }
+    const ProcId p = actors[rng.below(actors.size())];
+    const Proc& proc = sim.proc(p);
+    const bool deliverable = !proc.done() && proc.has_pending();
+    Directive d{ActionKind::kDeliver, p, kNoVar};
+    if (!deliverable ||
+        (!proc.buffer().empty() && rng.chance(commit_prob))) {
+      d.kind = ActionKind::kCommit;
+      if (sim.config().pso && proc.buffer().size() > 1)
+        d.var = proc.buffer()[rng.below(proc.buffer().size())].var;
+    }
+    bool ok = false;
+    try {
+      ok = apply_directive(sim, d);
+    } catch (const CheckFailure& e) {
+      out->schedule.push_back(d);
+      out->violated = true;
+      out->violation = e.what();
+      return;
+    }
+    TPA_CHECK(ok, "fuzz: chosen actor p" << d.proc << " could not act");
+    out->schedule.push_back(d);
+  }
+}
+
+/// Per-run commit probability: half the runs use the configured base, the
+/// rest sweep the whole [0,1) delay spectrum.
+double pick_commit_prob(Rng& rng, double base) {
+  return rng.chance(0.5) ? base : rng.uniform();
+}
+
+}  // namespace
+
+LenientReplay replay_lenient(std::size_t n_procs, SimConfig sim_config,
+                             const ScenarioBuilder& build,
+                             const std::vector<Directive>& directives,
+                             const ScheduleHook& on_complete) {
+  LenientReplay r;
+  r.sim = std::make_unique<Simulator>(n_procs, sim_config);
+  build(*r.sim);
+  for (const Directive& d : directives) {
+    bool ok = false;
+    try {
+      ok = apply_directive(*r.sim, d);
+    } catch (const CheckFailure& e) {
+      r.applied.push_back(d);
+      r.violated = true;
+      r.violation = e.what();
+      return r;
+    }
+    if (ok) r.applied.push_back(d);
+  }
+  r.complete = all_done(*r.sim);
+  if (r.complete && on_complete) {
+    try {
+      on_complete(*r.sim);
+    } catch (const CheckFailure& e) {
+      r.violated = true;
+      r.violation = e.what();
+    }
+  }
+  return r;
+}
+
+ShrinkOutcome shrink_witness(std::size_t n_procs, SimConfig sim_config,
+                             const ScenarioBuilder& build,
+                             std::vector<Directive> witness,
+                             const ScheduleHook& on_complete) {
+  ShrinkOutcome out;
+  std::vector<Directive> applied;
+  std::string msg;
+  auto violates = [&](const std::vector<Directive>& cand) {
+    out.replays++;
+    LenientReplay r =
+        replay_lenient(n_procs, sim_config, build, cand, on_complete);
+    if (r.violated) {
+      applied = std::move(r.applied);
+      msg = std::move(r.violation);
+    }
+    return r.violated;
+  };
+
+  if (!violates(witness)) {
+    out.witness = std::move(witness);  // not reproducible: hands off
+    return out;
+  }
+  witness = std::move(applied);  // drop directives that never applied
+  out.violation = msg;
+
+  std::size_t chunk = std::max<std::size_t>(1, witness.size() / 2);
+  while (true) {
+    bool removed = false;
+    for (std::size_t start = 0; start < witness.size();) {
+      const std::size_t stop = std::min(witness.size(), start + chunk);
+      std::vector<Directive> cand(witness.begin(),
+                                  witness.begin() + static_cast<std::ptrdiff_t>(start));
+      cand.insert(cand.end(), witness.begin() + static_cast<std::ptrdiff_t>(stop),
+                  witness.end());
+      if (violates(cand)) {
+        // The lenient replay may have dropped even more than the chunk.
+        witness = std::move(applied);
+        out.violation = std::move(msg);
+        removed = true;  // re-test the same start against the new content
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed) break;  // 1-minimal: no single directive is removable
+    } else {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+  out.witness = std::move(witness);
+  return out;
+}
+
+FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
+                const ScenarioBuilder& build, const FuzzConfig& config) {
+  FuzzResult result;
+  result.schedule_digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  Rng rng(config.seed);
+  std::vector<std::vector<Directive>> corpus;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config.time_budget_ms);
+
+  for (std::uint64_t run = 0; run < config.runs; ++run) {
+    if (config.time_budget_ms != 0 &&
+        std::chrono::steady_clock::now() >= deadline)
+      break;
+
+    RunOutcome out;
+    const double commit_prob = pick_commit_prob(rng, config.commit_prob);
+    auto sim = std::make_unique<Simulator>(n_procs, sim_config);
+    build(*sim);
+
+    const bool mutate =
+        config.mutate && !corpus.empty() && rng.chance(0.75);
+    if (mutate) {
+      std::vector<Directive> seed_schedule =
+          corpus[rng.below(corpus.size())];
+      switch (rng.below(4)) {
+        case 0: {  // prefix truncation: keep a prefix, re-randomize the rest
+          seed_schedule.resize(rng.below(seed_schedule.size() + 1));
+          break;
+        }
+        case 1: {  // window deletion
+          if (!seed_schedule.empty()) {
+            const std::size_t a = rng.below(seed_schedule.size());
+            const std::size_t len = 1 + rng.below(8);
+            const std::size_t b = std::min(seed_schedule.size(), a + len);
+            seed_schedule.erase(
+                seed_schedule.begin() + static_cast<std::ptrdiff_t>(a),
+                seed_schedule.begin() + static_cast<std::ptrdiff_t>(b));
+          }
+          break;
+        }
+        case 2: {  // adjacent swap across processes
+          if (seed_schedule.size() >= 2) {
+            const std::size_t i = rng.below(seed_schedule.size() - 1);
+            if (seed_schedule[i].proc != seed_schedule[i + 1].proc)
+              std::swap(seed_schedule[i], seed_schedule[i + 1]);
+          }
+          break;
+        }
+        case 3: {  // commit-delay re-parameterization: drop all commits,
+                   // letting the random tail re-decide every delay
+          seed_schedule.erase(
+              std::remove_if(seed_schedule.begin(), seed_schedule.end(),
+                             [](const Directive& d) {
+                               return d.kind == ActionKind::kCommit;
+                             }),
+              seed_schedule.end());
+          break;
+        }
+      }
+      // Lenient prefix replay: inapplicable mutated directives are skipped.
+      for (const Directive& d : seed_schedule) {
+        bool ok = false;
+        try {
+          ok = apply_directive(*sim, d);
+        } catch (const CheckFailure& e) {
+          out.schedule.push_back(d);
+          out.violated = true;
+          out.violation = e.what();
+          break;
+        }
+        if (ok) out.schedule.push_back(d);
+      }
+    }
+    if (!out.violated)
+      continue_random(*sim, rng, commit_prob, config.max_steps, &out);
+
+    result.runs++;
+    for (const Directive& d : out.schedule)
+      digest_directive(&result.schedule_digest, d);
+    result.schedule_digest ^= 0xabcdefULL;  // run separator
+    result.schedule_digest *= 0x100000001b3ULL;
+
+    if (out.violated) {
+      result.violation_found = true;
+      result.violation = out.violation;
+      result.violating_run = run;
+      result.raw_witness = std::move(out.schedule);
+      if (config.shrink) {
+        ShrinkOutcome shrunk =
+            shrink_witness(n_procs, sim_config, build, result.raw_witness,
+                           config.on_complete);
+        result.witness = std::move(shrunk.witness);
+      } else {
+        result.witness = result.raw_witness;
+      }
+      return result;
+    }
+    if (out.complete && !out.schedule.empty() && config.corpus_size > 0) {
+      if (corpus.size() < config.corpus_size)
+        corpus.push_back(std::move(out.schedule));
+      else
+        corpus[run % config.corpus_size] = std::move(out.schedule);
+    }
+  }
+  return result;
+}
+
+}  // namespace tpa::tso

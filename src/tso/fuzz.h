@@ -1,0 +1,102 @@
+// Randomized schedule fuzzing, lenient replay, and counterexample shrinking.
+//
+// The exhaustive explorer (tso/explorer.h) *proves* small scopes; the fuzzer
+// stresses scenarios beyond the exhaustive bound: seeded, reproducible
+// random schedules plus corpus-guided mutation of recorded directive
+// sequences (prefix truncation, window deletion, adjacent swaps, and
+// commit-delay re-parameterization — the store-buffer knob TSO bugs hide
+// behind). Any violation is delta-debugged (ddmin) to a locally minimal,
+// still-violating witness; trace::write_witness (trace/format.h) turns that
+// into a replayable text artifact — the regression corpus under
+// tests/corpus/ is exactly these files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tso/explorer.h"
+#include "tso/schedule.h"
+#include "tso/sim.h"
+
+namespace tpa::tso {
+
+struct LenientReplay {
+  std::unique_ptr<Simulator> sim;  ///< state after the replay
+  std::vector<Directive> applied;  ///< directives that actually applied
+  bool violated = false;
+  bool complete = false;  ///< every program done and every buffer drained
+  std::string violation;
+};
+
+/// Replays `directives`, *skipping* any that cannot be applied — unlike
+/// strict tso::replay, which raises on them. A CheckFailure thrown by a
+/// step is a violation: the replay stops with `applied` ending in the
+/// violating directive. If the schedule runs to completion, `on_complete`
+/// (when set) is invoked and may flag a violation as well. This is the
+/// oracle mutation and shrinking are built on: dropped directives shift the
+/// remainder onto a nearby legal schedule instead of invalidating it.
+LenientReplay replay_lenient(std::size_t n_procs, SimConfig sim_config,
+                             const ScenarioBuilder& build,
+                             const std::vector<Directive>& directives,
+                             const ScheduleHook& on_complete = {});
+
+struct ShrinkOutcome {
+  std::vector<Directive> witness;  ///< locally minimal, still violating
+  std::string violation;           ///< message from the minimal replay
+  std::uint64_t replays = 0;       ///< oracle invocations spent
+};
+
+/// ddmin over the directive sequence: removes chunks of halving size, then
+/// single directives to a fixpoint. The result still violates, and removing
+/// any *single* directive from it no longer does (local minimality). It is
+/// also strictly replayable: every directive applies in order, so
+/// tso::replay of the shrunk witness deterministically reproduces the
+/// violation (for step violations by raising; for on_complete violations by
+/// reaching the same final state). If `witness` does not reproduce at all,
+/// it is returned unchanged with an empty `violation`.
+ShrinkOutcome shrink_witness(std::size_t n_procs, SimConfig sim_config,
+                             const ScenarioBuilder& build,
+                             std::vector<Directive> witness,
+                             const ScheduleHook& on_complete = {});
+
+struct FuzzConfig {
+  std::uint64_t seed = 0x5eedULL;
+  std::uint64_t runs = 1'000;       ///< fuzz iterations (upper bound)
+  std::uint64_t max_steps = 4'000;  ///< per-run scheduler step cap
+  /// Base probability of committing a buffered write per step; individual
+  /// runs re-randomize it to sweep delay regimes.
+  double commit_prob = 0.3;
+  bool mutate = true;           ///< corpus-guided mutation on/off
+  bool shrink = true;           ///< shrink the first violating witness
+  std::size_t corpus_size = 16; ///< retained completed schedules
+  /// Wall-clock budget in milliseconds; 0 = none. Checked between runs, so
+  /// the pass is time-bounded but the number of runs becomes
+  /// machine-dependent — use `runs` alone where strict reproducibility of
+  /// the whole pass matters (each run is seed-deterministic either way).
+  std::uint64_t time_budget_ms = 0;
+  /// Invariant invoked at the end of every *complete* run (same contract as
+  /// ExplorerConfig::on_complete).
+  ScheduleHook on_complete;
+};
+
+struct FuzzResult {
+  bool violation_found = false;
+  std::string violation;
+  std::vector<Directive> witness;      ///< shrunk (when config.shrink)
+  std::vector<Directive> raw_witness;  ///< as recorded in the violating run
+  std::uint64_t runs = 0;              ///< runs actually executed
+  std::uint64_t violating_run = 0;     ///< 0-based index of the hit
+  /// FNV-1a digest over every applied directive of every run: two fuzz
+  /// passes with equal configs explore byte-identical schedules.
+  std::uint64_t schedule_digest = 0;
+};
+
+/// Runs seeded schedule fuzzing against the scenario, stopping at the first
+/// violation (or when runs / the time budget are spent). Deterministic
+/// given the config (modulo time_budget_ms, see above).
+FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
+                const ScenarioBuilder& build, const FuzzConfig& config = {});
+
+}  // namespace tpa::tso

@@ -1,0 +1,48 @@
+// fuzz-smoke: a ~2-second seeded fuzz pass that runs in tier-1 CI (ctest
+// label "fuzz-smoke", its own binary so the label applies cleanly). One
+// violating scenario proves the find→shrink→replay pipeline end to end; one
+// safe scenario guards against false positives. Seeded, so any hit is
+// immediately reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario_registry.h"
+#include "tso/fuzz.h"
+#include "tso/schedule.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
+  const auto* broken = testing::find_scenario("bakery-none-2p");
+  ASSERT_NE(broken, nullptr);
+  tso::FuzzConfig cfg;
+  cfg.seed = 0xC0FFEEULL;
+  cfg.runs = ~0ULL;
+  cfg.time_budget_ms = 1'500;
+  const tso::FuzzResult hit =
+      tso::fuzz(broken->n_procs, broken->sim, broken->build, cfg);
+  ASSERT_TRUE(hit.violation_found)
+      << "the fence-free bakery must fall within the smoke budget";
+  ASSERT_FALSE(hit.witness.empty());
+  EXPECT_TRUE(tso::replay_lenient(broken->n_procs, broken->sim, broken->build,
+                                  hit.witness)
+                  .violated)
+      << "smoke witness must replay";
+
+  const auto* safe = testing::find_scenario("bakery-tso-2p");
+  ASSERT_NE(safe, nullptr);
+  tso::FuzzConfig quiet;
+  quiet.seed = 0xC0FFEEULL;
+  quiet.runs = ~0ULL;
+  quiet.time_budget_ms = 500;
+  const tso::FuzzResult ok =
+      tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
+  EXPECT_FALSE(ok.violation_found) << ok.violation;
+  EXPECT_GT(ok.runs, 0u);
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,85 @@
+// Scenario registry shared by the fuzz, corpus-replay, and smoke tests:
+// resolves the scenario ids stored in witness files (tests/corpus/*.witness)
+// back to (n_procs, SimConfig, ScenarioBuilder) so serialized schedules can
+// be replayed against a freshly built simulator. Builders must be
+// schedule-independent and safe to invoke concurrently (the parallel
+// explorer shares them across workers).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/bakery.h"
+#include "algos/zoo.h"
+#include "tso/schedule.h"
+#include "tso/sim.h"
+
+namespace tpa::testing {
+
+struct NamedScenario {
+  std::string name;
+  std::size_t n_procs;
+  tso::SimConfig sim;
+  tso::ScenarioBuilder build;
+  bool violating;  ///< a violation is expected to be discoverable
+};
+
+inline tso::ScenarioBuilder bakery_scenario(int n,
+                                            algos::BakeryFencing fencing) {
+  return [n, fencing](tso::Simulator& sim) {
+    auto lock = std::make_shared<algos::BakeryLock>(sim, n, fencing);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  };
+}
+
+inline tso::ScenarioBuilder zoo_scenario(const char* name, int n,
+                                         int passages) {
+  const auto& factory = algos::lock_factory(name);
+  return [&factory, n, passages](tso::Simulator& sim) {
+    auto lock = factory.make(sim, n);
+    for (int p = 0; p < n; ++p)
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
+  };
+}
+
+inline const std::vector<NamedScenario>& scenario_registry() {
+  static const std::vector<NamedScenario>* kAll = [] {
+    auto* v = new std::vector<NamedScenario>;
+    tso::SimConfig pso;
+    pso.pso = true;
+    // The fence-free bakery: the paper's "fences are unavoidable" premise.
+    v->push_back({"bakery-none-2p", 2, {},
+                  bakery_scenario(2, algos::BakeryFencing::kNone), true});
+    v->push_back({"bakery-none-3p", 3, {},
+                  bakery_scenario(3, algos::BakeryFencing::kNone), true});
+    // The TSO-correct fence placement is exploitable once writes to
+    // different variables may reorder (Section 6 / tests/test_pso.cpp).
+    v->push_back({"bakery-tso-pso-2p", 2, pso,
+                  bakery_scenario(2, algos::BakeryFencing::kTso), true});
+    // Safe controls for the fuzzer and smoke tests.
+    v->push_back({"bakery-tso-2p", 2, {},
+                  bakery_scenario(2, algos::BakeryFencing::kTso), false});
+    v->push_back({"mcs-2p", 2, {}, zoo_scenario("mcs", 2, 1), false});
+    return v;
+  }();
+  return *kAll;
+}
+
+inline const NamedScenario* find_scenario(const std::string& name) {
+  for (const auto& s : scenario_registry())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+/// TPA_CHECK messages carry "<expr> at <file>:<line> — <detail>"; corpus
+/// files store only the detail part so they stay valid across unrelated
+/// source-line churn.
+inline std::string violation_detail(const std::string& message) {
+  const auto pos = message.find(" — ");
+  if (pos == std::string::npos) return message;
+  return message.substr(pos + std::string(" — ").size());
+}
+
+}  // namespace tpa::testing

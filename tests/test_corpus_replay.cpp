@@ -1,0 +1,118 @@
+// Replayable regression corpus: every witness file under tests/corpus/ is a
+// shrunk, serialized schedule for a known violation. Replaying it through a
+// freshly built simulator must still reproduce the recorded violation — if
+// an algorithm or simulator change ever makes one pass, that is a regression
+// (or an intentional fix, in which case regenerate: see docs/FUZZING.md and
+// the TPA_REGEN_CORPUS env var below).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario_registry.h"
+#include "trace/format.h"
+#include "tso/fuzz.h"
+#include "util/check.h"
+
+#ifndef TPA_CORPUS_DIR
+#error "TPA_CORPUS_DIR must point at tests/corpus (set by tests/CMakeLists.txt)"
+#endif
+
+namespace tpa {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::find_scenario;
+using testing::violation_detail;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(TPA_CORPUS_DIR))
+    if (entry.path().extension() == ".witness") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_files().size(), 3u)
+      << "the checked-in corpus should cover the known violations";
+}
+
+TEST(CorpusReplay, EveryWitnessStillReproducesItsViolation) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    const trace::Witness w = trace::read_witness(in);
+    const auto* s = find_scenario(w.scenario);
+    ASSERT_NE(s, nullptr) << "unknown scenario id '" << w.scenario << "'";
+    ASSERT_EQ(s->n_procs, w.n_procs);
+    ASSERT_EQ(s->sim.pso, w.pso);
+    ASSERT_FALSE(w.directives.empty());
+
+    const tso::LenientReplay r =
+        tso::replay_lenient(w.n_procs, s->sim, s->build, w.directives);
+    EXPECT_TRUE(r.violated)
+        << "corpus witness no longer reproduces — regression or intentional "
+           "fix (regenerate via TPA_REGEN_CORPUS, see docs/FUZZING.md)";
+    // Witnesses are stored shrunk, so they are strictly replayable: every
+    // directive must have applied.
+    EXPECT_EQ(r.applied.size(), w.directives.size());
+    // The recorded failure (its stable detail part) must match.
+    EXPECT_NE(violation_detail(r.violation).find(w.violation),
+              std::string::npos)
+        << "recorded: " << w.violation << "\nreplayed: " << r.violation;
+  }
+}
+
+TEST(CorpusReplay, WitnessesAreLocallyMinimal) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    const trace::Witness w = trace::read_witness(in);
+    const auto* s = find_scenario(w.scenario);
+    ASSERT_NE(s, nullptr);
+    for (std::size_t i = 0; i < w.directives.size(); ++i) {
+      std::vector<tso::Directive> cand = w.directives;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_FALSE(
+          tso::replay_lenient(w.n_procs, s->sim, s->build, cand).violated)
+          << "directive " << i << " is removable — the witness is stale "
+             "(regenerate to keep the corpus minimal)";
+    }
+  }
+}
+
+// Regeneration: TPA_REGEN_CORPUS=1 ctest -R CorpusRegen re-fuzzes every
+// violating registry scenario with a fixed seed, shrinks the witness, and
+// rewrites tests/corpus/<scenario>.witness. Skipped in normal runs.
+TEST(CorpusRegen, RegenerateAllWitnessFiles) {
+  if (std::getenv("TPA_REGEN_CORPUS") == nullptr)
+    GTEST_SKIP() << "set TPA_REGEN_CORPUS=1 to rewrite tests/corpus/";
+  for (const auto& s : testing::scenario_registry()) {
+    if (!s.violating) continue;
+    tso::FuzzConfig cfg;
+    cfg.seed = 0x5eedULL;
+    cfg.runs = 20'000;
+    const tso::FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
+    ASSERT_TRUE(r.violation_found) << s.name;
+    trace::Witness w;
+    w.scenario = s.name;
+    w.n_procs = s.n_procs;
+    w.pso = s.sim.pso;
+    w.violation = violation_detail(r.violation);
+    w.directives = r.witness;
+    const fs::path path =
+        fs::path(TPA_CORPUS_DIR) / (s.name + ".witness");
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << path;
+    trace::write_witness(out, w);
+  }
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,191 @@
+// Parallel schedule exploration: the frontier partitioning must explore
+// exactly the sequential DFS' schedule space — identical `schedules` and
+// `truncated` counts for any worker count — report violations
+// deterministically (first-in-frontier-order wins, independent of thread
+// timing), and sleep-set pruning must cut schedules without changing any
+// verdict.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario_registry.h"
+#include "tso/explorer.h"
+#include "tso/fuzz.h"
+#include "tso/schedule.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using testing::find_scenario;
+using tso::ExplorerConfig;
+using tso::ExplorerResult;
+using tso::explore;
+
+struct Case {
+  const char* scenario;
+  int preemptions;
+};
+
+TEST(ExplorerParallel, CountsMatchSequentialOnSafeScenarios) {
+  const Case cases[] = {
+      {"bakery-tso-2p", 2},
+      {"mcs-2p", 2},
+      {"bakery-tso-2p", 1},
+  };
+  for (const Case& c : cases) {
+    const auto* s = find_scenario(c.scenario);
+    ASSERT_NE(s, nullptr);
+    ExplorerConfig cfg;
+    cfg.preemptions = c.preemptions;
+    const ExplorerResult seq = explore(s->n_procs, s->sim, s->build, cfg);
+    ASSERT_FALSE(seq.violation_found) << seq.violation;
+    ASSERT_TRUE(seq.exhausted);
+    for (int threads : {1, 2, 4}) {
+      ExplorerConfig pcfg = cfg;
+      pcfg.threads = threads;
+      const ExplorerResult par =
+          explore(s->n_procs, s->sim, s->build, pcfg);
+      EXPECT_EQ(par.violation_found, seq.violation_found)
+          << c.scenario << " threads=" << threads;
+      EXPECT_EQ(par.schedules, seq.schedules)
+          << c.scenario << " threads=" << threads
+          << ": the frontier partition must be exact";
+      EXPECT_EQ(par.truncated, seq.truncated)
+          << c.scenario << " threads=" << threads;
+      EXPECT_TRUE(par.exhausted) << c.scenario << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExplorerParallel, ThreeProcessCountsMatchSequential) {
+  const auto* s = find_scenario("bakery-none-3p");
+  ASSERT_NE(s, nullptr);
+  // Use the *safe* TSO bakery at 3 procs for count parity.
+  const auto build = testing::bakery_scenario(3, algos::BakeryFencing::kTso);
+  ExplorerConfig cfg;
+  cfg.preemptions = 1;
+  const ExplorerResult seq = explore(3, {}, build, cfg);
+  ASSERT_FALSE(seq.violation_found) << seq.violation;
+  for (int threads : {2, 4}) {
+    ExplorerConfig pcfg = cfg;
+    pcfg.threads = threads;
+    const ExplorerResult par = explore(3, {}, build, pcfg);
+    EXPECT_EQ(par.schedules, seq.schedules) << "threads=" << threads;
+    EXPECT_EQ(par.truncated, seq.truncated) << "threads=" << threads;
+    EXPECT_TRUE(par.exhausted);
+  }
+}
+
+TEST(ExplorerParallel, ViolationIsFoundAndDeterministicAcrossThreadCounts) {
+  const auto* s = find_scenario("bakery-none-2p");
+  ASSERT_NE(s, nullptr);
+  ExplorerConfig cfg;
+  cfg.preemptions = 1;
+  std::vector<tso::Directive> first_witness;
+  for (int threads : {1, 2, 4}) {
+    ExplorerConfig pcfg = cfg;
+    pcfg.threads = threads;
+    const ExplorerResult r = explore(s->n_procs, s->sim, s->build, pcfg);
+    ASSERT_TRUE(r.violation_found) << "threads=" << threads;
+    EXPECT_NE(r.violation.find("mutual exclusion violated"),
+              std::string::npos)
+        << r.violation;
+    ASSERT_FALSE(r.witness.empty());
+    // Every reported witness replays deterministically.
+    EXPECT_THROW(tso::replay(s->n_procs, s->sim, s->build, r.witness),
+                 CheckFailure)
+        << "threads=" << threads;
+    // And the parallel run is reproducible: same config, same witness.
+    const ExplorerResult again =
+        explore(s->n_procs, s->sim, s->build, pcfg);
+    ASSERT_TRUE(again.violation_found);
+    ASSERT_EQ(again.witness.size(), r.witness.size())
+        << "threads=" << threads << " must be reproducible";
+    for (std::size_t i = 0; i < r.witness.size(); ++i) {
+      EXPECT_EQ(again.witness[i].kind, r.witness[i].kind) << i;
+      EXPECT_EQ(again.witness[i].proc, r.witness[i].proc) << i;
+      EXPECT_EQ(again.witness[i].var, r.witness[i].var) << i;
+    }
+  }
+}
+
+TEST(ExplorerParallel, ThreeProcessViolationFoundAtAllThreadCounts) {
+  const auto* s = find_scenario("bakery-none-3p");
+  ASSERT_NE(s, nullptr);
+  for (int threads : {1, 2, 4}) {
+    ExplorerConfig cfg;
+    cfg.preemptions = 1;
+    cfg.threads = threads;
+    const ExplorerResult r = explore(s->n_procs, s->sim, s->build, cfg);
+    EXPECT_TRUE(r.violation_found) << "threads=" << threads;
+  }
+}
+
+TEST(ExplorerParallel, RespectsScheduleBudget) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.threads = 4;
+  cfg.max_schedules = 50;
+  const ExplorerResult r = explore(s->n_procs, s->sim, s->build, cfg);
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(ExplorerParallel, SleepSetsCutSchedulesWithoutChangingVerdicts) {
+  // Safe scenarios: same (clean) verdict from strictly less work.
+  for (const char* name : {"bakery-tso-2p", "mcs-2p"}) {
+    const auto* s = find_scenario(name);
+    ASSERT_NE(s, nullptr);
+    ExplorerConfig cfg;
+    cfg.preemptions = 2;
+    const ExplorerResult plain = explore(s->n_procs, s->sim, s->build, cfg);
+    ExplorerConfig pruned = cfg;
+    pruned.sleep_sets = true;
+    const ExplorerResult slept =
+        explore(s->n_procs, s->sim, s->build, pruned);
+    EXPECT_FALSE(plain.violation_found) << name;
+    EXPECT_FALSE(slept.violation_found)
+        << name << ": pruning must not invent violations";
+    EXPECT_TRUE(slept.exhausted) << name;
+    EXPECT_LT(slept.schedules, plain.schedules)
+        << name << ": commutative interleavings should be cut";
+  }
+  // Violating scenario: the violation must survive pruning.
+  const auto* broken = find_scenario("bakery-none-2p");
+  ASSERT_NE(broken, nullptr);
+  ExplorerConfig cfg;
+  cfg.preemptions = 1;
+  cfg.sleep_sets = true;
+  const ExplorerResult r =
+      explore(broken->n_procs, broken->sim, broken->build, cfg);
+  ASSERT_TRUE(r.violation_found)
+      << "sleep sets skipped the fence-free bakery violation";
+  EXPECT_THROW(
+      tso::replay(broken->n_procs, broken->sim, broken->build, r.witness),
+      CheckFailure);
+}
+
+TEST(ExplorerParallel, SleepSetsComposeWithParallelExploration) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.sleep_sets = true;
+  const ExplorerResult seq = explore(s->n_procs, s->sim, s->build, cfg);
+  for (int threads : {2, 4}) {
+    ExplorerConfig pcfg = cfg;
+    pcfg.threads = threads;
+    const ExplorerResult par = explore(s->n_procs, s->sim, s->build, pcfg);
+    EXPECT_EQ(par.schedules, seq.schedules)
+        << "threads=" << threads
+        << ": sleep sets thread through frontier prefixes";
+    EXPECT_EQ(par.truncated, seq.truncated) << "threads=" << threads;
+    EXPECT_FALSE(par.violation_found);
+  }
+}
+
+}  // namespace
+}  // namespace tpa

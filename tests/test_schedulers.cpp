@@ -97,6 +97,52 @@ TEST(Schedulers, AllDoneSemantics) {
       << "p1 never had a program; p0 done and drained";
 }
 
+TEST(Schedulers, RandomCommitProbZeroStillTerminates) {
+  // commit_prob = 0 is the maximal-delay regime: buffered writes commit
+  // only through fences (deliver in write mode) and the done-program drain
+  // path. The bakery's fences guarantee progress, so the run must complete.
+  Simulator sim(3);
+  const auto& f = algos::lock_factory("bakery");
+  auto lock = f.make(sim, 3);
+  for (int p = 0; p < 3; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+  Rng rng(17);
+  const std::uint64_t steps = tso::run_random(sim, rng, 0.0, 1'000'000);
+  EXPECT_LT(steps, 1'000'000u) << "must terminate, not hit the step cap";
+  EXPECT_TRUE(tso::all_done(sim));
+  for (int p = 0; p < 3; ++p)
+    EXPECT_EQ(sim.proc(p).passages_done(), 2u) << "p" << p;
+}
+
+TEST(Schedulers, RandomCommitProbOneIsNearWriteThrough) {
+  // commit_prob = 1: whenever a process with a non-empty buffer is picked
+  // it commits, so buffers stay at depth <= 1 — the friendliest regime.
+  Simulator sim(3);
+  const auto& f = algos::lock_factory("bakery");
+  auto lock = f.make(sim, 3);
+  for (int p = 0; p < 3; ++p)
+    sim.spawn(p, run_passages(sim.proc(p), lock, 2));
+  Rng rng(17);
+  const std::uint64_t steps = tso::run_random(sim, rng, 1.0, 1'000'000);
+  EXPECT_LT(steps, 1'000'000u);
+  EXPECT_TRUE(tso::all_done(sim));
+  for (int p = 0; p < 3; ++p)
+    EXPECT_EQ(sim.proc(p).passages_done(), 2u) << "p" << p;
+}
+
+TEST(Schedulers, RandomCommitProbZeroDrainsFinishedPrograms) {
+  // Even at commit_prob = 0 a finished program's buffer must flush (the
+  // hardware eventually drains stores): the done() branch commits
+  // unconditionally.
+  Simulator sim(1);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, writer_no_fence(sim.proc(0), v));
+  Rng rng(1);
+  tso::run_random(sim, rng, 0.0, 1'000);
+  EXPECT_EQ(sim.value(v), 1);
+  EXPECT_TRUE(tso::all_done(sim));
+}
+
 TEST(Schedulers, EagerCommitMakesWritesVisibleImmediately) {
   Simulator sim(2);
   const VarId v = sim.alloc_var(0);
