@@ -15,9 +15,20 @@
 // BM_SleepSets measures what the partial-order reduction buys on the same
 // scenario: fewer schedules per exhausted bound, at the price of per-step
 // signature bookkeeping. BM_FuzzThroughput tracks the randomized pipeline
-// (runs/s on a safe lock, i.e. no early exit).
+// (runs/s on a safe lock, i.e. no early exit). BM_CheckpointVsReplay pits
+// snapshot/restore at branch points against replaying every prefix from the
+// root — same schedule tree, so the `events/schedule` counter isolates the
+// redundant re-execution that checkpointing eliminates.
+//
+// Before the google-benchmark suite runs, main() measures the checkpoint
+// win head-to-head on an exhausted bound and writes the numbers to
+// BENCH_explorer.json (events executed, schedules, wall ms per mode) for
+// machine consumption by CI trend tracking.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "algos/bakery.h"
@@ -90,6 +101,87 @@ void BM_FuzzThroughput(benchmark::State& state) {
                                                 benchmark::Counter::kIsRate);
 }
 
+void BM_CheckpointVsReplay(benchmark::State& state) {
+  const auto build = bakery_tso(2);
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.checkpoint = state.range(0) != 0;
+  state.SetLabel(cfg.checkpoint ? "checkpoint" : "replay");
+  std::uint64_t events = 0, schedules = 0;
+  for (auto _ : state) {
+    const auto r = tso::explore(2, {}, build, cfg);
+    benchmark::DoNotOptimize(r.violation_found);
+    events += r.events_executed;
+    schedules += r.schedules + r.truncated;
+  }
+  state.counters["events/schedule"] =
+      static_cast<double>(events) / static_cast<double>(schedules);
+  state.counters["schedules/s"] = benchmark::Counter(
+      static_cast<double>(schedules), benchmark::Counter::kIsRate);
+}
+
+/// One exhausted explore() in the given mode, timed.
+struct ModeResult {
+  tso::ExplorerResult result;
+  double wall_ms = 0;
+};
+
+ModeResult run_mode(bool checkpoint) {
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.checkpoint = checkpoint;
+  const auto t0 = std::chrono::steady_clock::now();
+  ModeResult m;
+  m.result = tso::explore(2, {}, bakery_tso(2), cfg);
+  m.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return m;
+}
+
+void emit_json(std::ostream& out, const char* mode, const ModeResult& m) {
+  out << "    {\"mode\":\"" << mode << "\""
+      << ",\"schedules\":" << m.result.schedules
+      << ",\"truncated\":" << m.result.truncated
+      << ",\"events_executed\":" << m.result.events_executed
+      << ",\"snapshots\":" << m.result.snapshots
+      << ",\"restores\":" << m.result.restores << ",\"wall_ms\":" << m.wall_ms
+      << "}";
+}
+
+/// Head-to-head checkpoint-vs-replay run, written to BENCH_explorer.json.
+int write_comparison(const char* path) {
+  const ModeResult replay = run_mode(false);
+  const ModeResult ckpt = run_mode(true);
+  const double ratio =
+      static_cast<double>(replay.result.events_executed) /
+      static_cast<double>(ckpt.result.events_executed ? ckpt.result.events_executed : 1);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << "{\n  \"bench\": \"explorer-checkpoint\",\n"
+      << "  \"scenario\": \"bakery-tso-2p\",\n  \"preemptions\": 2,\n"
+      << "  \"modes\": [\n";
+  emit_json(out, "replay", replay);
+  out << ",\n";
+  emit_json(out, "checkpoint", ckpt);
+  out << "\n  ],\n  \"events_reduction\": " << ratio << ",\n"
+      << "  \"schedules_match\": "
+      << (replay.result.schedules == ckpt.result.schedules ? "true" : "false")
+      << "\n}\n";
+
+  std::printf(
+      "checkpoint/restore: %llu events vs %llu replayed (%.2fx reduction), "
+      "%llu schedules both modes -> %s\n",
+      static_cast<unsigned long long>(ckpt.result.events_executed),
+      static_cast<unsigned long long>(replay.result.events_executed), ratio,
+      static_cast<unsigned long long>(ckpt.result.schedules), path);
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_ParallelExplore)
@@ -105,5 +197,18 @@ BENCHMARK(BM_SleepSets)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FuzzThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointVsReplay)
+    ->ArgName("ckpt")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const int rc = write_comparison("BENCH_explorer.json"); rc != 0)
+    return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,7 +28,9 @@ void run_one(const algos::LockFactory& f, int n, int passages, SimConfig cfg,
     } else {
       tso::run_round_robin(sim, 100'000'000);
     }
-    events += sim.num_events();
+    // Counted by the core, so the lean/bare variants (no TraceRecorder)
+    // report a real rate instead of zero.
+    events += sim.events_executed();
   }
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
@@ -55,10 +57,25 @@ void BM_NoTracking(benchmark::State& state) {
   run_one(f, 8, 3, cfg, true, state);
 }
 
+void BM_BareCore(benchmark::State& state) {
+  // Every observer off: the naked TSO state machine, the explorer's hot
+  // configuration (exclusion violations still surface as CheckFailure from
+  // whatever the harness chooses to attach — here, nothing).
+  const auto& f = algos::lock_zoo()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(f.name + "/bare");
+  SimConfig cfg;
+  cfg.track_awareness = false;
+  cfg.record_trace = false;
+  cfg.track_costs = false;
+  cfg.check_exclusion = false;
+  run_one(f, 8, 3, cfg, true, state);
+}
+
 }  // namespace
 
 BENCHMARK(BM_RoundRobin)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Random)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NoTracking)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BareCore)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

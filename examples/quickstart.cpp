@@ -1,13 +1,17 @@
-// Quickstart: write a tiny TSO algorithm, run it under two schedules, and
-// read the cost counters the library maintains (fences, critical events,
-// RMRs under DSM / CC write-through / CC write-back).
+// Quickstart: write a tiny TSO algorithm, run it under two schedules, read
+// the cost counters the library maintains (fences, critical events, RMRs
+// under DSM / CC write-through / CC write-back), and stream a run as JSONL
+// through a custom observer.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/example_quickstart
 #include <cstdio>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "algos/bakery.h"
+#include "tso/observers.h"
 #include "tso/schedulers.h"
 #include "tso/sim.h"
 #include "util/rng.h"
@@ -78,6 +82,31 @@ int main() {
     }
     std::puts(
         "(the simulator asserts mutual exclusion at every enabled CS event)");
+  }
+
+  // 3. Observers are pluggable: attach a JsonlTraceSink and every directive
+  //    and event streams out as one JSON object per line — pipe it to jq, a
+  //    tracing UI, or a file. Custom instrumentation works the same way:
+  //    derive from tso::SimObserver and add_observer() it.
+  {
+    std::puts("\n-- the same message-passing run, streamed as JSONL --");
+    std::ostringstream jsonl;
+    Simulator sim(2);
+    sim.add_observer(std::make_unique<tso::JsonlTraceSink>(jsonl));
+    const VarId data = sim.alloc_var(0);
+    const VarId flag = sim.alloc_var(0);
+    Value received = -1;
+    sim.spawn(0, message_pass(sim.proc(0), data, flag));
+    sim.spawn(1, message_recv(sim.proc(1), data, flag, &received));
+    tso::run_round_robin(sim, 10'000);
+
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    std::size_t total = 0;
+    while (std::getline(lines, line)) {
+      if (total++ < 4) std::printf("  %s\n", line.c_str());
+    }
+    std::printf("  ... %zu JSONL records total\n", total);
   }
   return 0;
 }

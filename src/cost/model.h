@@ -1,0 +1,150 @@
+// The shared cost model: RMR accounting and cost vectors used by both
+// worlds of the library.
+//
+// The simulator (src/tso, via CostObserver) charges remote memory references
+// per the three standard models of the RMR-complexity literature — DSM
+// (every access to a variable outside the process' memory segment), CC with
+// a write-through protocol, and CC with a write-back protocol — and the
+// native runtime (src/runtime) counts fences/RMWs on real hardware. Both
+// report through the same CostVector so the paper's fence-vs-RMR trade-off
+// can be compared across the simulated and native worlds, and the trace
+// analyzer (src/trace) recomputes the directory transitions offline from
+// this exact header, so online and offline RMR charging cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "tso/types.h"
+
+namespace tpa::cost {
+
+using tso::kNoProc;
+using tso::ProcId;
+
+/// The three memory models RMRs are charged under.
+enum class RmrModel : std::uint8_t {
+  kDsm,             ///< distributed shared memory: owner segments
+  kCcWriteThrough,  ///< cache-coherent, write-through protocol
+  kCcWriteBack,     ///< cache-coherent, write-back protocol
+};
+
+const char* to_string(RmrModel m);
+
+/// Aggregated cost of an execution fragment (one passage, one run, one
+/// native stress pass). Fields that a producer cannot know stay zero — the
+/// native runtime, for example, has no RMR oracle.
+struct CostVector {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t fences = 0;    ///< explicit fences (CAS-implied excluded)
+  std::uint64_t rmws = 0;      ///< atomic read-modify-writes
+  std::uint64_t critical = 0;  ///< critical events (Definition 2)
+  std::uint64_t rmr_dsm = 0;
+  std::uint64_t rmr_wt = 0;
+  std::uint64_t rmr_wb = 0;
+
+  /// Fence-like barriers: explicit fences plus atomic RMWs (a LOCK-prefixed
+  /// RMW is a full barrier on TSO hardware).
+  std::uint64_t barriers() const { return fences + rmws; }
+
+  std::uint64_t rmrs(RmrModel m) const {
+    switch (m) {
+      case RmrModel::kDsm: return rmr_dsm;
+      case RmrModel::kCcWriteThrough: return rmr_wt;
+      case RmrModel::kCcWriteBack: return rmr_wb;
+    }
+    return 0;
+  }
+
+  CostVector& operator+=(const CostVector& o) {
+    loads += o.loads;
+    stores += o.stores;
+    fences += o.fences;
+    rmws += o.rmws;
+    critical += o.critical;
+    rmr_dsm += o.rmr_dsm;
+    rmr_wt += o.rmr_wt;
+    rmr_wb += o.rmr_wb;
+    return *this;
+  }
+};
+
+/// Whether one access is an RMR, per model.
+struct RmrFlags {
+  bool dsm = false;
+  bool wt = false;
+  bool wb = false;
+};
+
+/// Per-variable coherence state, advanced one access at a time. This is the
+/// single implementation of the directory transitions; the simulator's
+/// CostObserver and the offline analyzer both step it.
+struct CoherenceDirectory {
+  /// CC write-through: processes holding a valid cached copy.
+  std::unordered_set<ProcId> wt_copies;
+  /// CC write-back: either one exclusive holder, or a set of sharers.
+  std::unordered_set<ProcId> wb_sharers;
+  ProcId wb_exclusive = kNoProc;
+
+  /// A read of the variable by p (owner = the variable's DSM owner).
+  RmrFlags on_read(ProcId p, ProcId owner) {
+    RmrFlags f;
+    // DSM: every access to a remote variable is an RMR.
+    f.dsm = owner != p;
+    // CC write-through: a read without a valid cached copy is an RMR that
+    // creates the copy.
+    if (wt_copies.count(p) == 0) {
+      f.wt = true;
+      wt_copies.insert(p);
+    }
+    // CC write-back: a read misses unless p holds the line shared or
+    // exclusive; a miss downgrades any exclusive holder to shared.
+    const bool wb_hit = wb_exclusive == p || wb_sharers.count(p) != 0;
+    if (!wb_hit) {
+      f.wb = true;
+      if (wb_exclusive != kNoProc) {
+        wb_sharers.insert(wb_exclusive);
+        wb_exclusive = kNoProc;
+      }
+      wb_sharers.insert(p);
+    }
+    return f;
+  }
+
+  /// A committed write (or successful CAS) to the variable by p.
+  RmrFlags on_write(ProcId p, ProcId owner) {
+    RmrFlags f;
+    f.dsm = owner != p;
+    // CC write-through: every committed write goes to memory and
+    // invalidates all other cached copies — always an RMR.
+    f.wt = true;
+    for (auto it = wt_copies.begin(); it != wt_copies.end();) {
+      if (*it != p)
+        it = wt_copies.erase(it);
+      else
+        ++it;
+    }
+    // CC write-back: a write hits only with an exclusive copy; otherwise it
+    // invalidates all other copies and takes the line exclusive.
+    if (wb_exclusive == p) {
+      f.wb = false;
+    } else {
+      f.wb = true;
+      wb_sharers.clear();
+      wb_exclusive = p;
+    }
+    return f;
+  }
+};
+
+inline const char* to_string(RmrModel m) {
+  switch (m) {
+    case RmrModel::kDsm: return "dsm";
+    case RmrModel::kCcWriteThrough: return "cc-wt";
+    case RmrModel::kCcWriteBack: return "cc-wb";
+  }
+  return "?";
+}
+
+}  // namespace tpa::cost

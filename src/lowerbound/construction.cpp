@@ -25,6 +25,13 @@ Construction::Construction(std::size_t n_procs, ScenarioBuilder build,
       cfg_(config),
       sim_cfg_(sim_config),
       erased_(n_procs, false) {
+  // The construction replays, erases and inspects awareness, criticality
+  // and the trace throughout — it needs the full standard instrumentation,
+  // not the bare core explorers run with.
+  TPA_CHECK(sim_cfg_.record_trace && sim_cfg_.track_awareness &&
+                sim_cfg_.track_costs,
+            "lower-bound construction requires record_trace, track_awareness "
+            "and track_costs");
   sim_ = std::make_unique<Simulator>(n_, sim_cfg_);
   build_(*sim_);
   result_.initial_procs = n_;

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "cost/model.h"
+
 namespace tpa::runtime {
 
 struct OpCounters {
@@ -32,6 +34,17 @@ struct OpCounters {
     loads += o.loads;
     stores += o.stores;
     return *this;
+  }
+
+  /// These counters in the shared cross-world cost model (cost/model.h).
+  /// The native runtime has no RMR oracle, so those fields stay zero.
+  cost::CostVector to_cost_vector() const {
+    cost::CostVector c;
+    c.loads = loads;
+    c.stores = stores;
+    c.fences = fences;
+    c.rmws = rmws;
+    return c;
   }
 };
 

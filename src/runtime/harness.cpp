@@ -51,6 +51,7 @@ StressResult run_stress(RtLock& lock, int threads,
   r.fences_per_op = static_cast<double>(total.fences) / ops;
   r.rmws_per_op = static_cast<double>(total.rmws) / ops;
   r.barriers_per_op = static_cast<double>(total.barriers()) / ops;
+  r.total_cost = total.to_cost_vector();
   r.exclusion_ok = shared_counter == r.total_ops;
   return r;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "cost/model.h"
 #include "runtime/locks.h"
 
 namespace tpa::runtime {
@@ -20,6 +21,10 @@ struct StressResult {
   /// Maximum barriers any single thread spent per passage (average within
   /// that thread) — highlights registration spikes of adaptive locks.
   double max_thread_barriers_per_op = 0;
+  /// Aggregate counters of all threads in the shared cross-world cost model
+  /// (cost/model.h) — directly comparable with the simulator's per-passage
+  /// PassageStats::to_cost_vector().
+  cost::CostVector total_cost;
 };
 
 /// Runs `threads` threads, each performing `ops_per_thread` lock/unlock

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "cost/model.h"
 #include "util/check.h"
 
 namespace tpa::trace {
@@ -16,6 +17,12 @@ struct BufEntry {
   Value value;
   DynBitset aw;
 };
+
+void charge_rmrs(EventFacts* f, const cost::RmrFlags& flags) {
+  f->rmr_dsm = flags.dsm;
+  f->rmr_wt = flags.wt;
+  f->rmr_wb = flags.wb;
+}
 
 }  // namespace
 
@@ -53,6 +60,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
 
   std::vector<std::vector<BufEntry>> buffers(n_procs);
   std::vector<std::unordered_set<VarId>> remote_reads(n_procs);
+  std::vector<cost::CoherenceDirectory> directories(n_vars);
 
   auto is_remote = [&](ProcId p, VarId v) {
     return layout.owners[static_cast<std::size_t>(v)] != p;
@@ -101,6 +109,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
         f.accesses_var = true;
         f.remote = is_remote(e.proc, e.var);
         f.critical = f.remote && a.last_writer[v] != e.proc;
+        charge_rmrs(&f, directories[v].on_write(e.proc, layout.owners[v]));
         a.last_writer[v] = e.proc;
         a.writer_awareness[v] = std::move(entry.aw);
         a.accessed_by[v].insert(e.proc);
@@ -127,6 +136,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
           f.remote = is_remote(e.proc, e.var);
           f.critical = f.remote && remote_reads[p].count(e.var) == 0;
           if (f.remote) remote_reads[p].insert(e.var);
+          charge_rmrs(&f, directories[v].on_read(e.proc, layout.owners[v]));
           a.accessed_by[v].insert(e.proc);
           if (a.last_writer[v] != tso::kNoProc) {
             a.awareness[p] |= a.writer_awareness[v];
@@ -161,6 +171,9 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
         if (e.cas_success && f.remote && a.last_writer[v] != e.proc) crit++;
         f.critical = crit > 0;
         a.critical_events[p] += crit;
+        charge_rmrs(&f, e.cas_success
+                            ? directories[v].on_write(e.proc, layout.owners[v])
+                            : directories[v].on_read(e.proc, layout.owners[v]));
         a.accessed_by[v].insert(e.proc);
         if (a.last_writer[v] != tso::kNoProc) {
           a.awareness[p] |= a.writer_awareness[v];
@@ -202,12 +215,15 @@ ConsistencyReport check_consistency(const Execution& execution,
     const Event& e = execution.events[i];
     const EventFacts& f = analysis.facts[i];
     if (e.accesses_var != f.accesses_var || e.remote != f.remote ||
-        e.critical != f.critical || e.from_buffer != f.from_buffer) {
+        e.critical != f.critical || e.from_buffer != f.from_buffer ||
+        e.rmr_dsm != f.rmr_dsm || e.rmr_wt != f.rmr_wt ||
+        e.rmr_wb != f.rmr_wb) {
       std::ostringstream os;
       os << "online/offline disagreement at event {" << e.to_string()
          << "}: offline accesses=" << f.accesses_var
          << " remote=" << f.remote << " critical=" << f.critical
-         << " from_buffer=" << f.from_buffer;
+         << " from_buffer=" << f.from_buffer << " rmr=" << f.rmr_dsm << "/"
+         << f.rmr_wt << "/" << f.rmr_wb;
       return {false, os.str()};
     }
   }

@@ -39,6 +39,12 @@ struct EventFacts {
   bool remote = false;
   bool critical = false;
   bool from_buffer = false;
+  // RMR charges per model, recomputed by stepping the same
+  // cost::CoherenceDirectory the simulator's CostObserver uses — online and
+  // offline charging share one implementation and cannot drift apart.
+  bool rmr_dsm = false;
+  bool rmr_wt = false;
+  bool rmr_wb = false;
 };
 
 /// Full offline analysis of an execution.

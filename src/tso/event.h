@@ -31,6 +31,9 @@ enum class EventKind : std::uint8_t {
 
 const char* to_string(EventKind k);
 
+/// Inverse of to_string(EventKind); throws CheckFailure on unknown names.
+EventKind event_kind_from_string(const std::string& name);
+
 /// True for Enter/CS/Exit.
 bool is_transition(EventKind k);
 

@@ -86,11 +86,20 @@ bool can_act(const Simulator& sim, ProcId p) {
   return !proc.buffer().empty();
 }
 
-/// One scheduler step for p: its next event, or a buffer drain once its
-/// program has ended. Returns false if p cannot act.
-bool step(Simulator& sim, ProcId p) {
-  if (sim.deliver(p)) return true;
-  return sim.commit(p);
+/// The directive one scheduler step for p resolves to: delivering its next
+/// program event if it has one, otherwise a head commit draining its buffer.
+/// Exactly the step the old deliver-then-commit probing applied, but named
+/// up front so the explorer can log schedules without a TraceRecorder.
+Directive make_directive(const Simulator& sim, ProcId p) {
+  const Proc& proc = sim.proc(p);
+  if (!proc.done() && proc.has_pending()) return {ActionKind::kDeliver, p};
+  return {ActionKind::kCommit, p, kNoVar};
+}
+
+/// Applies a directive; false if the process cannot act that way.
+bool apply(Simulator& sim, const Directive& d) {
+  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
+                                        : sim.commit(d.proc, d.var);
 }
 
 ActionSig action_sig(const Simulator& sim, ProcId p) {
@@ -143,6 +152,17 @@ Options enumerate_options(const Simulator& sim, std::size_t n, ProcId current,
   return o;
 }
 
+/// A schedule prefix at which a worker's subtree DFS is rooted. In
+/// checkpoint mode `snap` holds the machine state *after* `dirs`, so the
+/// worker resumes without replaying a single event.
+struct Node {
+  std::vector<Directive> dirs;
+  ProcId current = kNoProc;
+  int preemptions = 0;
+  SleepSet sleep;
+  std::shared_ptr<const SimSnapshot> snap;
+};
+
 // ---- the DFS core (runs from the root, or from a frontier prefix) --------
 
 class Dfs {
@@ -158,14 +178,15 @@ class Dfs {
         index_(index) {}
 
   void run_root() {
-    picks_.clear();
+    dirs_.clear();
     dfs(fresh(), kNoProc, cfg_.preemptions, {});
   }
 
-  void run_from(const std::vector<ProcId>& prefix, ProcId current,
-                int preemptions, SleepSet sleep) {
-    picks_ = prefix;
-    dfs(rebuild(), current, preemptions, std::move(sleep));
+  void run_from(const Node& node) {
+    dirs_ = node.dirs;
+    auto sim = (cfg_.checkpoint && node.snap != nullptr) ? revive(*node.snap)
+                                                         : rebuild();
+    dfs(std::move(sim), node.current, node.preemptions, node.sleep);
   }
 
   ExplorerResult take_result() { return std::move(result_); }
@@ -173,17 +194,27 @@ class Dfs {
  private:
   std::unique_ptr<Simulator> fresh() {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    sim->count_events_into(&result_.events_executed);
     build_(*sim);
     return sim;
   }
 
-  /// Rebuilds the simulator state for the current `picks_` prefix.
+  /// Rebuilds the simulator state for the current `dirs_` prefix by replay.
   std::unique_ptr<Simulator> rebuild() {
     auto sim = fresh();
-    for (ProcId p : picks_) {
-      const bool ok = step(*sim, p);
-      TPA_CHECK(ok, "explorer replay diverged at p" << p);
+    for (const Directive& d : dirs_) {
+      const bool ok = apply(*sim, d);
+      TPA_CHECK(ok, "explorer replay diverged at p" << d.proc);
     }
+    return sim;
+  }
+
+  /// Reinstates a checkpoint in a fresh simulator — no events re-executed.
+  std::unique_ptr<Simulator> revive(const SimSnapshot& snap) {
+    auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    sim->count_events_into(&result_.events_executed);
+    sim->restore(snap, build_);
+    result_.restores++;
     return sim;
   }
 
@@ -197,17 +228,19 @@ class Dfs {
     return false;
   }
 
-  void record_violation(const Simulator& sim, const char* what) {
+  /// `dirs_` must already end with the violating directive (for step
+  /// violations) or hold the complete schedule (for hook violations).
+  void record_violation(const char* what) {
     result_.violation_found = true;
     result_.violation = what;
-    result_.witness = sim.execution().directives;
+    result_.witness = dirs_;
     shared_->claim(index_);
   }
 
   void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
            SleepSet sleep) {
     if (stop()) return;
-    if (picks_.size() >= cfg_.max_steps) {
+    if (dirs_.size() >= cfg_.max_steps) {
       result_.truncated++;
       shared_->charge();
       return;
@@ -221,7 +254,7 @@ class Dfs {
         try {
           cfg_.on_complete(*sim);
         } catch (const CheckFailure& e) {
-          record_violation(*sim, e.what());
+          record_violation(e.what());
         }
       }
       return;
@@ -236,6 +269,14 @@ class Dfs {
       for (ProcId p : opt.options) sigs.push_back(action_sig(*sim, p));
     }
 
+    // Branch point: checkpoint once, then every sibling after the first
+    // restores from here instead of replaying `dirs_` from the root.
+    std::shared_ptr<const SimSnapshot> snap;
+    if (cfg_.checkpoint && opt.options.size() > 1) {
+      snap = std::make_shared<const SimSnapshot>(sim->snapshot());
+      result_.snapshots++;
+    }
+
     for (std::size_t i = 0; i < opt.options.size(); ++i) {
       if (stop()) return;
       const ProcId p = opt.options[i];
@@ -248,18 +289,21 @@ class Dfs {
       if (cfg_.sleep_sets)
         for (const SleepEntry& e : sleep)
           if (independent(e.sig, sigs[i])) child_sleep.push_back(e);
-      if (sim == nullptr) sim = rebuild();  // a previous child consumed it
+      if (sim == nullptr)  // a previous child consumed it
+        sim = snap != nullptr ? revive(*snap) : rebuild();
+      const Directive d = make_directive(*sim, p);
       try {
-        const bool ok = step(*sim, p);
+        const bool ok = apply(*sim, d);
         TPA_CHECK(ok, "candidate p" << p << " could not act");
       } catch (const CheckFailure& e) {
-        record_violation(*sim, e.what());
+        dirs_.push_back(d);
+        record_violation(e.what());
         return;
       }
-      picks_.push_back(p);
+      dirs_.push_back(d);
       const int cost = (opt.current_runnable && p != current) ? 1 : 0;
       dfs(std::move(sim), p, preemptions - cost, std::move(child_sleep));
-      picks_.pop_back();
+      dirs_.pop_back();
       sim = nullptr;
       if (cfg_.sleep_sets) sleep.push_back({p, sigs[i]});
     }
@@ -271,19 +315,11 @@ class Dfs {
   const ExplorerConfig& cfg_;
   Shared* shared_;
   std::size_t index_;
-  std::vector<ProcId> picks_;
+  std::vector<Directive> dirs_;
   ExplorerResult result_;
 };
 
 // ---- frontier partitioning for the parallel mode -------------------------
-
-/// A schedule prefix at which a worker's subtree DFS is rooted.
-struct Node {
-  std::vector<ProcId> picks;
-  ProcId current = kNoProc;
-  int preemptions = 0;
-  SleepSet sleep;
-};
 
 /// Expands the root into a frontier of subtree prefixes, kept in DFS order
 /// (each expansion replaces a node, in place, by its ordered children), so
@@ -304,16 +340,17 @@ class FrontierBuilder {
 
   std::vector<Node> build(std::size_t target) {
     std::list<Node> nodes;
-    nodes.push_back(Node{{}, kNoProc, cfg_.preemptions, {}});
-    // Each expansion costs O(branching × depth) replay steps; the cap only
-    // guards against degenerate chains (branching 1) eating the pre-pass.
+    nodes.push_back(Node{{}, kNoProc, cfg_.preemptions, {}, nullptr});
+    // Each expansion costs O(branching × depth) replay steps (O(branching)
+    // restores in checkpoint mode); the cap only guards against degenerate
+    // chains (branching 1) eating the pre-pass.
     std::size_t expansions = 0;
     const std::size_t max_expansions = target * 64 + 256;
     while (!done_ && !nodes.empty() && nodes.size() < target &&
            expansions < max_expansions) {
       auto best = nodes.begin();
       for (auto it = std::next(nodes.begin()); it != nodes.end(); ++it)
-        if (it->picks.size() < best->picks.size()) best = it;
+        if (it->dirs.size() < best->dirs.size()) best = it;
       expand(nodes, best);
       ++expansions;
     }
@@ -325,20 +362,34 @@ class FrontierBuilder {
   ExplorerResult take_result() { return std::move(result_); }
 
  private:
-  std::unique_ptr<Simulator> rebuild(const std::vector<ProcId>& picks) {
+  std::unique_ptr<Simulator> fresh() {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    sim->count_events_into(&result_.events_executed);
     build_(*sim);
-    for (ProcId p : picks) {
-      const bool ok = step(*sim, p);
-      TPA_CHECK(ok, "frontier replay diverged at p" << p);
+    return sim;
+  }
+
+  std::unique_ptr<Simulator> rebuild(const std::vector<Directive>& dirs) {
+    auto sim = fresh();
+    for (const Directive& d : dirs) {
+      const bool ok = apply(*sim, d);
+      TPA_CHECK(ok, "frontier replay diverged at p" << d.proc);
     }
     return sim;
   }
 
-  void violation(const Simulator& sim, const char* what) {
+  std::unique_ptr<Simulator> revive(const SimSnapshot& snap) {
+    auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    sim->count_events_into(&result_.events_executed);
+    sim->restore(snap, build_);
+    result_.restores++;
+    return sim;
+  }
+
+  void violation(std::vector<Directive> witness, const char* what) {
     result_.violation_found = true;
     result_.violation = what;
-    result_.witness = sim.execution().directives;
+    result_.witness = std::move(witness);
     done_ = true;
   }
 
@@ -350,12 +401,14 @@ class FrontierBuilder {
       done_ = true;
       return;
     }
-    if (node.picks.size() >= cfg_.max_steps) {
+    if (node.dirs.size() >= cfg_.max_steps) {
       result_.truncated++;
       shared_->charge();
       return;
     }
-    auto sim = rebuild(node.picks);
+    const bool use_snap = cfg_.checkpoint;
+    auto sim = (use_snap && node.snap != nullptr) ? revive(*node.snap)
+                                                  : rebuild(node.dirs);
     const Options opt =
         enumerate_options(*sim, n_, node.current, node.preemptions);
     if (opt.cand.empty()) {
@@ -365,7 +418,7 @@ class FrontierBuilder {
         try {
           cfg_.on_complete(*sim);
         } catch (const CheckFailure& e) {
-          violation(*sim, e.what());
+          violation(node.dirs, e.what());
         }
       }
       return;
@@ -377,6 +430,13 @@ class FrontierBuilder {
       for (ProcId p : opt.options) sigs.push_back(action_sig(*sim, p));
     }
 
+    // The parent state every child probe starts from.
+    std::shared_ptr<const SimSnapshot> parent_snap = node.snap;
+    if (use_snap && parent_snap == nullptr) {
+      parent_snap = std::make_shared<const SimSnapshot>(sim->snapshot());
+      result_.snapshots++;
+    }
+
     SleepSet running = node.sleep;
     for (std::size_t i = 0; i < opt.options.size(); ++i) {
       const ProcId p = opt.options[i];
@@ -385,8 +445,7 @@ class FrontierBuilder {
                       [p](const SleepEntry& e) { return e.proc == p; }))
         continue;
       Node child;
-      child.picks = node.picks;
-      child.picks.push_back(p);
+      child.dirs = node.dirs;
       child.current = p;
       const int cost = (opt.current_runnable && p != node.current) ? 1 : 0;
       child.preemptions = node.preemptions - cost;
@@ -395,15 +454,23 @@ class FrontierBuilder {
           if (independent(e.sig, sigs[i])) child.sleep.push_back(e);
         running.push_back({p, sigs[i]});
       }
-      // Validate the child's first step now so worker rebuilds of frontier
-      // prefixes can never hit a violation mid-replay.
-      auto probe = rebuild(node.picks);
+      // Validate the child's first step now so workers can never hit a
+      // violation while reinstating a frontier prefix.
+      auto probe =
+          use_snap ? revive(*parent_snap) : rebuild(node.dirs);
+      const Directive d = make_directive(*probe, p);
       try {
-        const bool ok = step(*probe, p);
+        const bool ok = apply(*probe, d);
         TPA_CHECK(ok, "candidate p" << p << " could not act");
       } catch (const CheckFailure& e) {
-        violation(*probe, e.what());
+        child.dirs.push_back(d);
+        violation(std::move(child.dirs), e.what());
         return;
+      }
+      child.dirs.push_back(d);
+      if (use_snap) {
+        child.snap = std::make_shared<const SimSnapshot>(probe->snapshot());
+        result_.snapshots++;
       }
       nodes.insert(pos, std::move(child));
     }
@@ -433,8 +500,7 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
         if (shared->beaten(i)) return;  // a smaller index already won
         Dfs dfs(n_procs, sim_config, build, config, shared, i);
         try {
-          dfs.run_from(frontier[i].picks, frontier[i].current,
-                       frontier[i].preemptions, std::move(frontier[i].sleep));
+          dfs.run_from(frontier[i]);
           sub[i] = dfs.take_result();
         } catch (const CheckFailure& e) {
           // A diverged prefix replay: the builder is schedule-dependent.
@@ -449,6 +515,9 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
   for (std::size_t i = 0; i < sub.size(); ++i) {
     result.schedules += sub[i].schedules;
     result.truncated += sub[i].truncated;
+    result.events_executed += sub[i].events_executed;
+    result.snapshots += sub[i].snapshots;
+    result.restores += sub[i].restores;
     if (!sub[i].exhausted) result.exhausted = false;
     if (sub[i].violation_found && i < winner) winner = i;
   }
@@ -465,18 +534,30 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
 
 ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
                        const ScenarioBuilder& build, ExplorerConfig config) {
+  // With no per-schedule hook the exploration only counts schedules and
+  // checks exclusion: run the bare core (plus ExclusionChecker) and log
+  // directives in the explorer itself — no trace, awareness or cost
+  // bookkeeping on the hot path. A hook gets the caller's instrumentation
+  // unchanged, since it may inspect costs, awareness or the trace.
+  SimConfig eff = sim_config;
+  if (!config.on_complete) {
+    eff.track_awareness = false;
+    eff.record_trace = false;
+    eff.track_costs = false;
+  }
+
   Shared shared(config.max_schedules);
   ExplorerResult result;
   if (config.threads <= 1) {
-    Dfs dfs(n_procs, sim_config, build, config, &shared, 0);
+    Dfs dfs(n_procs, eff, build, config, &shared, 0);
     dfs.run_root();
     result = dfs.take_result();
   } else {
-    result = explore_parallel(n_procs, sim_config, build, config, &shared);
+    result = explore_parallel(n_procs, eff, build, config, &shared);
   }
 
   if (result.violation_found && config.shrink && !result.witness.empty()) {
-    ShrinkOutcome shrunk = shrink_witness(n_procs, sim_config, build,
+    ShrinkOutcome shrunk = shrink_witness(n_procs, eff, build,
                                           result.witness, config.on_complete);
     if (shrunk.witness.size() < result.witness.size()) {
       result.raw_witness = std::move(result.witness);

@@ -75,6 +75,14 @@ struct ExplorerConfig {
   /// witness replays deterministically via tso::replay just like the raw
   /// one, only shorter.
   bool shrink = true;
+
+  /// Resume sibling subtrees from Simulator::snapshot() checkpoints taken at
+  /// branch points instead of replaying the directive prefix from the root.
+  /// Purely an execution strategy: schedule counts, DFS order and witnesses
+  /// are identical either way (tests/test_observer.cpp pins this), but the
+  /// machine events executed drop by the average branch depth — see
+  /// ExplorerResult::events_executed and bench/perf_explorer.cpp.
+  bool checkpoint = true;
 };
 
 struct ExplorerResult {
@@ -87,6 +95,12 @@ struct ExplorerResult {
   std::uint64_t schedules = 0;      ///< complete schedules explored
   std::uint64_t truncated = 0;      ///< schedules cut off at max_steps
   bool exhausted = true;            ///< false if max_schedules was hit
+
+  /// Machine events actually executed across every simulator the
+  /// exploration created (restores replay none — the checkpoint win).
+  std::uint64_t events_executed = 0;
+  std::uint64_t snapshots = 0;  ///< checkpoints taken at branch points
+  std::uint64_t restores = 0;   ///< simulators revived from a checkpoint
 };
 
 /// Exhaustively explores the scenario under the config's bound. Any

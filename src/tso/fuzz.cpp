@@ -175,6 +175,15 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
                 const ScenarioBuilder& build, const FuzzConfig& config) {
   FuzzResult result;
   result.schedule_digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  // The fuzzer logs schedules itself and only needs the ExclusionChecker
+  // (plus the core's structural checks) as its oracle: with no per-run hook,
+  // run the bare core. A hook gets the caller's instrumentation unchanged.
+  SimConfig run_cfg = sim_config;
+  if (!config.on_complete) {
+    run_cfg.track_awareness = false;
+    run_cfg.record_trace = false;
+    run_cfg.track_costs = false;
+  }
   Rng rng(config.seed);
   std::vector<std::vector<Directive>> corpus;
   const auto deadline =
@@ -188,7 +197,7 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
 
     RunOutcome out;
     const double commit_prob = pick_commit_prob(rng, config.commit_prob);
-    auto sim = std::make_unique<Simulator>(n_procs, sim_config);
+    auto sim = std::make_unique<Simulator>(n_procs, run_cfg);
     build(*sim);
 
     const bool mutate =
@@ -261,7 +270,7 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
       result.raw_witness = std::move(out.schedule);
       if (config.shrink) {
         ShrinkOutcome shrunk =
-            shrink_witness(n_procs, sim_config, build, result.raw_witness,
+            shrink_witness(n_procs, run_cfg, build, result.raw_witness,
                            config.on_complete);
         result.witness = std::move(shrunk.witness);
       } else {

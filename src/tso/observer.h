@@ -1,0 +1,74 @@
+// SimObserver — the hook interface between the core TSO state machine and
+// its instrumentation.
+//
+// The Simulator itself maintains only the operational state of Section 2:
+// processes, write buffers, variable values, commit order, modes and
+// transition statuses. Everything the paper *measures on top of* an
+// execution — criticality and RMRs (CostObserver), awareness sets
+// (AwarenessObserver), mutual-exclusion checking (ExclusionChecker), trace
+// recording (TraceRecorder), structured export (JsonlTraceSink) — is an
+// observer attached to the simulator. Observers fire in registration order;
+// the standard set installed by SimConfig is ordered so that cost flags are
+// written onto an event before the trace recorder copies it.
+//
+// Observers may carry state (remote-read sets, coherence directories, the
+// recorded trace). So they can participate in Simulator::snapshot()/
+// restore(), each observer serializes its state into an opaque
+// ObserverSnapshot; stateless observers return nullptr.
+#pragma once
+
+#include <memory>
+
+#include "tso/event.h"
+#include "tso/types.h"
+
+namespace tpa::tso {
+
+class Simulator;
+class Proc;
+
+/// Facts about the machine state *before* an event was applied that the
+/// core has already overwritten by dispatch time.
+struct StepContext {
+  /// writer(v) before the event (commits and successful CAS update it).
+  ProcId prev_writer = kNoProc;
+};
+
+/// Opaque per-observer checkpoint state; see SimObserver::snapshot().
+class ObserverSnapshot {
+ public:
+  virtual ~ObserverSnapshot() = default;
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once when the observer is attached (before the execution).
+  virtual void on_attach(Simulator&) {}
+
+  /// A scheduler decision, after its preconditions were checked and before
+  /// it is performed. The directive sequence is the replayable schedule.
+  virtual void on_directive(const Simulator&, const Directive&) {}
+
+  /// A machine event, after the core applied its state change. Observers
+  /// may annotate the event in place (e.g. cost flags); later observers see
+  /// earlier observers' annotations.
+  virtual void on_event(Simulator&, Proc&, Event&, const StepContext&) {}
+
+  /// A process acquired a new pending operation (after spawn or resume).
+  virtual void on_pending(const Simulator&, const Proc&) {}
+
+  /// Checkpoint support: capture this observer's state. Return nullptr when
+  /// the observer is stateless (restore() will then receive nullptr).
+  virtual std::unique_ptr<ObserverSnapshot> snapshot() const {
+    return nullptr;
+  }
+
+  /// Reinstate state captured by snapshot() on a same-shaped simulator.
+  virtual void restore(const ObserverSnapshot*) {}
+};
+
+}  // namespace tpa::tso

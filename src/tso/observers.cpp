@@ -1,0 +1,260 @@
+#include "tso/observers.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tpa::tso {
+
+namespace {
+
+// Concrete checkpoint payloads. Snapshots are created and consumed in this
+// translation unit only; the dynamic_cast in each restore() guards against
+// cross-observer mixups all the same.
+
+struct CostSnapshot final : ObserverSnapshot {
+  std::vector<std::unordered_set<VarId>> remote_reads;
+  std::vector<cost::CoherenceDirectory> directories;
+};
+
+struct AwarenessSnapshot final : ObserverSnapshot {
+  std::vector<DynBitset> aw;
+  std::vector<DynBitset> writer_aw;
+  std::vector<std::unordered_map<VarId, DynBitset>> issue_aw;
+};
+
+struct TraceSnapshot final : ObserverSnapshot {
+  Execution execution;
+};
+
+template <typename T>
+const T& checked_cast(const ObserverSnapshot* snap, const char* who) {
+  const auto* typed = dynamic_cast<const T*>(snap);
+  TPA_CHECK(typed != nullptr,
+            "observer '" << who << "' got a foreign (or null) snapshot");
+  return *typed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CostObserver
+// ---------------------------------------------------------------------------
+
+void CostObserver::on_attach(Simulator& sim) {
+  remote_reads_.assign(sim.num_procs(), {});
+}
+
+cost::CoherenceDirectory& CostObserver::directory(VarId v) {
+  const auto i = static_cast<std::size_t>(v);
+  if (i >= directories_.size()) directories_.resize(i + 1);
+  return directories_[i];
+}
+
+void CostObserver::charge(Proc& p, Event& e, const cost::RmrFlags& f) {
+  e.rmr_dsm = f.dsm;
+  e.rmr_wt = f.wt;
+  e.rmr_wb = f.wb;
+  if (f.dsm) p.cur_.rmr_dsm++;
+  if (f.wt) p.cur_.rmr_wt++;
+  if (f.wb) p.cur_.rmr_wb++;
+}
+
+void CostObserver::on_event(Simulator& sim, Proc& p, Event& e,
+                            const StepContext& ctx) {
+  const ProcId pid = p.id();
+  switch (e.kind) {
+    case EventKind::kRead: {
+      if (e.from_buffer) return;  // not a variable access
+      // Definition 2: critical read = first remote read of v by p.
+      e.critical = e.remote && !remotely_read(pid, e.var);
+      if (e.remote) remote_reads_[static_cast<std::size_t>(pid)].insert(e.var);
+      charge(p, e, directory(e.var).on_read(pid, sim.var_owner(e.var)));
+      if (e.critical) p.cur_.critical++;
+      return;
+    }
+    case EventKind::kWriteCommit: {
+      // Definition 2: a commit is critical if it is a remote write and the
+      // variable's last committed writer was a different process.
+      e.critical = e.remote && ctx.prev_writer != pid;
+      charge(p, e, directory(e.var).on_write(pid, sim.var_owner(e.var)));
+      if (e.critical) p.cur_.critical++;
+      return;
+    }
+    case EventKind::kCas: {
+      // The read half is critical if this is p's first remote read of v;
+      // the write half (on success) if the last writer differs from p.
+      std::uint32_t crit = 0;
+      if (e.remote && !remotely_read(pid, e.var)) crit++;
+      if (e.remote) remote_reads_[static_cast<std::size_t>(pid)].insert(e.var);
+      if (e.cas_success && e.remote && ctx.prev_writer != pid) crit++;
+      e.critical = crit > 0;
+      p.cur_.critical += crit;
+      auto& dir = directory(e.var);
+      charge(p, e,
+             e.cas_success ? dir.on_write(pid, sim.var_owner(e.var))
+                           : dir.on_read(pid, sim.var_owner(e.var)));
+      return;
+    }
+    default:
+      return;  // issues, fences and transitions carry no access costs
+  }
+}
+
+std::unique_ptr<ObserverSnapshot> CostObserver::snapshot() const {
+  auto snap = std::make_unique<CostSnapshot>();
+  snap->remote_reads = remote_reads_;
+  snap->directories = directories_;
+  return snap;
+}
+
+void CostObserver::restore(const ObserverSnapshot* snap) {
+  const auto& s = checked_cast<CostSnapshot>(snap, name());
+  remote_reads_ = s.remote_reads;
+  directories_ = s.directories;
+}
+
+// ---------------------------------------------------------------------------
+// AwarenessObserver
+// ---------------------------------------------------------------------------
+
+void AwarenessObserver::on_attach(Simulator& sim) {
+  n_procs_ = sim.num_procs();
+  aw_.assign(n_procs_, DynBitset(n_procs_));
+  for (std::size_t p = 0; p < n_procs_; ++p) aw_[p].set(p);
+  issue_aw_.assign(n_procs_, {});
+  writer_aw_.clear();
+}
+
+DynBitset& AwarenessObserver::writer_aw(VarId v) {
+  const auto i = static_cast<std::size_t>(v);
+  if (i >= writer_aw_.size()) writer_aw_.resize(i + 1, DynBitset(n_procs_));
+  return writer_aw_[i];
+}
+
+void AwarenessObserver::absorb(std::size_t p, ProcId writer, VarId v) {
+  if (writer == kNoProc) return;
+  // Definition 1: reading v last written by q makes p aware of q and of
+  // everything q was aware of when it issued that write.
+  aw_[p] |= writer_aw(v);
+  aw_[p].set(static_cast<std::size_t>(writer));
+}
+
+void AwarenessObserver::on_event(Simulator&, Proc& p, Event& e,
+                                 const StepContext& ctx) {
+  const auto pid = static_cast<std::size_t>(p.id());
+  switch (e.kind) {
+    case EventKind::kWriteIssue:
+      // Snapshot at issue time; a coalescing re-issue re-snapshots.
+      issue_aw_[pid][e.var] = aw_[pid];
+      return;
+    case EventKind::kWriteCommit: {
+      auto it = issue_aw_[pid].find(e.var);
+      TPA_CHECK(it != issue_aw_[pid].end(),
+                "commit of v" << e.var << " without an issue snapshot for p"
+                              << p.id());
+      writer_aw(e.var) = std::move(it->second);
+      issue_aw_[pid].erase(it);
+      return;
+    }
+    case EventKind::kRead:
+      if (e.from_buffer) return;  // buffered reads are not accesses
+      absorb(pid, ctx.prev_writer, e.var);
+      return;
+    case EventKind::kCas:
+      absorb(pid, ctx.prev_writer, e.var);
+      // A successful CAS writes with the (just-absorbed) current awareness.
+      if (e.cas_success) writer_aw(e.var) = aw_[pid];
+      return;
+    default:
+      return;
+  }
+}
+
+std::unique_ptr<ObserverSnapshot> AwarenessObserver::snapshot() const {
+  auto snap = std::make_unique<AwarenessSnapshot>();
+  snap->aw = aw_;
+  snap->writer_aw = writer_aw_;
+  snap->issue_aw = issue_aw_;
+  return snap;
+}
+
+void AwarenessObserver::restore(const ObserverSnapshot* snap) {
+  const auto& s = checked_cast<AwarenessSnapshot>(snap, name());
+  aw_ = s.aw;
+  writer_aw_ = s.writer_aw;
+  issue_aw_ = s.issue_aw;
+}
+
+// ---------------------------------------------------------------------------
+// ExclusionChecker
+// ---------------------------------------------------------------------------
+
+void ExclusionChecker::on_pending(const Simulator& sim, const Proc& p) {
+  if (p.pending().kind != OpKind::kCs) return;
+  for (std::size_t q = 0; q < sim.num_procs(); ++q) {
+    const Proc& other = sim.proc(static_cast<ProcId>(q));
+    if (other.id() == p.id()) continue;
+    if (other.has_pending() && other.pending().kind == OpKind::kCs) {
+      TPA_FAIL("mutual exclusion violated: CS enabled for both p"
+               << p.id() << " and p" << other.id());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+void TraceRecorder::on_directive(const Simulator&, const Directive& d) {
+  execution_.directives.push_back(d);
+}
+
+void TraceRecorder::on_event(Simulator&, Proc&, Event& e,
+                             const StepContext&) {
+  execution_.events.push_back(e);
+}
+
+std::unique_ptr<ObserverSnapshot> TraceRecorder::snapshot() const {
+  auto snap = std::make_unique<TraceSnapshot>();
+  snap->execution = execution_;
+  return snap;
+}
+
+void TraceRecorder::restore(const ObserverSnapshot* snap) {
+  execution_ = checked_cast<TraceSnapshot>(snap, name()).execution;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlTraceSink
+// ---------------------------------------------------------------------------
+
+void JsonlTraceSink::on_directive(const Simulator&, const Directive& d) {
+  *out_ << "{\"type\":\"directive\",\"kind\":\""
+        << (d.kind == ActionKind::kDeliver ? "deliver" : "commit")
+        << "\",\"proc\":" << d.proc;
+  if (d.var != kNoVar) *out_ << ",\"var\":" << d.var;
+  *out_ << "}\n";
+}
+
+void JsonlTraceSink::on_event(Simulator&, Proc&, Event& e,
+                              const StepContext&) {
+  *out_ << "{\"type\":\"event\",\"seq\":" << e.seq << ",\"kind\":\""
+        << to_string(e.kind) << "\",\"proc\":" << e.proc;
+  if (e.var != kNoVar) *out_ << ",\"var\":" << e.var
+                             << ",\"value\":" << e.value;
+  if (e.kind == EventKind::kCas)
+    *out_ << ",\"old\":" << e.value2
+          << ",\"success\":" << (e.cas_success ? "true" : "false");
+  if (e.from_buffer) *out_ << ",\"from_buffer\":true";
+  if (e.remote) *out_ << ",\"remote\":true";
+  if (e.critical) *out_ << ",\"critical\":true";
+  if (e.rmr_dsm || e.rmr_wt || e.rmr_wb)
+    *out_ << ",\"rmr\":{\"dsm\":" << (e.rmr_dsm ? 1 : 0)
+          << ",\"wt\":" << (e.rmr_wt ? 1 : 0)
+          << ",\"wb\":" << (e.rmr_wb ? 1 : 0) << "}";
+  *out_ << ",\"passage\":" << e.passage << "}\n";
+}
+
+}  // namespace tpa::tso

@@ -1,0 +1,120 @@
+// The standard observers: every piece of instrumentation that used to be
+// hard-wired into the simulator core, as composable SimObservers.
+//
+//   CostObserver      criticality (Definition 2) + RMRs under the three
+//                     models of cost/model.h (DSM, CC-WT, CC-WB)
+//   AwarenessObserver awareness sets (Definition 1), including the
+//                     issue-time snapshot subtlety of buffered writes
+//   ExclusionChecker  asserts at most one enabled CS transition at a time
+//   TraceRecorder     the replayable event trace + directive schedule
+//   JsonlTraceSink    structured observability: one JSON object per
+//                     directive/event, streamed to an ostream
+//
+// SimConfig installs Cost -> Awareness -> Exclusion -> Trace in that order,
+// so recorded events already carry their cost flags. Custom observers
+// attach after the standard set via Simulator::add_observer().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cost/model.h"
+#include "tso/sim.h"
+#include "util/bitset.h"
+
+namespace tpa::tso {
+
+class CostObserver : public SimObserver {
+ public:
+  const char* name() const override { return "cost"; }
+  void on_attach(Simulator& sim) override;
+  void on_event(Simulator& sim, Proc& p, Event& e,
+                const StepContext& ctx) override;
+  std::unique_ptr<ObserverSnapshot> snapshot() const override;
+  void restore(const ObserverSnapshot* snap) override;
+
+  /// Definition 2: has p performed a remote read of v already?
+  bool remotely_read(ProcId p, VarId v) const {
+    const auto i = static_cast<std::size_t>(p);
+    return i < remote_reads_.size() && remote_reads_[i].count(v) != 0;
+  }
+
+ private:
+  void charge(Proc& p, Event& e, const cost::RmrFlags& f);
+  cost::CoherenceDirectory& directory(VarId v);
+
+  std::vector<std::unordered_set<VarId>> remote_reads_;  ///< per process
+  std::vector<cost::CoherenceDirectory> directories_;    ///< per variable
+};
+
+class AwarenessObserver : public SimObserver {
+ public:
+  const char* name() const override { return "awareness"; }
+  void on_attach(Simulator& sim) override;
+  void on_event(Simulator& sim, Proc& p, Event& e,
+                const StepContext& ctx) override;
+  std::unique_ptr<ObserverSnapshot> snapshot() const override;
+  void restore(const ObserverSnapshot* snap) override;
+
+  /// AW(p, E) per Definition 1.
+  const DynBitset& awareness(ProcId p) const {
+    return aw_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  /// A read of v (last written by `writer`) by p: p becomes aware of the
+  /// writer and of everything the writer was aware of at issue time.
+  void absorb(std::size_t p, ProcId writer, VarId v);
+  DynBitset& writer_aw(VarId v);
+
+  std::size_t n_procs_ = 0;
+  std::vector<DynBitset> aw_;         ///< per process: AW(p, E)
+  std::vector<DynBitset> writer_aw_;  ///< per variable: AW at issue time
+  /// Per process: awareness snapshot taken when a buffered write was
+  /// issued, keyed by variable (coalescing re-snapshots in place).
+  std::vector<std::unordered_map<VarId, DynBitset>> issue_aw_;
+};
+
+class ExclusionChecker : public SimObserver {
+ public:
+  const char* name() const override { return "exclusion"; }
+  void on_pending(const Simulator& sim, const Proc& p) override;
+};
+
+class TraceRecorder : public SimObserver {
+ public:
+  const char* name() const override { return "trace"; }
+  void on_directive(const Simulator& sim, const Directive& d) override;
+  void on_event(Simulator& sim, Proc& p, Event& e,
+                const StepContext& ctx) override;
+  std::unique_ptr<ObserverSnapshot> snapshot() const override;
+  void restore(const ObserverSnapshot* snap) override;
+
+  const Execution& execution() const { return execution_; }
+
+ private:
+  Execution execution_;
+};
+
+/// Streams one JSON object per directive and per event to `out` — a
+/// structured export for external tooling (jq, tracing UIs). Stateless as
+/// far as checkpointing is concerned: restoring a snapshot does not rewind
+/// the stream, so checkpoint-heavy explorers should not attach one.
+class JsonlTraceSink : public SimObserver {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  const char* name() const override { return "jsonl"; }
+  void on_directive(const Simulator& sim, const Directive& d) override;
+  void on_event(Simulator& sim, Proc& p, Event& e,
+                const StepContext& ctx) override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace tpa::tso

@@ -7,16 +7,18 @@
 //   * a mode: read (between fences) or write (mid-fence: may only commit);
 //   * a mutual-exclusion status (ncs/entry/exit) driven by the transition
 //     events Enter/CS/Exit;
-//   * an awareness set (Definition 1) when awareness tracking is enabled;
-//   * cost counters: fences, CAS barriers, critical events (Definition 2)
-//     and RMRs under DSM / CC-WT / CC-WB, per passage and in total.
+//   * core cost counters: events, fences, CAS barriers and contention, per
+//     passage and in total. The analysis-side counters — critical events
+//     (Definition 2) and RMRs under DSM / CC-WT / CC-WB — are filled in by
+//     the CostObserver (tso/observers.h); awareness sets (Definition 1) live
+//     in the AwarenessObserver and are reachable through awareness().
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "cost/model.h"
 #include "tso/op.h"
 #include "tso/types.h"
 #include "util/bitset.h"
@@ -24,17 +26,17 @@
 namespace tpa::tso {
 
 class Simulator;
+class CostObserver;
 
-/// One buffered (issued but uncommitted) write. The issuer's awareness set
-/// is snapshotted at issue time: Definition 1 speaks of the awareness of the
-/// writer "at the time it issued that write".
+/// One buffered (issued but uncommitted) write.
 struct BufferedWrite {
   VarId var;
   Value value;
-  DynBitset aw_at_issue;  // empty when awareness tracking is off
 };
 
-/// Per-passage cost record, finalized at the Exit event.
+/// Per-passage cost record, finalized at the Exit event. The core machine
+/// maintains events/fences/cas_ops and the contention fields; critical and
+/// rmr_* are written by the CostObserver when cost tracking is enabled.
 struct PassageStats {
   std::uint32_t index = 0;
   std::uint32_t fences = 0;        ///< completed fence instructions
@@ -54,11 +56,24 @@ struct PassageStats {
 
   /// Fence-like barriers: explicit fences plus atomic RMWs.
   std::uint32_t barriers() const { return fences + cas_ops; }
+
+  /// This passage's costs in the shared cross-world cost model
+  /// (cost/model.h; loads/stores are not tracked per passage).
+  cost::CostVector to_cost_vector() const {
+    cost::CostVector c;
+    c.fences = fences;
+    c.rmws = cas_ops;
+    c.critical = critical;
+    c.rmr_dsm = rmr_dsm;
+    c.rmr_wt = rmr_wt;
+    c.rmr_wb = rmr_wb;
+    return c;
+  }
 };
 
 class Proc {
  public:
-  Proc(Simulator* sim, ProcId id, std::size_t n_procs, bool track_awareness);
+  Proc(Simulator* sim, ProcId id, std::size_t n_procs);
 
   Proc(const Proc&) = delete;
   Proc& operator=(const Proc&) = delete;
@@ -112,13 +127,14 @@ class Proc {
   /// True if the buffer holds a write to v; if so *out gets its value.
   bool buffered_value(VarId v, Value* out) const;
 
-  const DynBitset& awareness() const { return awareness_; }
+  /// AW(p, E) per Definition 1, from the AwarenessObserver. An empty set is
+  /// returned when awareness tracking is off (SimConfig::track_awareness).
+  const DynBitset& awareness() const;
 
-  /// Variables this process has remotely read (for Definition 2's
-  /// "first remote read of v by p").
-  bool remotely_read(VarId v) const {
-    return remote_reads_.count(v) != 0;
-  }
+  /// Whether this process already read v remotely (Definition 2's "first
+  /// remote read of v by p"), from the CostObserver. Always false when cost
+  /// tracking is off (SimConfig::track_costs).
+  bool remotely_read(VarId v) const;
 
   std::uint32_t fences_completed() const { return fences_total_; }
   std::uint32_t passages_done() const { return passages_done_; }
@@ -129,6 +145,7 @@ class Proc {
 
  private:
   friend class Simulator;
+  friend class CostObserver;  ///< writes critical/rmr_* into cur_
 
   Simulator* sim_;
   ProcId id_;
@@ -143,9 +160,11 @@ class Proc {
   bool done_ = false;
   std::coroutine_handle<> resume_point_;
 
-  bool track_awareness_;
-  DynBitset awareness_;
-  std::unordered_set<VarId> remote_reads_;
+  /// Every op result handed to the program so far, in order. Programs are
+  /// deterministic functions of their op results, so feeding this list back
+  /// into a freshly spawned coroutine fast-forwards it to the same
+  /// suspension point — the basis of Simulator::restore().
+  std::vector<Value> op_results_;
 
   std::uint32_t fences_total_ = 0;
   std::uint32_t passages_done_ = 0;

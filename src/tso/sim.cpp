@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "tso/observers.h"
 #include "util/check.h"
 
 namespace tpa::tso {
@@ -48,6 +50,14 @@ const char* to_string(EventKind k) {
   return "?";
 }
 
+EventKind event_kind_from_string(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kExit); ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (name == to_string(k)) return k;
+  }
+  TPA_FAIL("unknown EventKind name '" << name << "'");
+}
+
 bool is_transition(EventKind k) {
   return k == EventKind::kEnter || k == EventKind::kCs || k == EventKind::kExit;
 }
@@ -60,6 +70,9 @@ std::string Event::to_string() const {
   std::ostringstream os;
   os << "#" << seq << " p" << proc << " " << tso::to_string(kind);
   if (var != kNoVar) os << " v" << var << "=" << value;
+  if (kind == EventKind::kCas)
+    os << (cas_success ? " [cas-ok old=" : " [cas-fail old=") << value2 << "]";
+  if (implied_by_cas) os << " [implied]";
   if (from_buffer) os << " [buf]";
   if (critical) os << " [crit]";
   return os.str();
@@ -84,6 +97,14 @@ const char* to_string(PendingClass c) {
   return "?";
 }
 
+PendingClass pending_class_from_string(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(PendingClass::kExit); ++i) {
+    const auto c = static_cast<PendingClass>(i);
+    if (name == to_string(c)) return c;
+  }
+  TPA_FAIL("unknown PendingClass name '" << name << "'");
+}
+
 bool is_special(PendingClass c) {
   switch (c) {
     case PendingClass::kCriticalRead:
@@ -104,14 +125,8 @@ bool is_special(PendingClass c) {
 // Proc
 // ---------------------------------------------------------------------------
 
-Proc::Proc(Simulator* sim, ProcId id, std::size_t n_procs, bool track_awareness)
-    : sim_(sim),
-      id_(id),
-      track_awareness_(track_awareness),
-      awareness_(track_awareness ? DynBitset(n_procs) : DynBitset()),
-      met_(n_procs) {
-  if (track_awareness_) awareness_.set(static_cast<std::size_t>(id));
-}
+Proc::Proc(Simulator* sim, ProcId id, std::size_t n_procs)
+    : sim_(sim), id_(id), met_(n_procs) {}
 
 void Proc::OpAwaiter::await_suspend(std::coroutine_handle<> h) {
   TPA_CHECK(!proc.has_pending_,
@@ -133,16 +148,43 @@ bool Proc::buffered_value(VarId v, Value* out) const {
   return false;
 }
 
+const DynBitset& Proc::awareness() const { return sim_->awareness_of(id_); }
+
+bool Proc::remotely_read(VarId v) const {
+  return sim_->remotely_read(id_, v);
+}
+
 // ---------------------------------------------------------------------------
 // Simulator: construction and accessors
 // ---------------------------------------------------------------------------
 
 Simulator::Simulator(std::size_t n_procs, SimConfig config)
-    : config_(config), programs_(n_procs) {
+    : config_(config), programs_(n_procs), touched_(n_procs) {
   procs_.reserve(n_procs);
   for (std::size_t i = 0; i < n_procs; ++i)
-    procs_.push_back(std::make_unique<Proc>(this, static_cast<ProcId>(i),
-                                            n_procs, config_.track_awareness));
+    procs_.push_back(
+        std::make_unique<Proc>(this, static_cast<ProcId>(i), n_procs));
+  // The standard instrumentation, in a fixed order: cost flags must be on
+  // the event before the trace recorder copies it.
+  if (config_.track_costs) add_observer(std::make_unique<CostObserver>());
+  if (config_.track_awareness)
+    add_observer(std::make_unique<AwarenessObserver>());
+  if (config_.check_exclusion)
+    add_observer(std::make_unique<ExclusionChecker>());
+  if (config_.record_trace) add_observer(std::make_unique<TraceRecorder>());
+}
+
+void Simulator::add_observer(std::unique_ptr<SimObserver> observer) {
+  TPA_CHECK(observer != nullptr, "null observer");
+  TPA_CHECK(seq_ == 0,
+            "observer '" << observer->name()
+                         << "' must attach before the execution starts");
+  observer->on_attach(*this);
+  if (auto* c = dynamic_cast<CostObserver*>(observer.get())) cost_ = c;
+  if (auto* a = dynamic_cast<AwarenessObserver*>(observer.get()))
+    awareness_ = a;
+  if (auto* t = dynamic_cast<TraceRecorder*>(observer.get())) recorder_ = t;
+  observers_.push_back(std::move(observer));
 }
 
 VarId Simulator::alloc_var(Value init, ProcId owner) {
@@ -153,15 +195,14 @@ VarId Simulator::alloc_var(Value init, ProcId owner) {
   v.value = init;
   v.initial = init;
   v.owner = owner;
-  if (config_.track_awareness) v.writer_aw = DynBitset(num_procs());
-  vars_.push_back(std::move(v));
+  vars_.push_back(v);
   return static_cast<VarId>(vars_.size() - 1);
 }
 
 void Simulator::poke(VarId v, Value value) {
-  TPA_CHECK(seq_ == 0, "poke after the execution started");
   TPA_CHECK(v >= 0 && v < static_cast<VarId>(vars_.size()),
             "invalid var id " << v);
+  TPA_CHECK(seq_ == 0, "poke(v" << v << ") after the execution started");
   vars_[static_cast<std::size_t>(v)].value = value;
   vars_[static_cast<std::size_t>(v)].initial = value;
 }
@@ -223,22 +264,45 @@ std::vector<ProcId> Simulator::var_owners() const {
   return out;
 }
 
-std::size_t Simulator::total_contention() const {
-  std::vector<bool> seen(num_procs(), false);
-  for (const auto& e : trace_.events) seen[static_cast<std::size_t>(e.proc)] = true;
-  return static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+std::size_t Simulator::total_contention() const { return touched_.count(); }
+
+const Execution& Simulator::execution() const {
+  static const Execution kEmpty;
+  return recorder_ != nullptr ? recorder_->execution() : kEmpty;
+}
+
+std::uint64_t Simulator::num_events() const {
+  return recorder_ != nullptr ? recorder_->execution().events.size() : 0;
+}
+
+const DynBitset& Simulator::awareness_of(ProcId p) const {
+  proc(p);  // validate the id
+  static const DynBitset kEmpty;
+  return awareness_ != nullptr ? awareness_->awareness(p) : kEmpty;
+}
+
+bool Simulator::remotely_read(ProcId p, VarId v) const {
+  return cost_ != nullptr && cost_->remotely_read(p, v);
 }
 
 // ---------------------------------------------------------------------------
 // Simulator: stepping
 // ---------------------------------------------------------------------------
 
-void Simulator::record(Event e) {
+void Simulator::dispatch(Proc& p, Event& e, const StepContext& ctx) {
   e.seq = seq_++;
-  if (config_.record_trace) trace_.events.push_back(std::move(e));
+  work_events_++;
+  if (events_sink_ != nullptr) ++*events_sink_;
+  touched_.set(static_cast<std::size_t>(p.id()));
+  for (auto& o : observers_) o->on_event(*this, p, e, ctx);
+}
+
+void Simulator::notify_directive(const Directive& d) {
+  for (auto& o : observers_) o->on_directive(*this, d);
 }
 
 void Simulator::resume(Proc& p) {
+  if (!restoring_) p.op_results_.push_back(p.pending_.result);
   p.has_pending_ = false;
   auto h = p.resume_point_;
   p.resume_point_ = {};
@@ -252,22 +316,14 @@ void Simulator::resume(Proc& p) {
 }
 
 void Simulator::note_new_pending(Proc& p) {
-  if (!config_.check_exclusion) return;
-  if (p.pending_.kind != OpKind::kCs) return;
-  for (const auto& other : procs_) {
-    if (other->id() == p.id()) continue;
-    if (other->has_pending_ && other->pending_.kind == OpKind::kCs) {
-      TPA_FAIL("mutual exclusion violated: CS enabled for both p"
-               << p.id() << " and p" << other->id());
-    }
-  }
+  if (restoring_) return;
+  for (auto& o : observers_) o->on_pending(*this, p);
 }
 
 bool Simulator::deliver(ProcId pid) {
   Proc& p = proc(pid);
   if (p.done_ || !p.has_pending_) return false;
-  if (config_.record_trace)
-    trace_.directives.push_back({ActionKind::kDeliver, pid});
+  notify_directive({ActionKind::kDeliver, pid});
 
   if (p.mode_ == Mode::kWrite) {
     // Mid-fence: the only permitted steps are committing the next buffered
@@ -281,16 +337,17 @@ bool Simulator::deliver(ProcId pid) {
     end.proc = pid;
     end.passage = p.cur_.index;
     end.implied_by_cas = p.pending_.kind == OpKind::kCas;
-    record(end);
     p.cur_.events++;
     p.mode_ = Mode::kRead;
     if (p.pending_.kind == OpKind::kFence) {
       p.fences_total_++;
       p.cur_.fences++;
+      dispatch(p, end, {});
       resume(p);
     } else {
       TPA_CHECK(p.pending_.kind == OpKind::kCas,
                 "write mode with pending " << to_string(p.pending_.kind));
+      dispatch(p, end, {});
       perform_cas(p);
     }
     return true;
@@ -308,9 +365,9 @@ bool Simulator::deliver(ProcId pid) {
       begin.kind = EventKind::kBeginFence;
       begin.proc = pid;
       begin.passage = p.cur_.index;
-      record(begin);
       p.cur_.events++;
       p.mode_ = Mode::kWrite;
+      dispatch(p, begin, {});
       return true;
     }
     case OpKind::kCas:
@@ -323,9 +380,9 @@ bool Simulator::deliver(ProcId pid) {
         begin.proc = pid;
         begin.passage = p.cur_.index;
         begin.implied_by_cas = true;
-        record(begin);
         p.cur_.events++;
         p.mode_ = Mode::kWrite;
+        dispatch(p, begin, {});
       }
       return true;
     case OpKind::kEnter:
@@ -355,8 +412,7 @@ bool Simulator::commit(ProcId pid, VarId v) {
               "TSO: only the buffer head may commit (v" << v << " is at "
                   << index << " in p" << pid << "'s buffer)");
   }
-  if (config_.record_trace)
-    trace_.directives.push_back({ActionKind::kCommit, pid, v});
+  notify_directive({ActionKind::kCommit, pid, v});
   do_commit(p, index);
   return true;
 }
@@ -364,7 +420,7 @@ bool Simulator::commit(ProcId pid, VarId v) {
 void Simulator::do_commit(Proc& p, std::size_t index) {
   TPA_CHECK(index < p.buffer_.size(),
             "commit index out of range for p" << p.id());
-  BufferedWrite entry = std::move(p.buffer_[index]);
+  const BufferedWrite entry = p.buffer_[index];
   p.buffer_.erase(p.buffer_.begin() + static_cast<std::ptrdiff_t>(index));
 
   Variable& var = vars_[static_cast<std::size_t>(entry.var)];
@@ -376,18 +432,12 @@ void Simulator::do_commit(Proc& p, std::size_t index) {
   e.passage = p.cur_.index;
   e.accesses_var = true;
   e.remote = var.owner != p.id();
-  // Definition 2: a commit is critical if it is a remote write and the
-  // variable's last committed writer is a different process.
-  e.critical = e.remote && var.last_writer != p.id();
 
-  account_write(p, var, e);
-
+  StepContext ctx;
+  ctx.prev_writer = var.last_writer;
   var.value = entry.value;
   var.last_writer = p.id();
-  if (config_.track_awareness) var.writer_aw = std::move(entry.aw_at_issue);
-
-  if (e.critical) p.cur_.critical++;
-  record(std::move(e));
+  dispatch(p, e, ctx);
 }
 
 void Simulator::perform_read(Proc& p) {
@@ -399,6 +449,7 @@ void Simulator::perform_read(Proc& p) {
   e.proc = p.id();
   e.var = v;
   e.passage = p.cur_.index;
+  StepContext ctx;
 
   Value buffered;
   if (p.buffered_value(v, &buffered)) {
@@ -407,20 +458,15 @@ void Simulator::perform_read(Proc& p) {
     e.from_buffer = true;
     p.pending_.result = buffered;
   } else {
-    Variable& var = vars_[static_cast<std::size_t>(v)];
+    const Variable& var = vars_[static_cast<std::size_t>(v)];
     e.value = var.value;
     e.accesses_var = true;
     e.remote = var.owner != p.id();
-    // Definition 2: critical read = first remote read of v by p.
-    e.critical = e.remote && !p.remotely_read(v);
-    if (e.remote) p.remote_reads_.insert(v);
-    account_read(p, var, e);
-    absorb_awareness(p, var);
+    ctx.prev_writer = var.last_writer;
     p.pending_.result = var.value;
-    if (e.critical) p.cur_.critical++;
   }
   p.cur_.events++;
-  record(std::move(e));
+  dispatch(p, e, ctx);
   resume(p);
 }
 
@@ -440,20 +486,13 @@ void Simulator::perform_write_issue(Proc& p) {
   for (auto& entry : p.buffer_) {
     if (entry.var == v) {
       entry.value = p.pending_.value;
-      if (config_.track_awareness) entry.aw_at_issue = p.awareness_;
       replaced = true;
       break;
     }
   }
-  if (!replaced) {
-    BufferedWrite entry;
-    entry.var = v;
-    entry.value = p.pending_.value;
-    if (config_.track_awareness) entry.aw_at_issue = p.awareness_;
-    p.buffer_.push_back(std::move(entry));
-  }
+  if (!replaced) p.buffer_.push_back({v, p.pending_.value});
   p.cur_.events++;
-  record(std::move(e));
+  dispatch(p, e, {});
   resume(p);
 }
 
@@ -475,29 +514,17 @@ void Simulator::perform_cas(Proc& p) {
   e.cas_success = var.value == p.pending_.expected;
   e.value = e.cas_success ? p.pending_.value : var.value;
 
-  // Criticality: the read half is critical if this is p's first remote read
-  // of v; the write half (on success) if the last writer differs from p.
-  std::uint32_t crit = 0;
-  if (e.remote && !p.remotely_read(v)) crit++;
-  if (e.remote) p.remote_reads_.insert(v);
-  if (e.cas_success && e.remote && var.last_writer != p.id()) crit++;
-  e.critical = crit > 0;
-  p.cur_.critical += crit;
-
-  absorb_awareness(p, var);
+  StepContext ctx;
+  ctx.prev_writer = var.last_writer;
   if (e.cas_success) {
-    account_write(p, var, e);
     var.value = p.pending_.value;
     var.last_writer = p.id();
-    if (config_.track_awareness) var.writer_aw = p.awareness_;
-  } else {
-    account_read(p, var, e);
   }
 
   p.cur_.cas_ops++;
   p.cur_.events++;
   p.pending_.result = e.value2;
-  record(std::move(e));
+  dispatch(p, e, ctx);
   resume(p);
 }
 
@@ -555,75 +582,8 @@ void Simulator::perform_transition(Proc& p) {
     p.finished_.push_back(p.cur_);
     p.passages_done_++;
   }
-  record(std::move(e));
+  dispatch(p, e, {});
   resume(p);
-}
-
-void Simulator::absorb_awareness(Proc& p, const Variable& var) {
-  if (!config_.track_awareness) return;
-  if (var.last_writer == kNoProc) return;
-  // Definition 1: reading v last written by q makes p aware of q and of
-  // everything q was aware of when it issued that write.
-  p.awareness_ |= var.writer_aw;
-  p.awareness_.set(static_cast<std::size_t>(var.last_writer));
-}
-
-void Simulator::account_read(Proc& p, Variable& var, Event& e) {
-  const ProcId pid = p.id();
-  // DSM: every access to a remote variable is an RMR.
-  e.rmr_dsm = var.owner != pid;
-
-  // CC write-through: a read without a valid cached copy is an RMR that
-  // creates the copy.
-  if (var.wt_copies.count(pid) == 0) {
-    e.rmr_wt = true;
-    var.wt_copies.insert(pid);
-  }
-
-  // CC write-back: a read misses unless p holds the line shared or
-  // exclusive; a miss downgrades any exclusive holder to shared.
-  const bool wb_hit = var.wb_exclusive == pid || var.wb_sharers.count(pid) != 0;
-  if (!wb_hit) {
-    e.rmr_wb = true;
-    if (var.wb_exclusive != kNoProc) {
-      var.wb_sharers.insert(var.wb_exclusive);
-      var.wb_exclusive = kNoProc;
-    }
-    var.wb_sharers.insert(pid);
-  }
-
-  if (e.rmr_dsm) p.cur_.rmr_dsm++;
-  if (e.rmr_wt) p.cur_.rmr_wt++;
-  if (e.rmr_wb) p.cur_.rmr_wb++;
-}
-
-void Simulator::account_write(Proc& p, Variable& var, Event& e) {
-  const ProcId pid = p.id();
-  e.rmr_dsm = var.owner != pid;
-
-  // CC write-through: every committed write goes to memory and invalidates
-  // all other cached copies — always an RMR.
-  e.rmr_wt = true;
-  for (auto it = var.wt_copies.begin(); it != var.wt_copies.end();) {
-    if (*it != pid)
-      it = var.wt_copies.erase(it);
-    else
-      ++it;
-  }
-
-  // CC write-back: a write hits only with an exclusive copy; otherwise it
-  // invalidates all other copies and takes the line exclusive.
-  if (var.wb_exclusive == pid) {
-    e.rmr_wb = false;
-  } else {
-    e.rmr_wb = true;
-    var.wb_sharers.clear();
-    var.wb_exclusive = pid;
-  }
-
-  if (e.rmr_dsm) p.cur_.rmr_dsm++;
-  if (e.rmr_wt) p.cur_.rmr_wt++;
-  if (e.rmr_wb) p.cur_.rmr_wb++;
 }
 
 // ---------------------------------------------------------------------------
@@ -652,8 +612,10 @@ PendingClass Simulator::classify_pending(ProcId pid) const {
       if (p.buffered_value(v, nullptr)) return PendingClass::kLocalRead;
       const Variable& var = vars_[static_cast<std::size_t>(v)];
       if (var.owner == pid) return PendingClass::kLocalRead;
-      return p.remotely_read(v) ? PendingClass::kNonCriticalRead
-                                : PendingClass::kCriticalRead;
+      // Without the CostObserver there is no remote-read history; every
+      // remote read conservatively classifies as critical.
+      return remotely_read(pid, v) ? PendingClass::kNonCriticalRead
+                                   : PendingClass::kCriticalRead;
     }
     case OpKind::kFence:
       return PendingClass::kBeginFence;
@@ -667,6 +629,108 @@ PendingClass Simulator::classify_pending(ProcId pid) const {
       return PendingClass::kExit;
   }
   TPA_FAIL("unreachable op kind");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+SimSnapshot Simulator::snapshot() const {
+  SimSnapshot s;
+  s.seq = seq_;
+  s.var_values.reserve(vars_.size());
+  s.var_writers.reserve(vars_.size());
+  for (const Variable& v : vars_) {
+    s.var_values.push_back(v.value);
+    s.var_writers.push_back(v.last_writer);
+  }
+  s.procs.reserve(procs_.size());
+  for (const auto& up : procs_) {
+    const Proc& p = *up;
+    SimSnapshot::ProcState ps;
+    ps.status = p.status_;
+    ps.mode = p.mode_;
+    ps.buffer = p.buffer_;
+    ps.pending = p.pending_;
+    ps.has_pending = p.has_pending_;
+    ps.done = p.done_;
+    ps.op_results = p.op_results_;
+    ps.fences_total = p.fences_total_;
+    ps.passages_done = p.passages_done_;
+    ps.cur = p.cur_;
+    ps.met = p.met_;
+    ps.finished = p.finished_;
+    s.procs.push_back(std::move(ps));
+  }
+  s.touched = touched_;
+  s.observers.reserve(observers_.size());
+  for (const auto& o : observers_) s.observers.push_back(o->snapshot());
+  return s;
+}
+
+void Simulator::restore(const SimSnapshot& snap,
+                        const std::function<void(Simulator&)>& build) {
+  const std::size_t n = procs_.size();
+  TPA_CHECK(snap.procs.size() == n,
+            "snapshot has " << snap.procs.size() << " procs, simulator has "
+                            << n);
+  TPA_CHECK(snap.observers.size() == observers_.size(),
+            "snapshot has " << snap.observers.size()
+                            << " observer states, simulator has "
+                            << observers_.size());
+  restoring_ = true;
+  // Coroutine frames cannot be copied: destroy any old programs (before the
+  // procs they reference), rebuild both, and fast-forward below.
+  programs_.clear();
+  programs_.resize(n);
+  procs_.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    procs_.push_back(std::make_unique<Proc>(this, static_cast<ProcId>(i), n));
+  vars_.clear();
+  seq_ = 0;
+  touched_.reset();
+  build(*this);
+  TPA_CHECK(vars_.size() == snap.var_values.size(),
+            "restore: builder allocated " << vars_.size()
+                                          << " vars, snapshot has "
+                                          << snap.var_values.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Proc& p = *procs_[i];
+    const SimSnapshot::ProcState& ps = snap.procs[i];
+    // Replay the recorded op results into the fresh coroutine; programs are
+    // deterministic functions of these, so this reproduces the suspension
+    // point without touching any machine state.
+    for (const Value r : ps.op_results) {
+      TPA_CHECK(p.has_pending_,
+                "restore diverged: p" << p.id() << " ran out of pending ops");
+      p.pending_.result = r;
+      resume(p);
+    }
+    TPA_CHECK(p.done_ == ps.done && p.has_pending_ == ps.has_pending,
+              "restore diverged for p" << p.id()
+                                       << " after replaying op results");
+    p.status_ = ps.status;
+    p.mode_ = ps.mode;
+    p.buffer_ = ps.buffer;
+    p.pending_ = ps.pending;
+    p.has_pending_ = ps.has_pending;
+    p.done_ = ps.done;
+    p.op_results_ = ps.op_results;
+    p.fences_total_ = ps.fences_total;
+    p.passages_done_ = ps.passages_done;
+    p.cur_ = ps.cur;
+    p.met_ = ps.met;
+    p.finished_ = ps.finished;
+  }
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    vars_[v].value = snap.var_values[v];
+    vars_[v].last_writer = snap.var_writers[v];
+  }
+  seq_ = snap.seq;
+  touched_ = snap.touched;
+  restoring_ = false;
+  for (std::size_t i = 0; i < observers_.size(); ++i)
+    observers_[i]->restore(snap.observers[i].get());
 }
 
 }  // namespace tpa::tso

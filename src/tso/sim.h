@@ -7,21 +7,26 @@
 // visible only when committed; a fence forces the process into write mode
 // until its buffer drains (BeginFence .. commits .. EndFence).
 //
-// The simulator computes, online and per event: remoteness, criticality
-// (Definition 2), RMRs under the DSM model and the CC model with
-// write-through and write-back protocols, and awareness sets (Definition 1).
-// It records the full event trace plus the directive schedule, which is
-// sufficient to deterministically replay the run — including replays with a
-// subset of processes erased (the paper's E^{-Y} operator; see
-// tso/schedule.h).
+// The Simulator itself is only the core state machine. Instrumentation —
+// criticality and RMRs (Definition 2), awareness sets (Definition 1),
+// mutual-exclusion checking, trace recording — is layered on top as
+// composable SimObservers (tso/observer.h, tso/observers.h); SimConfig
+// installs the standard set. The recorded directive schedule is sufficient
+// to deterministically replay the run — including replays with a subset of
+// processes erased (the paper's E^{-Y} operator; see tso/schedule.h) — and
+// snapshot()/restore() checkpoints the whole machine (variables, buffers,
+// coroutine progress, observer state) so explorers can resume from branch
+// points instead of replaying prefixes from the root.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "tso/event.h"
+#include "tso/observer.h"
 #include "tso/proc.h"
 #include "tso/task.h"
 #include "tso/types.h"
@@ -29,23 +34,32 @@
 
 namespace tpa::tso {
 
+class CostObserver;
+class AwarenessObserver;
+class TraceRecorder;
+
 struct SimConfig {
-  /// Track awareness sets (Definition 1). Needed by the lower-bound
-  /// construction and the trace analyzer; may be disabled for perf runs.
+  /// Track awareness sets (Definition 1) via the AwarenessObserver. Needed
+  /// by the lower-bound construction; may be disabled for perf runs.
   bool track_awareness = true;
-  /// Assert mutual exclusion: at most one process may have an enabled CS
-  /// transition at any time.
+  /// Assert mutual exclusion (ExclusionChecker): at most one process may
+  /// have an enabled CS transition at any time.
   bool check_exclusion = true;
-  /// Record the event trace and directive schedule.
+  /// Record the event trace and directive schedule (TraceRecorder).
   bool record_trace = true;
   /// Partial store ordering: writes to *different* variables may commit out
   /// of buffer order (Section 6 of the paper; older SPARC). Under PSO the
   /// scheduler's commit move may pick any buffered variable; under TSO
   /// (default) only the head of the FIFO buffer may commit.
   bool pso = false;
+  /// Charge criticality (Definition 2) and RMRs under DSM / CC-WT / CC-WB
+  /// via the CostObserver. Without it, classify_pending() conservatively
+  /// reports every remote read as critical.
+  bool track_costs = true;
 };
 
-/// A shared variable with its coherence bookkeeping.
+/// A shared variable. Coherence-directory state lives in the CostObserver
+/// (cost::CoherenceDirectory); awareness snapshots in the AwarenessObserver.
 struct Variable {
   Value value = 0;
   Value initial = 0;
@@ -54,14 +68,6 @@ struct Variable {
   ProcId owner = kNoProc;
   /// writer(v, E): last process to commit a write to v.
   ProcId last_writer = kNoProc;
-  /// Awareness set of the last writer at the time it issued that write.
-  DynBitset writer_aw;
-
-  // CC write-through: processes holding a valid cached copy.
-  std::unordered_set<ProcId> wt_copies;
-  // CC write-back: either one exclusive holder, or a set of sharers.
-  std::unordered_set<ProcId> wb_sharers;
-  ProcId wb_exclusive = kNoProc;
 };
 
 /// Classification of a process' pending (not yet executed) operation — what
@@ -85,9 +91,45 @@ enum class PendingClass : std::uint8_t {
 
 const char* to_string(PendingClass c);
 
+/// Inverse of to_string(PendingClass); throws CheckFailure on unknown names
+/// (tested exhaustively by tests/test_enum_strings.cpp).
+PendingClass pending_class_from_string(const std::string& name);
+
 /// True for the classes the paper calls special events (critical events,
 /// transition events, fence events).
 bool is_special(PendingClass c);
+
+/// A full checkpoint of the simulator (and its observers) at a quiescent
+/// point between scheduler steps. Move-only; share via shared_ptr when the
+/// same checkpoint seeds several branches. Restoring re-runs the scenario
+/// builder to recreate the process coroutines and fast-forwards them by
+/// feeding back the recorded op results — coroutine frames themselves
+/// cannot be copied.
+struct SimSnapshot {
+  struct ProcState {
+    Status status = Status::kNcs;
+    Mode mode = Mode::kRead;
+    std::vector<BufferedWrite> buffer;
+    SimOp pending{OpKind::kRead};
+    bool has_pending = false;
+    bool done = false;
+    std::vector<Value> op_results;
+    std::uint32_t fences_total = 0;
+    std::uint32_t passages_done = 0;
+    PassageStats cur;
+    DynBitset met;
+    std::vector<PassageStats> finished;
+  };
+
+  std::uint64_t seq = 0;
+  std::vector<Value> var_values;
+  std::vector<ProcId> var_writers;
+  std::vector<ProcState> procs;
+  DynBitset touched;
+  /// One entry per attached observer, in registration order (nullptr for
+  /// stateless observers).
+  std::vector<std::unique_ptr<ObserverSnapshot>> observers;
+};
 
 class Simulator {
  public:
@@ -99,6 +141,15 @@ class Simulator {
   std::size_t num_procs() const { return procs_.size(); }
   std::size_t num_vars() const { return vars_.size(); }
   const SimConfig& config() const { return config_; }
+
+  /// Attaches an observer; only legal before the execution starts.
+  /// Observers fire in registration order, after the standard set installed
+  /// by SimConfig.
+  void add_observer(std::unique_ptr<SimObserver> observer);
+
+  const std::vector<std::unique_ptr<SimObserver>>& observers() const {
+    return observers_;
+  }
 
   /// Allocates a shared variable. `owner` places it in a process' local
   /// memory segment (DSM model); default is remote-to-all (CC model).
@@ -146,24 +197,57 @@ class Simulator {
   /// Fin(E): processes that completed at least one passage.
   std::vector<ProcId> finished() const;
 
-  /// Total contention of the recorded execution: number of processes that
-  /// issued at least one event.
+  /// Total contention of the execution: number of processes that issued at
+  /// least one event (tracked by the core; works without a trace).
   std::size_t total_contention() const;
 
-  const Execution& execution() const { return trace_; }
+  /// The recorded execution, from the TraceRecorder; empty when
+  /// record_trace is off.
+  const Execution& execution() const;
 
-  /// Number of events recorded so far.
-  std::uint64_t num_events() const { return trace_.events.size(); }
+  /// Number of events recorded so far (0 when record_trace is off).
+  std::uint64_t num_events() const;
+
+  /// Machine events this simulator actually executed (monotone; restore()
+  /// executes none — the whole point of checkpointing).
+  std::uint64_t events_executed() const { return work_events_; }
+
+  /// Additionally count every executed machine event into *sink (explorers
+  /// aggregate work across many short-lived simulators this way).
+  void count_events_into(std::uint64_t* sink) { events_sink_ = sink; }
 
   /// Owners of all variables, indexed by VarId (kNoProc = remote to all).
   std::vector<ProcId> var_owners() const;
 
+  /// AW(p, E) from the AwarenessObserver; an empty set when awareness
+  /// tracking is off.
+  const DynBitset& awareness_of(ProcId p) const;
+
+  /// Definition 2 bookkeeping from the CostObserver; false when cost
+  /// tracking is off.
+  bool remotely_read(ProcId p, VarId v) const;
+
+  /// Checkpoints the complete machine + observer state. Call only between
+  /// scheduler steps (never from inside an observer callback).
+  SimSnapshot snapshot() const;
+
+  /// Reinstates a snapshot taken from a simulator with the same shape: same
+  /// process count, same config/observer set, and the same deterministic
+  /// scenario `build` (it is re-run to recreate the coroutines). Works on
+  /// the snapshot's own simulator or on a freshly constructed one.
+  void restore(const SimSnapshot& snap,
+               const std::function<void(Simulator&)>& build);
+
  private:
   friend struct Proc::OpAwaiter;
+  friend class Proc;
 
   void resume(Proc& p);
   void note_new_pending(Proc& p);
-  void record(Event e);
+
+  /// Stamps the event, counts it, and runs the observer pipeline.
+  void dispatch(Proc& p, Event& e, const StepContext& ctx);
+  void notify_directive(const Directive& d);
 
   void do_commit(Proc& p, std::size_t index = 0);
   void perform_read(Proc& p);
@@ -171,19 +255,21 @@ class Simulator {
   void perform_cas(Proc& p);
   void perform_transition(Proc& p);
 
-  /// Merges v's writer awareness into p's set (a read of v by p).
-  void absorb_awareness(Proc& p, const Variable& var);
-
-  // RMR accounting; updates cache directories and sets the event flags.
-  void account_read(Proc& p, Variable& var, Event& e);
-  void account_write(Proc& p, Variable& var, Event& e);
-
   SimConfig config_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Task<>> programs_;
   std::vector<Variable> vars_;
-  Execution trace_;
   std::uint64_t seq_ = 0;
+  DynBitset touched_;  ///< processes that issued at least one event
+  std::uint64_t work_events_ = 0;
+  std::uint64_t* events_sink_ = nullptr;
+  bool restoring_ = false;
+
+  std::vector<std::unique_ptr<SimObserver>> observers_;
+  // Raw views into observers_ for the hot paths / typed accessors.
+  CostObserver* cost_ = nullptr;
+  AwarenessObserver* awareness_ = nullptr;
+  TraceRecorder* recorder_ = nullptr;
 };
 
 }  // namespace tpa::tso

@@ -1,0 +1,98 @@
+// Enum <-> string coverage: every enumerator of EventKind and PendingClass
+// must print a unique, meaningful name, from_string must invert to_string,
+// and Event::to_string() must render every event shape (CAS outcomes,
+// implied fences, buffered reads) without falling back to "?".
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "tso/event.h"
+#include "tso/sim.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+using tso::Event;
+using tso::EventKind;
+using tso::PendingClass;
+
+TEST(EnumStrings, EventKindRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto k = EventKind::kRead; k <= EventKind::kExit;
+       k = static_cast<EventKind>(static_cast<int>(k) + 1)) {
+    const std::string name = tso::to_string(k);
+    EXPECT_NE(name, "?") << static_cast<int>(k);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::event_kind_from_string(name), k) << name;
+  }
+  EXPECT_EQ(seen.size(), 9u) << "update when the event alphabet grows";
+}
+
+TEST(EnumStrings, PendingClassRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto c = PendingClass::kNone; c <= PendingClass::kExit;
+       c = static_cast<PendingClass>(static_cast<int>(c) + 1)) {
+    const std::string name = tso::to_string(c);
+    EXPECT_NE(name, "?") << static_cast<int>(c);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::pending_class_from_string(name), c) << name;
+  }
+  EXPECT_EQ(seen.size(), 13u) << "update when PendingClass grows";
+}
+
+TEST(EnumStrings, UnknownNamesAreRejected) {
+  EXPECT_THROW(tso::event_kind_from_string("bogus"), CheckFailure);
+  EXPECT_THROW(tso::event_kind_from_string(""), CheckFailure);
+  EXPECT_THROW(tso::pending_class_from_string("bogus"), CheckFailure);
+  EXPECT_THROW(tso::pending_class_from_string(""), CheckFailure);
+}
+
+TEST(EnumStrings, EventToStringCoversEveryKind) {
+  for (auto k = EventKind::kRead; k <= EventKind::kExit;
+       k = static_cast<EventKind>(static_cast<int>(k) + 1)) {
+    Event e{.kind = k};
+    e.proc = 0;
+    e.var = 0;
+    const std::string s = e.to_string();
+    EXPECT_NE(s.find(tso::to_string(k)), std::string::npos) << s;
+    EXPECT_EQ(s.find('?'), std::string::npos) << s;
+  }
+}
+
+TEST(EnumStrings, EventToStringRendersCasOutcomeAndImpliedFences) {
+  Event ok{.kind = EventKind::kCas};
+  ok.proc = 1;
+  ok.var = 2;
+  ok.value = 7;
+  ok.value2 = 3;
+  ok.cas_success = true;
+  EXPECT_NE(ok.to_string().find("cas-ok"), std::string::npos)
+      << ok.to_string();
+  EXPECT_NE(ok.to_string().find("old=3"), std::string::npos)
+      << ok.to_string();
+
+  Event fail = ok;
+  fail.cas_success = false;
+  EXPECT_NE(fail.to_string().find("cas-fail"), std::string::npos)
+      << fail.to_string();
+
+  Event implied{.kind = EventKind::kBeginFence};
+  implied.proc = 0;
+  implied.implied_by_cas = true;
+  EXPECT_NE(implied.to_string().find("implied"), std::string::npos)
+      << implied.to_string();
+
+  Event buffered{.kind = EventKind::kRead};
+  buffered.proc = 0;
+  buffered.var = 1;
+  buffered.from_buffer = true;
+  EXPECT_NE(buffered.to_string().find("buf"), std::string::npos)
+      << buffered.to_string();
+}
+
+}  // namespace
+}  // namespace tpa

@@ -1,0 +1,377 @@
+// The observer pipeline and the checkpoint/restore API: invocation order,
+// no-op-observer parity (the bare core computes the same machine states and
+// schedule counts as the fully instrumented simulator), snapshot round
+// trips against full replays on the corpus witnesses, and the explorer's
+// checkpoint mode (identical results, strictly less work).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario_registry.h"
+#include "trace/format.h"
+#include "tso/explorer.h"
+#include "tso/observers.h"
+#include "tso/schedulers.h"
+#include "tso/sim.h"
+#include "util/check.h"
+
+namespace tpa {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::find_scenario;
+using testing::violation_detail;
+using tso::ActionKind;
+using tso::Directive;
+using tso::Simulator;
+using tso::SimConfig;
+using tso::SimSnapshot;
+
+bool apply(Simulator& sim, const Directive& d) {
+  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
+                                        : sim.commit(d.proc, d.var);
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(TPA_CORPUS_DIR))
+    if (entry.path().extension() == ".witness") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// ---- observer ordering ---------------------------------------------------
+
+/// Appends "<tag>:<kind>" to a shared log on every callback.
+class LoggingObserver : public tso::SimObserver {
+ public:
+  LoggingObserver(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+  const char* name() const override { return tag_.c_str(); }
+  void on_attach(Simulator&) override { log_->push_back(tag_ + ":attach"); }
+  void on_directive(const Simulator&, const Directive&) override {
+    log_->push_back(tag_ + ":directive");
+  }
+  void on_event(Simulator&, tso::Proc&, tso::Event&,
+                const tso::StepContext&) override {
+    log_->push_back(tag_ + ":event");
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST(Observer, CustomObserversFireInRegistrationOrderPerEvent) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  std::vector<std::string> log;
+  Simulator sim(s->n_procs, s->sim);
+  sim.add_observer(std::make_unique<LoggingObserver>("a", &log));
+  sim.add_observer(std::make_unique<LoggingObserver>("b", &log));
+  s->build(sim);
+  tso::run_round_robin(sim, 10'000);
+  ASSERT_TRUE(tso::all_done(sim));
+
+  ASSERT_GE(log.size(), 4u);
+  EXPECT_EQ(log[0], "a:attach");
+  EXPECT_EQ(log[1], "b:attach");
+  // Within every directive and every event, a fires before b.
+  for (std::size_t i = 0; i + 1 < log.size(); ++i) {
+    if (log[i] == "a:event") {
+      EXPECT_EQ(log[i + 1], "b:event") << "at " << i;
+    }
+    if (log[i] == "a:directive") {
+      EXPECT_EQ(log[i + 1], "b:directive") << "at " << i;
+    }
+  }
+  // A custom observer sees every machine event the trace records.
+  const auto a_events =
+      std::count(log.begin(), log.end(), std::string("a:event"));
+  EXPECT_EQ(static_cast<std::uint64_t>(a_events), sim.num_events());
+}
+
+TEST(Observer, RecordedTraceCarriesCostFlags) {
+  // The CostObserver runs before the TraceRecorder, so recorded events
+  // already carry criticality and RMR charges.
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  Simulator sim(s->n_procs, s->sim);
+  s->build(sim);
+  tso::run_round_robin(sim, 10'000);
+  ASSERT_TRUE(tso::all_done(sim));
+  bool any_critical = false;
+  bool any_rmr = false;
+  for (const tso::Event& e : sim.execution().events) {
+    any_critical = any_critical || e.critical;
+    any_rmr = any_rmr || e.rmr_dsm || e.rmr_wt || e.rmr_wb;
+  }
+  EXPECT_TRUE(any_critical);
+  EXPECT_TRUE(any_rmr);
+}
+
+// ---- no-op-observer parity ----------------------------------------------
+
+SimConfig bare_config(SimConfig base) {
+  base.track_awareness = false;
+  base.record_trace = false;
+  base.track_costs = false;
+  base.check_exclusion = false;
+  return base;
+}
+
+TEST(Observer, BareCoreComputesIdenticalFinalMachineState) {
+  for (const char* name : {"bakery-tso-2p", "mcs-2p"}) {
+    SCOPED_TRACE(name);
+    const auto* s = find_scenario(name);
+    ASSERT_NE(s, nullptr);
+
+    Simulator full(s->n_procs, s->sim);
+    s->build(full);
+    tso::run_round_robin(full, 10'000);
+
+    Simulator bare(s->n_procs, bare_config(s->sim));
+    EXPECT_TRUE(bare.observers().empty());
+    s->build(bare);
+    tso::run_round_robin(bare, 10'000);
+
+    ASSERT_TRUE(tso::all_done(full));
+    ASSERT_TRUE(tso::all_done(bare));
+    EXPECT_EQ(bare.num_events(), 0u) << "no TraceRecorder attached";
+
+    ASSERT_EQ(full.num_vars(), bare.num_vars());
+    for (std::size_t v = 0; v < full.num_vars(); ++v) {
+      const auto var = static_cast<tso::VarId>(v);
+      EXPECT_EQ(full.value(var), bare.value(var)) << "v" << v;
+      EXPECT_EQ(full.last_writer(var), bare.last_writer(var)) << "v" << v;
+    }
+    for (std::size_t p = 0; p < full.num_procs(); ++p) {
+      const auto& fp = full.proc(static_cast<tso::ProcId>(p));
+      const auto& bp = bare.proc(static_cast<tso::ProcId>(p));
+      EXPECT_EQ(fp.status(), bp.status());
+      EXPECT_EQ(fp.done(), bp.done());
+      ASSERT_EQ(fp.buffer().size(), bp.buffer().size());
+      for (std::size_t i = 0; i < fp.buffer().size(); ++i) {
+        EXPECT_EQ(fp.buffer()[i].var, bp.buffer()[i].var);
+        EXPECT_EQ(fp.buffer()[i].value, bp.buffer()[i].value);
+      }
+      EXPECT_EQ(fp.fences_completed(), bp.fences_completed());
+      EXPECT_EQ(fp.passages_done(), bp.passages_done());
+      ASSERT_EQ(fp.finished_passages().size(), bp.finished_passages().size());
+      for (std::size_t i = 0; i < fp.finished_passages().size(); ++i) {
+        EXPECT_EQ(fp.finished_passages()[i].events,
+                  bp.finished_passages()[i].events);
+        EXPECT_EQ(fp.finished_passages()[i].fences,
+                  bp.finished_passages()[i].fences);
+      }
+    }
+    EXPECT_EQ(full.total_contention(), bare.total_contention());
+  }
+}
+
+TEST(Observer, ExplorerHookAndBareRunsCountTheSameSchedules) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+
+  const tso::ExplorerResult bare = tso::explore(s->n_procs, s->sim, s->build, cfg);
+  tso::ExplorerConfig hooked = cfg;
+  hooked.on_complete = [](const Simulator&) {};  // forces full instrumentation
+  const tso::ExplorerResult full =
+      tso::explore(s->n_procs, s->sim, s->build, hooked);
+
+  EXPECT_FALSE(bare.violation_found);
+  EXPECT_FALSE(full.violation_found);
+  EXPECT_EQ(bare.schedules, full.schedules);
+  EXPECT_EQ(bare.truncated, full.truncated);
+}
+
+// ---- explorer checkpoint mode -------------------------------------------
+
+TEST(Observer, CheckpointModeMatchesReplayModeAndDoesLessWork) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  tso::ExplorerConfig ckpt;
+  ckpt.preemptions = 2;
+  ckpt.checkpoint = true;
+  tso::ExplorerConfig replay = ckpt;
+  replay.checkpoint = false;
+
+  const auto a = tso::explore(s->n_procs, s->sim, s->build, ckpt);
+  const auto b = tso::explore(s->n_procs, s->sim, s->build, replay);
+  EXPECT_EQ(a.schedules, b.schedules);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_GT(a.restores, 0u);
+  EXPECT_EQ(b.restores, 0u);
+  // The acceptance bar: checkpointing must cut the events executed at least
+  // in half relative to replaying every prefix from the root.
+  EXPECT_LE(2 * a.events_executed, b.events_executed)
+      << "checkpoint=" << a.events_executed
+      << " replay=" << b.events_executed;
+}
+
+TEST(Observer, CheckpointModeFindsTheSameWitness) {
+  const auto* s = find_scenario("bakery-none-2p");
+  ASSERT_NE(s, nullptr);
+  tso::ExplorerConfig ckpt;
+  ckpt.preemptions = 2;
+  ckpt.shrink = false;  // compare the raw first-in-DFS-order witness
+  tso::ExplorerConfig replay = ckpt;
+  replay.checkpoint = false;
+
+  const auto a = tso::explore(s->n_procs, s->sim, s->build, ckpt);
+  const auto b = tso::explore(s->n_procs, s->sim, s->build, replay);
+  ASSERT_TRUE(a.violation_found);
+  ASSERT_TRUE(b.violation_found);
+  EXPECT_EQ(a.violation, b.violation);
+  ASSERT_EQ(a.witness.size(), b.witness.size());
+  for (std::size_t i = 0; i < a.witness.size(); ++i) {
+    EXPECT_EQ(a.witness[i].kind, b.witness[i].kind) << i;
+    EXPECT_EQ(a.witness[i].proc, b.witness[i].proc) << i;
+    EXPECT_EQ(a.witness[i].var, b.witness[i].var) << i;
+  }
+}
+
+// ---- snapshot / restore round trips --------------------------------------
+
+struct Outcome {
+  bool violated = false;
+  std::string violation;
+  std::vector<tso::Event> events;
+  std::vector<tso::Value> var_values;
+  std::vector<tso::ProcId> var_writers;
+  std::vector<DynBitset> awareness;
+};
+
+/// Applies the tail of a witness (leniently) and captures the result.
+Outcome finish(Simulator& sim, const std::vector<Directive>& tail) {
+  Outcome out;
+  for (const Directive& d : tail) {
+    try {
+      apply(sim, d);
+    } catch (const CheckFailure& e) {
+      out.violated = true;
+      out.violation = e.what();
+      break;
+    }
+  }
+  out.events = sim.execution().events;
+  for (std::size_t v = 0; v < sim.num_vars(); ++v) {
+    out.var_values.push_back(sim.value(static_cast<tso::VarId>(v)));
+    out.var_writers.push_back(sim.last_writer(static_cast<tso::VarId>(v)));
+  }
+  for (std::size_t p = 0; p < sim.num_procs(); ++p)
+    out.awareness.push_back(sim.awareness_of(static_cast<tso::ProcId>(p)));
+  return out;
+}
+
+void expect_equal(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.violated, b.violated);
+  EXPECT_EQ(violation_detail(a.violation), violation_detail(b.violation));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const tso::Event& x = a.events[i];
+    const tso::Event& y = b.events[i];
+    EXPECT_EQ(x.to_string(), y.to_string()) << i;
+    EXPECT_EQ(x.rmr_dsm, y.rmr_dsm) << i;
+    EXPECT_EQ(x.rmr_wt, y.rmr_wt) << i;
+    EXPECT_EQ(x.rmr_wb, y.rmr_wb) << i;
+  }
+  EXPECT_EQ(a.var_values, b.var_values);
+  EXPECT_EQ(a.var_writers, b.var_writers);
+  ASSERT_EQ(a.awareness.size(), b.awareness.size());
+  for (std::size_t p = 0; p < a.awareness.size(); ++p)
+    EXPECT_TRUE(a.awareness[p] == b.awareness[p]) << "p" << p;
+}
+
+TEST(Snapshot, RestoreIntoFreshSimulatorMatchesUninterruptedRun) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    const trace::Witness w = trace::read_witness(in);
+    const auto* s = find_scenario(w.scenario);
+    ASSERT_NE(s, nullptr);
+    const std::size_t half = w.directives.size() / 2;
+    const std::vector<Directive> head(w.directives.begin(),
+                                      w.directives.begin() + half);
+    const std::vector<Directive> tail(w.directives.begin() + half,
+                                      w.directives.end());
+
+    Simulator original(w.n_procs, s->sim);
+    s->build(original);
+    bool head_violated = false;
+    for (const Directive& d : head) {
+      try {
+        apply(original, d);
+      } catch (const CheckFailure&) {
+        head_violated = true;
+        break;
+      }
+    }
+    ASSERT_FALSE(head_violated) << "corpus witnesses violate at the end";
+
+    const SimSnapshot snap = original.snapshot();
+    const Outcome uninterrupted = finish(original, tail);
+    ASSERT_TRUE(uninterrupted.violated)
+        << "corpus witness must still reproduce";
+
+    // Restore into a freshly constructed simulator.
+    Simulator revived(w.n_procs, s->sim);
+    revived.restore(snap, s->build);
+    EXPECT_EQ(revived.events_executed(), 0u)
+        << "restore must not execute machine events";
+    const Outcome roundtrip = finish(revived, tail);
+    expect_equal(uninterrupted, roundtrip);
+
+    // And back onto the original simulator, in place.
+    original.restore(snap, s->build);
+    const Outcome inplace = finish(original, tail);
+    expect_equal(uninterrupted, inplace);
+  }
+}
+
+TEST(Snapshot, ForeignObserverSnapshotIsRejected) {
+  Simulator a(2);
+  Simulator b(2, bare_config({}));
+  const SimSnapshot snap = a.snapshot();
+  EXPECT_THROW(b.restore(snap, [](Simulator&) {}), CheckFailure)
+      << "observer sets differ";
+}
+
+// ---- JSONL trace sink ----------------------------------------------------
+
+TEST(Observer, JsonlTraceSinkEmitsOneObjectPerDirectiveAndEvent) {
+  const auto* s = find_scenario("bakery-tso-2p");
+  ASSERT_NE(s, nullptr);
+  std::ostringstream out;
+  Simulator sim(s->n_procs, s->sim);
+  sim.add_observer(std::make_unique<tso::JsonlTraceSink>(out));
+  s->build(sim);
+  tso::run_round_robin(sim, 10'000);
+  ASSERT_TRUE(tso::all_done(sim));
+
+  std::size_t lines = 0, events = 0, directives = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"type\":\"event\"") != std::string::npos) ++events;
+    if (line.find("\"type\":\"directive\"") != std::string::npos)
+      ++directives;
+  }
+  EXPECT_EQ(lines, events + directives);
+  EXPECT_EQ(events, sim.num_events());
+  EXPECT_EQ(directives, sim.execution().directives.size());
+}
+
+}  // namespace
+}  // namespace tpa

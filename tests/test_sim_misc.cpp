@@ -3,6 +3,9 @@
 // trace-off mode.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+
 #include "algos/zoo.h"
 #include "tso/schedulers.h"
 #include "tso/sim.h"
@@ -134,6 +137,70 @@ TEST(SimMisc, DoubleSpawnRejected) {
   const VarId v = sim.alloc_var(0);
   sim.spawn(0, read_only(sim.proc(0), v));
   EXPECT_THROW(sim.spawn(0, read_only(sim.proc(0), v)), CheckFailure);
+}
+
+// ---- diagnostic message content ------------------------------------------
+// All misuse goes through TPA_CHECK, and the messages must carry enough
+// context to act on (which variable, which process, where in the buffer).
+
+std::string message_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CheckFailure";
+  return {};
+}
+
+TEST(SimMisc, LatePokeMessageNamesTheVariable) {
+  Simulator sim(1);
+  sim.alloc_var(0);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(0, read_only(sim.proc(0), v));
+  sim.deliver(0);
+  const std::string msg = message_of([&] { sim.poke(v, 1); });
+  EXPECT_NE(msg.find("poke(v1)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("after the execution started"), std::string::npos)
+      << msg;
+}
+
+Task<> two_writes(Proc& p, VarId a, VarId b) {
+  co_await p.write(a, 1);
+  co_await p.write(b, 2);
+}
+
+TEST(SimMisc, NonHeadCommitUnderTsoMessageNamesVarAndPosition) {
+  Simulator sim(1);
+  const VarId a = sim.alloc_var(0);
+  const VarId b = sim.alloc_var(0);
+  sim.spawn(0, two_writes(sim.proc(0), a, b));
+  sim.deliver(0);
+  sim.deliver(0);  // buffer now [a, b]
+  const std::string msg = message_of([&] { sim.commit(0, b); });
+  EXPECT_NE(msg.find("only the buffer head may commit"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("p0"), std::string::npos) << msg;
+
+  tso::SimConfig pso;
+  pso.pso = true;
+  Simulator relaxed(1, pso);
+  const VarId c = relaxed.alloc_var(0);
+  const VarId d = relaxed.alloc_var(0);
+  relaxed.spawn(0, two_writes(relaxed.proc(0), c, d));
+  relaxed.deliver(0);
+  relaxed.deliver(0);
+  EXPECT_TRUE(relaxed.commit(0, d)) << "PSO allows non-head commits";
+}
+
+TEST(SimMisc, DoubleSpawnMessageNamesTheProcess) {
+  Simulator sim(2);
+  const VarId v = sim.alloc_var(0);
+  sim.spawn(1, read_only(sim.proc(1), v));
+  const std::string msg =
+      message_of([&] { sim.spawn(1, read_only(sim.proc(1), v)); });
+  EXPECT_NE(msg.find("p1 already has a program"), std::string::npos) << msg;
 }
 
 }  // namespace
