@@ -1,0 +1,66 @@
+// RecoverableLock — a minimal CAS-based lock for the crash–recovery fault
+// model (recoverable mutual exclusion, RME): a process may crash at any
+// step, losing its volatile state (program position, registers, and — under
+// SimConfig::crash_model == kBufferLost — its store buffer), and later
+// re-enter through a recovery section that must decide whether the crashed
+// incarnation still holds the lock.
+//
+// The lock keeps two variables:
+//
+//   lock_   0 when free, p+1 when held; acquired by CAS.
+//   owner_  the holder's announcement, written *before* competing so the
+//           CAS-implied drain commits it to memory before the CS.
+//
+// Two variants differ only in the exit section:
+//
+//   kFull  release commits owner_ = 0 behind a fence before freeing lock_
+//          (and fences again after). Recovery consults lock_, whose
+//          committed value is exact — lock_ is written only by CAS and by
+//          fenced release writes — so the variant is crash-safe under both
+//          crash models (tests/test_crash.cpp has the explorer proof).
+//   kNone  release buffers [lock_ = 0, owner_ = 0] with no fence and trusts
+//          owner_ during recovery. TSO commits lock_ = 0 first; a
+//          buffer-lost crash in that window leaves the lock free with a
+//          stale announcement, and the recovering process walks straight
+//          into a CS someone else can now acquire — the explorer refutes
+//          this variant with a shrunk crash witness.
+#pragma once
+
+#include <memory>
+
+#include "algos/lock.h"
+
+namespace tpa::algos {
+
+enum class RecoverableFencing {
+  kFull,  ///< fenced exit section: crash-safe under both crash models
+  kNone,  ///< fence-free exit section: unsafe under buffer-lost crashes
+};
+
+class RecoverableLock : public SimLock {
+ public:
+  RecoverableLock(Simulator& sim, RecoverableFencing fencing);
+
+  Task<> acquire(Proc& p) override;
+  Task<> release(Proc& p) override;
+  std::string name() const override;
+
+  /// The recovery predicate: did p's crashed incarnation hold the lock?
+  /// Returns 1 (holds — the CS is still p's) or 0 (start over). kFull reads
+  /// lock_; kNone trusts the unfenced owner_ announcement.
+  Task<Value> owns_after_crash(Proc& p);
+
+ private:
+  VarId lock_;   ///< 0 free, p+1 held; written by CAS and release only
+  VarId owner_;  ///< holder announcement, committed by the acquire CAS drain
+  RecoverableFencing fencing_;
+};
+
+/// The recovery section driver (the Simulator::set_recovery factory body):
+/// queries the lock, completes the crashed passage if the incarnation still
+/// holds it (Enter -> CS -> exit section -> Exit), otherwise runs one fresh
+/// passage from scratch; then `fresh` more passages either way.
+Task<> run_recovered_passages(Proc& p, std::shared_ptr<RecoverableLock> lock,
+                              int fresh = 0);
+
+}  // namespace tpa::algos

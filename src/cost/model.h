@@ -112,6 +112,16 @@ struct CoherenceDirectory {
     return f;
   }
 
+  /// Drops every cached copy p holds — a crashed process loses its cache
+  /// with the rest of its volatile state, so post-recovery accesses miss
+  /// (and charge RMRs) again. Stepped identically by the online
+  /// CostObserver and the offline analyzer on Crash events.
+  void evict(ProcId p) {
+    wt_copies.erase(p);
+    wb_sharers.erase(p);
+    if (wb_exclusive == p) wb_exclusive = kNoProc;
+  }
+
   /// A committed write (or successful CAS) to the variable by p.
   RmrFlags on_write(ProcId p, ProcId owner) {
     RmrFlags f;

@@ -66,6 +66,16 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
     return layout.owners[static_cast<std::size_t>(v)] != p;
   };
 
+  // Accesses index per-variable state; a var outside the layout would read
+  // (or write) past the owner/directory arrays, so fail with coordinates
+  // instead.
+  auto check_var = [&](const Event& e) {
+    TPA_CHECK(e.var != tso::kNoVar && e.var >= 0 &&
+                  static_cast<std::size_t>(e.var) < n_vars,
+              "event #" << e.seq << " names var " << e.var
+                        << " outside the layout (" << n_vars << " vars)");
+  };
+
   for (const Event& e : execution.events) {
     const auto p = static_cast<std::size_t>(e.proc);
     TPA_CHECK(p < n_procs, "event by unknown process p" << e.proc);
@@ -105,6 +115,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
                          static_cast<std::ptrdiff_t>(idx));
         TPA_CHECK(entry.value == e.value,
                   "commit value mismatch at event #" << e.seq);
+        check_var(e);
         const auto v = static_cast<std::size_t>(e.var);
         f.accesses_var = true;
         f.remote = is_remote(e.proc, e.var);
@@ -131,6 +142,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
           TPA_CHECK(buffered == e.value,
                     "buffered read value mismatch at event #" << e.seq);
         } else {
+          check_var(e);
           const auto v = static_cast<std::size_t>(e.var);
           f.accesses_var = true;
           f.remote = is_remote(e.proc, e.var);
@@ -162,6 +174,7 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
       case tso::EventKind::kCas: {
         TPA_CHECK(buffers[p].empty(),
                   "CAS with non-empty buffer at event #" << e.seq);
+        check_var(e);
         const auto v = static_cast<std::size_t>(e.var);
         f.accesses_var = true;
         f.remote = is_remote(e.proc, e.var);
@@ -200,6 +213,24 @@ Analysis analyze(const Execution& execution, std::size_t n_procs,
                   "Exit from non-exit at event #" << e.seq);
         a.status[p] = Status::kNcs;
         a.passages_done[p]++;
+        break;
+      case tso::EventKind::kCrash:
+        // Volatile state gone, mirroring the online observers exactly:
+        // un-committed buffered writes vanish (under the flushed model their
+        // commits precede this event, so the buffer is already empty),
+        // awareness collapses back to {p}, and the crashed process' cache
+        // lines and remote-read history are dropped.
+        buffers[p].clear();
+        a.mode[p] = Mode::kRead;
+        a.status[p] = Status::kNcs;
+        a.awareness[p].reset();
+        a.awareness[p].set(p);
+        remote_reads[p].clear();
+        for (auto& dir : directories) dir.evict(e.proc);
+        break;
+      case tso::EventKind::kRecover:
+        // The next incarnation starts from the post-crash state; nothing
+        // else to track until its first events arrive.
         break;
     }
     a.facts.push_back(std::move(f));

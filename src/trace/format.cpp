@@ -1,5 +1,7 @@
 #include "trace/format.h"
 
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <set>
@@ -74,22 +76,45 @@ std::string summarize(const tso::Execution& execution) {
   return os.str();
 }
 
+bool Witness::has_crashes() const {
+  for (const auto& d : directives)
+    if (d.kind == tso::ActionKind::kCrash ||
+        d.kind == tso::ActionKind::kRecover)
+      return true;
+  return false;
+}
+
 void write_witness(std::ostream& os, const Witness& witness) {
-  os << "tpa-witness v1\n";
+  // Crash-free witnesses keep the v1 format byte-for-byte; the v2 header
+  // and crash-model line appear only when there is crash content, so old
+  // corpus files never churn.
+  const bool crashes = witness.has_crashes();
+  os << (crashes ? "tpa-witness v2\n" : "tpa-witness v1\n");
   os << "scenario " << witness.scenario << "\n";
   os << "procs " << witness.n_procs << "\n";
   os << "pso " << (witness.pso ? 1 : 0) << "\n";
+  if (crashes)
+    os << "crash-model " << tso::to_string(witness.crash_model) << "\n";
   std::string msg = witness.violation;
   for (char& c : msg)
     if (c == '\n' || c == '\r') c = ' ';
   os << "violation " << msg << "\n";
   for (const auto& d : witness.directives) {
-    if (d.kind == tso::ActionKind::kDeliver) {
-      os << "d " << d.proc << "\n";
-    } else {
-      os << "c " << d.proc;
-      if (d.var != tso::kNoVar) os << " " << d.var;
-      os << "\n";
+    switch (d.kind) {
+      case tso::ActionKind::kDeliver:
+        os << "d " << d.proc << "\n";
+        break;
+      case tso::ActionKind::kCommit:
+        os << "c " << d.proc;
+        if (d.var != tso::kNoVar) os << " " << d.var;
+        os << "\n";
+        break;
+      case tso::ActionKind::kCrash:
+        os << "x " << d.proc << "\n";
+        break;
+      case tso::ActionKind::kRecover:
+        os << "r " << d.proc << "\n";
+        break;
     }
   }
   os << "end\n";
@@ -110,7 +135,8 @@ Witness read_witness(std::istream& is) {
   std::string line;
   TPA_CHECK(static_cast<bool>(std::getline(is, line)),
             "witness: empty input");
-  TPA_CHECK(chomp(line) == "tpa-witness v1",
+  line = chomp(line);
+  TPA_CHECK(line == "tpa-witness v1" || line == "tpa-witness v2",
             "witness: bad header '" << line << "'");
   bool saw_end = false;
   while (std::getline(is, line)) {
@@ -137,10 +163,17 @@ Witness read_witness(std::istream& is) {
     } else if (key == "violation") {
       ls >> std::ws;
       std::getline(ls, w.violation);
-    } else if (key == "d" || key == "c") {
+    } else if (key == "crash-model") {
+      std::string name;
+      TPA_CHECK(static_cast<bool>(ls >> name),
+                "witness: bad crash-model line '" << line << "'");
+      w.crash_model = tso::crash_model_from_string(name);
+    } else if (key == "d" || key == "c" || key == "x" || key == "r") {
       tso::Directive d;
-      d.kind =
-          key == "d" ? tso::ActionKind::kDeliver : tso::ActionKind::kCommit;
+      d.kind = key == "d"   ? tso::ActionKind::kDeliver
+               : key == "c" ? tso::ActionKind::kCommit
+               : key == "x" ? tso::ActionKind::kCrash
+                            : tso::ActionKind::kRecover;
       TPA_CHECK(static_cast<bool>(ls >> d.proc),
                 "witness: bad directive line '" << line << "'");
       d.var = tso::kNoVar;
@@ -167,6 +200,40 @@ std::string witness_to_string(const Witness& witness) {
 Witness witness_from_string(const std::string& text) {
   std::istringstream is(text);
   return read_witness(is);
+}
+
+void write_witness_file(const std::string& path, const Witness& witness) {
+  // tmp-then-rename: the final name only ever holds a complete witness.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    TPA_CHECK(os.good(), "witness: cannot open '" << tmp << "' for writing");
+    write_witness(os, witness);
+    os.flush();
+    TPA_CHECK(os.good(), "witness: short write to '" << tmp << "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp);
+  TPA_CHECK(!ec, "witness: rename '" << tmp << "' -> '" << path
+                                     << "' failed: " << ec.message());
+}
+
+bool try_read_witness_file(const std::string& path, Witness* out,
+                           std::string* error) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    if (error) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  try {
+    Witness w = read_witness(is);
+    *out = std::move(w);
+    return true;
+  } catch (const CheckFailure& e) {
+    if (error) *error = e.what();
+    return false;
+  }
 }
 
 }  // namespace tpa::trace

@@ -42,8 +42,14 @@ struct Witness {
   std::string scenario;   ///< free-form id, e.g. "bakery-none-2p"
   std::size_t n_procs = 0;
   bool pso = false;       ///< SimConfig::pso in effect when recorded
+  /// SimConfig::crash_model in effect when recorded; only meaningful (and
+  /// only serialized) when the schedule carries crash directives.
+  tso::CrashModel crash_model = tso::CrashModel::kBufferLost;
   std::string violation;  ///< expected failure (or a recognizable part)
   std::vector<tso::Directive> directives;
+
+  /// True when any directive is a Crash or Recover.
+  bool has_crashes() const;
 };
 
 /// Serializes a witness in the line-oriented text format:
@@ -57,7 +63,11 @@ struct Witness {
 ///   c <proc> [<var>]  # commit (head when <var> is omitted; PSO names one)
 ///   end
 ///
-/// Blank lines and lines starting with '#' are ignored by the reader.
+/// Witnesses carrying crash directives are written as "tpa-witness v2" with
+/// an extra "crash-model <lost|flushed>" line and two more directive kinds,
+/// "x <proc>" (crash) and "r <proc>" (recover); crash-free witnesses stay
+/// byte-identical to the v1 format. Blank lines and lines starting with '#'
+/// are ignored by the reader, which accepts both versions.
 void write_witness(std::ostream& os, const Witness& witness);
 
 /// Parses write_witness output; raises CheckFailure on malformed input.
@@ -66,5 +76,19 @@ Witness read_witness(std::istream& is);
 /// String-based conveniences over the stream versions.
 std::string witness_to_string(const Witness& witness);
 Witness witness_from_string(const std::string& text);
+
+/// Writes the witness to `path` atomically: the text is written to a
+/// sibling "<path>.tmp" file and renamed over the target only after the
+/// write is verified, so a crash (or full disk) mid-write can never leave a
+/// truncated witness under the final name. Raises CheckFailure on I/O
+/// errors.
+void write_witness_file(const std::string& path, const Witness& witness);
+
+/// Lenient counterpart to read_witness for corpus loading: returns false —
+/// with a diagnostic in `*error` when given — instead of raising when the
+/// file is missing, unreadable, truncated or malformed. `*out` is only
+/// assigned on success.
+bool try_read_witness_file(const std::string& path, Witness* out,
+                           std::string* error = nullptr);
 
 }  // namespace tpa::trace

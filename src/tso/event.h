@@ -27,6 +27,8 @@ enum class EventKind : std::uint8_t {
   kEnter,        ///< transition: ncs -> entry
   kCs,           ///< transition: entry -> exit (critical section)
   kExit,         ///< transition: exit -> ncs
+  kCrash,        ///< process crashed: volatile state gone (RME fault model)
+  kRecover,      ///< crashed process restarted in its recovery section
 };
 
 const char* to_string(EventKind k);
@@ -39,6 +41,24 @@ bool is_transition(EventKind k);
 
 /// True for BeginFence/EndFence.
 bool is_fence_event(EventKind k);
+
+/// What happens to a process' write buffer when it crashes — the two
+/// failure semantics the recoverable-mutual-exclusion literature
+/// distinguishes (see docs/FAULTS.md).
+enum class CrashModel : std::uint8_t {
+  /// Buffered (issued, uncommitted) writes vanish with the crash — the
+  /// store buffer is volatile state.
+  kBufferLost,
+  /// The buffer drains to shared memory at the crash (each entry commits,
+  /// in order, as an ordinary WriteCommit) — persistent/flushed-on-failure
+  /// hardware.
+  kBufferFlushed,
+};
+
+const char* to_string(CrashModel m);
+
+/// Inverse of to_string(CrashModel); throws CheckFailure on unknown names.
+CrashModel crash_model_from_string(const std::string& name);
 
 struct Event {
   EventKind kind;
@@ -70,8 +90,10 @@ struct Event {
 /// "schedule" and is sufficient to deterministically replay the execution
 /// (see tso/schedule.h). kDeliver lets the process take its next program
 /// event; kCommit commits a write from its buffer — the head under TSO, or
-/// any chosen variable's entry under PSO (see SimConfig::pso).
-enum class ActionKind : std::uint8_t { kDeliver, kCommit };
+/// any chosen variable's entry under PSO (see SimConfig::pso). kCrash and
+/// kRecover are the fault-injection moves of the crash–recovery adversary
+/// (Simulator::crash / Simulator::recover).
+enum class ActionKind : std::uint8_t { kDeliver, kCommit, kCrash, kRecover };
 
 struct Directive {
   ActionKind kind;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <limits>
 #include <list>
@@ -19,9 +20,16 @@ namespace {
 // ---- shared cross-thread exploration state ------------------------------
 
 struct Shared {
-  explicit Shared(std::uint64_t budget) : max_schedules(budget) {}
+  Shared(std::uint64_t budget, std::uint64_t time_budget_ms)
+      : max_schedules(budget),
+        has_deadline(time_budget_ms > 0),
+        deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(time_budget_ms)) {}
 
   const std::uint64_t max_schedules;
+  const bool has_deadline;
+  const std::chrono::steady_clock::time_point deadline;
+  std::atomic<bool> deadline_tripped{false};
   std::atomic<std::uint64_t> used{0};  ///< schedules + truncated, all threads
   std::atomic<bool> over{false};       ///< budget tripped somewhere
   /// Smallest frontier index that found a violation. Subtrees with larger
@@ -37,6 +45,17 @@ struct Shared {
     return false;
   }
   void charge() { used.fetch_add(1, std::memory_order_relaxed); }
+  /// The watchdog. Once any thread observes the deadline passing, the
+  /// tripped flag makes every later call cheap (no clock read).
+  bool past_deadline() {
+    if (!has_deadline) return false;
+    if (deadline_tripped.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      deadline_tripped.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
   void claim(std::size_t index) {
     std::size_t cur = winner.load(std::memory_order_relaxed);
     while (index < cur && !winner.compare_exchange_weak(
@@ -82,6 +101,8 @@ using SleepSet = std::vector<SleepEntry>;
 
 bool can_act(const Simulator& sim, ProcId p) {
   const Proc& proc = sim.proc(p);
+  // A crashed process' only possible step is recovering (if it can).
+  if (proc.crashed()) return sim.has_recovery(p);
   if (!proc.done() && proc.has_pending()) return true;
   return !proc.buffer().empty();
 }
@@ -92,14 +113,20 @@ bool can_act(const Simulator& sim, ProcId p) {
 /// up front so the explorer can log schedules without a TraceRecorder.
 Directive make_directive(const Simulator& sim, ProcId p) {
   const Proc& proc = sim.proc(p);
+  if (proc.crashed()) return {ActionKind::kRecover, p};
   if (!proc.done() && proc.has_pending()) return {ActionKind::kDeliver, p};
   return {ActionKind::kCommit, p, kNoVar};
 }
 
 /// Applies a directive; false if the process cannot act that way.
 bool apply(Simulator& sim, const Directive& d) {
-  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
-                                        : sim.commit(d.proc, d.var);
+  switch (d.kind) {
+    case ActionKind::kDeliver: return sim.deliver(d.proc);
+    case ActionKind::kCommit: return sim.commit(d.proc, d.var);
+    case ActionKind::kCrash: return sim.crash(d.proc);
+    case ActionKind::kRecover: return sim.recover(d.proc);
+  }
+  return false;
 }
 
 ActionSig action_sig(const Simulator& sim, ProcId p) {
@@ -124,20 +151,26 @@ ActionSig action_sig(const Simulator& sim, ProcId p) {
 // ---- option enumeration (shared by DFS and frontier expansion) -----------
 
 struct Options {
-  std::vector<ProcId> cand;     ///< processes that can act
-  std::vector<ProcId> options;  ///< explored children, in order
+  std::vector<ProcId> cand;        ///< processes that can act
+  std::vector<ProcId> options;     ///< explored children, in order
+  std::vector<ProcId> crash_cand;  ///< processes the adversary may crash
   bool current_runnable = false;
 };
 
 /// Candidates in a stable order; continuing the current process is free,
 /// preempting it costs budget. If the current process cannot act, switching
-/// is free.
+/// is free. Crash candidates come last: with crashes_left == 0 the option
+/// list is bit-identical to a crash-free exploration.
 Options enumerate_options(const Simulator& sim, std::size_t n, ProcId current,
-                          int preemptions) {
+                          int preemptions, int crashes_left) {
   Options o;
   for (std::size_t p = 0; p < n; ++p)
     if (can_act(sim, static_cast<ProcId>(p)))
       o.cand.push_back(static_cast<ProcId>(p));
+  if (crashes_left > 0)
+    for (std::size_t p = 0; p < n; ++p)
+      if (sim.can_crash(static_cast<ProcId>(p)))
+        o.crash_cand.push_back(static_cast<ProcId>(p));
   o.current_runnable =
       current != kNoProc &&
       std::find(o.cand.begin(), o.cand.end(), current) != o.cand.end();
@@ -159,6 +192,7 @@ struct Node {
   std::vector<Directive> dirs;
   ProcId current = kNoProc;
   int preemptions = 0;
+  int crashes_left = 0;
   SleepSet sleep;
   std::shared_ptr<const SimSnapshot> snap;
 };
@@ -179,14 +213,15 @@ class Dfs {
 
   void run_root() {
     dirs_.clear();
-    dfs(fresh(), kNoProc, cfg_.preemptions, {});
+    dfs(fresh(), kNoProc, cfg_.preemptions, cfg_.max_crashes, {});
   }
 
   void run_from(const Node& node) {
     dirs_ = node.dirs;
     auto sim = (cfg_.checkpoint && node.snap != nullptr) ? revive(*node.snap)
                                                          : rebuild();
-    dfs(std::move(sim), node.current, node.preemptions, node.sleep);
+    dfs(std::move(sim), node.current, node.preemptions, node.crashes_left,
+        node.sleep);
   }
 
   ExplorerResult take_result() { return std::move(result_); }
@@ -225,6 +260,10 @@ class Dfs {
       result_.exhausted = false;
       return true;
     }
+    if (shared_->past_deadline()) {
+      result_.exhausted = false;
+      return true;
+    }
     return false;
   }
 
@@ -238,7 +277,7 @@ class Dfs {
   }
 
   void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
-           SleepSet sleep) {
+           int crashes_left, SleepSet sleep) {
     if (stop()) return;
     if (dirs_.size() >= cfg_.max_steps) {
       result_.truncated++;
@@ -246,7 +285,8 @@ class Dfs {
       return;
     }
 
-    const Options opt = enumerate_options(*sim, n_, current, preemptions);
+    const Options opt =
+        enumerate_options(*sim, n_, current, preemptions, crashes_left);
     if (opt.cand.empty()) {
       result_.schedules++;  // a complete schedule: everyone done & drained
       shared_->charge();
@@ -272,7 +312,7 @@ class Dfs {
     // Branch point: checkpoint once, then every sibling after the first
     // restores from here instead of replaying `dirs_` from the root.
     std::shared_ptr<const SimSnapshot> snap;
-    if (cfg_.checkpoint && opt.options.size() > 1) {
+    if (cfg_.checkpoint && opt.options.size() + opt.crash_cand.size() > 1) {
       snap = std::make_shared<const SimSnapshot>(sim->snapshot());
       result_.snapshots++;
     }
@@ -302,10 +342,35 @@ class Dfs {
       }
       dirs_.push_back(d);
       const int cost = (opt.current_runnable && p != current) ? 1 : 0;
-      dfs(std::move(sim), p, preemptions - cost, std::move(child_sleep));
+      dfs(std::move(sim), p, preemptions - cost, crashes_left,
+          std::move(child_sleep));
       dirs_.pop_back();
       sim = nullptr;
       if (cfg_.sleep_sets) sleep.push_back({p, sigs[i]});
+    }
+
+    // Crash branches, after all scheduling branches. A crash is an
+    // adversary move, not a context switch: it costs no preemption and
+    // leaves `current` in place. It is dependent with everything (memory
+    // and buffers change wholesale), so crash children start with an empty
+    // sleep set and are never themselves sleep-pruned.
+    for (const ProcId p : opt.crash_cand) {
+      if (stop()) return;
+      if (sim == nullptr)  // a previous child consumed it
+        sim = snap != nullptr ? revive(*snap) : rebuild();
+      const Directive d{ActionKind::kCrash, p};
+      try {
+        const bool ok = apply(*sim, d);
+        TPA_CHECK(ok, "crash candidate p" << p << " could not crash");
+      } catch (const CheckFailure& e) {
+        dirs_.push_back(d);
+        record_violation(e.what());
+        return;
+      }
+      dirs_.push_back(d);
+      dfs(std::move(sim), current, preemptions, crashes_left - 1, {});
+      dirs_.pop_back();
+      sim = nullptr;
     }
   }
 
@@ -340,7 +405,8 @@ class FrontierBuilder {
 
   std::vector<Node> build(std::size_t target) {
     std::list<Node> nodes;
-    nodes.push_back(Node{{}, kNoProc, cfg_.preemptions, {}, nullptr});
+    nodes.push_back(
+        Node{{}, kNoProc, cfg_.preemptions, cfg_.max_crashes, {}, nullptr});
     // Each expansion costs O(branching × depth) replay steps (O(branching)
     // restores in checkpoint mode); the cap only guards against degenerate
     // chains (branching 1) eating the pre-pass.
@@ -396,7 +462,7 @@ class FrontierBuilder {
   void expand(std::list<Node>& nodes, std::list<Node>::iterator it) {
     Node node = std::move(*it);
     const auto pos = nodes.erase(it);
-    if (shared_->over_budget()) {
+    if (shared_->over_budget() || shared_->past_deadline()) {
       result_.exhausted = false;
       done_ = true;
       return;
@@ -409,8 +475,8 @@ class FrontierBuilder {
     const bool use_snap = cfg_.checkpoint;
     auto sim = (use_snap && node.snap != nullptr) ? revive(*node.snap)
                                                   : rebuild(node.dirs);
-    const Options opt =
-        enumerate_options(*sim, n_, node.current, node.preemptions);
+    const Options opt = enumerate_options(*sim, n_, node.current,
+                                          node.preemptions, node.crashes_left);
     if (opt.cand.empty()) {
       result_.schedules++;
       shared_->charge();
@@ -449,6 +515,7 @@ class FrontierBuilder {
       child.current = p;
       const int cost = (opt.current_runnable && p != node.current) ? 1 : 0;
       child.preemptions = node.preemptions - cost;
+      child.crashes_left = node.crashes_left;
       if (cfg_.sleep_sets) {
         for (const SleepEntry& e : running)
           if (independent(e.sig, sigs[i])) child.sleep.push_back(e);
@@ -462,6 +529,32 @@ class FrontierBuilder {
       try {
         const bool ok = apply(*probe, d);
         TPA_CHECK(ok, "candidate p" << p << " could not act");
+      } catch (const CheckFailure& e) {
+        child.dirs.push_back(d);
+        violation(std::move(child.dirs), e.what());
+        return;
+      }
+      child.dirs.push_back(d);
+      if (use_snap) {
+        child.snap = std::make_shared<const SimSnapshot>(probe->snapshot());
+        result_.snapshots++;
+      }
+      nodes.insert(pos, std::move(child));
+    }
+
+    // Crash children, mirroring Dfs::dfs: after all scheduling children,
+    // no preemption cost, `current` unchanged, empty sleep set.
+    for (const ProcId p : opt.crash_cand) {
+      Node child;
+      child.dirs = node.dirs;
+      child.current = node.current;
+      child.preemptions = node.preemptions;
+      child.crashes_left = node.crashes_left - 1;
+      auto probe = use_snap ? revive(*parent_snap) : rebuild(node.dirs);
+      const Directive d{ActionKind::kCrash, p};
+      try {
+        const bool ok = apply(*probe, d);
+        TPA_CHECK(ok, "crash candidate p" << p << " could not crash");
       } catch (const CheckFailure& e) {
         child.dirs.push_back(d);
         violation(std::move(child.dirs), e.what());
@@ -546,7 +639,7 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
     eff.track_costs = false;
   }
 
-  Shared shared(config.max_schedules);
+  Shared shared(config.max_schedules, config.time_budget_ms);
   ExplorerResult result;
   if (config.threads <= 1) {
     Dfs dfs(n_procs, eff, build, config, &shared, 0);
@@ -556,6 +649,10 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
     result = explore_parallel(n_procs, eff, build, config, &shared);
   }
 
+  if (shared.deadline_tripped.load(std::memory_order_relaxed)) {
+    result.deadline_hit = true;
+    result.exhausted = false;
+  }
   if (result.violation_found && config.shrink && !result.witness.empty()) {
     ShrinkOutcome shrunk = shrink_witness(n_procs, eff, build,
                                           result.witness, config.on_complete);

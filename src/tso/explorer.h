@@ -42,6 +42,17 @@ struct ExplorerConfig {
   std::uint64_t max_steps = 600;
   /// Global cap on explored schedules.
   std::uint64_t max_schedules = 2'000'000;
+  /// Crash directives injected per schedule (RME fault model). At every
+  /// state, in addition to scheduling steps, the adversary may crash any
+  /// process that still has work or buffered writes; crashed processes with
+  /// a registered recovery section re-enter via a Recover directive. 0 (the
+  /// default) disables fault injection entirely — schedule counts are then
+  /// bit-identical to a crash-free exploration.
+  int max_crashes = 0;
+  /// Wall-clock watchdog for the whole exploration, in milliseconds; 0
+  /// disables it. When the deadline passes, exploration stops where it is
+  /// and the result reports deadline_hit (and exhausted = false).
+  std::uint64_t time_budget_ms = 0;
   /// Invariant checked at the end of every complete schedule.
   ScheduleHook on_complete;
 
@@ -95,6 +106,7 @@ struct ExplorerResult {
   std::uint64_t schedules = 0;      ///< complete schedules explored
   std::uint64_t truncated = 0;      ///< schedules cut off at max_steps
   bool exhausted = true;            ///< false if max_schedules was hit
+  bool deadline_hit = false;        ///< config.time_budget_ms ran out
 
   /// Machine events actually executed across every simulator the
   /// exploration created (restores replay none — the checkpoint win).

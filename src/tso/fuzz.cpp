@@ -13,8 +13,13 @@ namespace tpa::tso {
 namespace {
 
 bool apply_directive(Simulator& sim, const Directive& d) {
-  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
-                                        : sim.commit(d.proc, d.var);
+  switch (d.kind) {
+    case ActionKind::kDeliver: return sim.deliver(d.proc);
+    case ActionKind::kCommit: return sim.commit(d.proc, d.var);
+    case ActionKind::kCrash: return sim.crash(d.proc);
+    case ActionKind::kRecover: return sim.recover(d.proc);
+  }
+  return false;
 }
 
 // FNV-1a, folded over one directive at a time.
@@ -33,6 +38,7 @@ struct RunOutcome {
   std::vector<Directive> schedule;
   bool violated = false;
   bool complete = false;
+  int crashes = 0;  ///< crash directives applied so far this run
   std::string violation;
 };
 
@@ -41,6 +47,7 @@ struct RunOutcome {
 /// step (a finished program's buffer always drains when the process is
 /// picked); under PSO the committed entry is chosen uniformly.
 void continue_random(Simulator& sim, Rng& rng, double commit_prob,
+                     double crash_prob, int max_crashes,
                      std::uint64_t max_steps, RunOutcome* out) {
   const std::size_t n = sim.num_procs();
   std::vector<ProcId> actors;
@@ -48,22 +55,57 @@ void continue_random(Simulator& sim, Rng& rng, double commit_prob,
     actors.clear();
     for (std::size_t q = 0; q < n; ++q) {
       const Proc& proc = sim.proc(static_cast<ProcId>(q));
-      if ((!proc.done() && proc.has_pending()) || !proc.buffer().empty())
+      if (proc.crashed()) {
+        if (sim.has_recovery(static_cast<ProcId>(q)))
+          actors.push_back(static_cast<ProcId>(q));
+      } else if ((!proc.done() && proc.has_pending()) ||
+                 !proc.buffer().empty()) {
         actors.push_back(static_cast<ProcId>(q));
+      }
     }
     if (actors.empty()) {
       out->complete = true;
       return;
     }
+    // Fault injection. The short-circuit guard consumes no randomness when
+    // crash_prob is 0, keeping crash-free schedule digests unchanged.
+    if (crash_prob > 0 && out->crashes < max_crashes &&
+        rng.chance(crash_prob)) {
+      std::vector<ProcId> crashable;
+      for (std::size_t q = 0; q < n; ++q)
+        if (sim.can_crash(static_cast<ProcId>(q)))
+          crashable.push_back(static_cast<ProcId>(q));
+      if (!crashable.empty()) {
+        const Directive d{ActionKind::kCrash,
+                          crashable[rng.below(crashable.size())]};
+        bool ok = false;
+        try {
+          ok = apply_directive(sim, d);
+        } catch (const CheckFailure& e) {
+          out->schedule.push_back(d);
+          out->violated = true;
+          out->violation = e.what();
+          return;
+        }
+        TPA_CHECK(ok, "fuzz: p" << d.proc << " could not crash");
+        out->schedule.push_back(d);
+        out->crashes++;
+        continue;
+      }
+    }
     const ProcId p = actors[rng.below(actors.size())];
     const Proc& proc = sim.proc(p);
-    const bool deliverable = !proc.done() && proc.has_pending();
     Directive d{ActionKind::kDeliver, p, kNoVar};
-    if (!deliverable ||
-        (!proc.buffer().empty() && rng.chance(commit_prob))) {
-      d.kind = ActionKind::kCommit;
-      if (sim.config().pso && proc.buffer().size() > 1)
-        d.var = proc.buffer()[rng.below(proc.buffer().size())].var;
+    if (proc.crashed()) {
+      d.kind = ActionKind::kRecover;
+    } else {
+      const bool deliverable = !proc.done() && proc.has_pending();
+      if (!deliverable ||
+          (!proc.buffer().empty() && rng.chance(commit_prob))) {
+        d.kind = ActionKind::kCommit;
+        if (sim.config().pso && proc.buffer().size() > 1)
+          d.var = proc.buffer()[rng.below(proc.buffer().size())].var;
+      }
     }
     bool ok = false;
     try {
@@ -205,7 +247,15 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
     if (mutate) {
       std::vector<Directive> seed_schedule =
           corpus[rng.below(corpus.size())];
-      switch (rng.below(4)) {
+      // The crash-relocation mutation only enters the lottery when the seed
+      // schedule actually carries a crash, so crash-free configs keep the
+      // exact pre-fault-injection mutation stream.
+      const bool has_crashes =
+          std::any_of(seed_schedule.begin(), seed_schedule.end(),
+                      [](const Directive& d) {
+                        return d.kind == ActionKind::kCrash;
+                      });
+      switch (rng.below(has_crashes ? 5u : 4u)) {
         case 0: {  // prefix truncation: keep a prefix, re-randomize the rest
           seed_schedule.resize(rng.below(seed_schedule.size() + 1));
           break;
@@ -239,6 +289,21 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
               seed_schedule.end());
           break;
         }
+        case 4: {  // crash relocation: move one crash to a fresh position,
+                   // probing a different crash point on the same schedule
+          std::vector<std::size_t> crash_at;
+          for (std::size_t i = 0; i < seed_schedule.size(); ++i)
+            if (seed_schedule[i].kind == ActionKind::kCrash)
+              crash_at.push_back(i);
+          const std::size_t i = crash_at[rng.below(crash_at.size())];
+          const Directive d = seed_schedule[i];
+          seed_schedule.erase(seed_schedule.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          const std::size_t j = rng.below(seed_schedule.size() + 1);
+          seed_schedule.insert(
+              seed_schedule.begin() + static_cast<std::ptrdiff_t>(j), d);
+          break;
+        }
       }
       // Lenient prefix replay: inapplicable mutated directives are skipped.
       for (const Directive& d : seed_schedule) {
@@ -251,11 +316,15 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
           out.violation = e.what();
           break;
         }
-        if (ok) out.schedule.push_back(d);
+        if (ok) {
+          out.schedule.push_back(d);
+          if (d.kind == ActionKind::kCrash) out.crashes++;
+        }
       }
     }
     if (!out.violated)
-      continue_random(*sim, rng, commit_prob, config.max_steps, &out);
+      continue_random(*sim, rng, commit_prob, config.crash_prob,
+                      config.max_crashes, config.max_steps, &out);
 
     result.runs++;
     for (const Directive& d : out.schedule)

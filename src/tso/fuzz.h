@@ -71,6 +71,14 @@ struct FuzzConfig {
   bool mutate = true;           ///< corpus-guided mutation on/off
   bool shrink = true;           ///< shrink the first violating witness
   std::size_t corpus_size = 16; ///< retained completed schedules
+  /// Per-step probability of injecting a process crash (the RME fault
+  /// model; see SimConfig::crash_model for what happens to the buffer).
+  /// 0 disables fault injection — and is guarded before any randomness is
+  /// consumed, so a crash-free config's schedule digest is unchanged.
+  double crash_prob = 0.0;
+  /// Upper bound on injected crashes per run (counting crashes replayed
+  /// from a mutated corpus schedule).
+  int max_crashes = 2;
   /// Wall-clock budget in milliseconds; 0 = none. Checked between runs, so
   /// the pass is time-bounded but the number of runs becomes
   /// machine-dependent — use `runs` alone where strict reproducibility of

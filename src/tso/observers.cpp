@@ -16,6 +16,8 @@ namespace {
 struct CostSnapshot final : ObserverSnapshot {
   std::vector<std::unordered_set<VarId>> remote_reads;
   std::vector<cost::CoherenceDirectory> directories;
+  std::vector<char> recovered;
+  std::vector<std::uint64_t> recovery_critical;
 };
 
 struct AwarenessSnapshot final : ObserverSnapshot {
@@ -44,6 +46,13 @@ const T& checked_cast(const ObserverSnapshot* snap, const char* who) {
 
 void CostObserver::on_attach(Simulator& sim) {
   remote_reads_.assign(sim.num_procs(), {});
+  recovered_.assign(sim.num_procs(), 0);
+  recovery_critical_.assign(sim.num_procs(), 0);
+}
+
+void CostObserver::count_critical(ProcId p, std::uint32_t crit) {
+  if (recovered_[static_cast<std::size_t>(p)])
+    recovery_critical_[static_cast<std::size_t>(p)] += crit;
 }
 
 cost::CoherenceDirectory& CostObserver::directory(VarId v) {
@@ -72,6 +81,7 @@ void CostObserver::on_event(Simulator& sim, Proc& p, Event& e,
       if (e.remote) remote_reads_[static_cast<std::size_t>(pid)].insert(e.var);
       charge(p, e, directory(e.var).on_read(pid, sim.var_owner(e.var)));
       if (e.critical) p.cur_.critical++;
+      count_critical(pid, e.critical ? 1 : 0);
       return;
     }
     case EventKind::kWriteCommit: {
@@ -80,6 +90,7 @@ void CostObserver::on_event(Simulator& sim, Proc& p, Event& e,
       e.critical = e.remote && ctx.prev_writer != pid;
       charge(p, e, directory(e.var).on_write(pid, sim.var_owner(e.var)));
       if (e.critical) p.cur_.critical++;
+      count_critical(pid, e.critical ? 1 : 0);
       return;
     }
     case EventKind::kCas: {
@@ -91,12 +102,24 @@ void CostObserver::on_event(Simulator& sim, Proc& p, Event& e,
       if (e.cas_success && e.remote && ctx.prev_writer != pid) crit++;
       e.critical = crit > 0;
       p.cur_.critical += crit;
+      count_critical(pid, crit);
       auto& dir = directory(e.var);
       charge(p, e,
              e.cas_success ? dir.on_write(pid, sim.var_owner(e.var))
                            : dir.on_read(pid, sim.var_owner(e.var)));
       return;
     }
+    case EventKind::kCrash: {
+      // Volatile state gone: the crashed process loses its cached copies
+      // (every post-recovery access misses again) and its remote-read
+      // history, so recovered passages pay their critical reads afresh.
+      remote_reads_[static_cast<std::size_t>(pid)].clear();
+      for (auto& dir : directories_) dir.evict(pid);
+      return;
+    }
+    case EventKind::kRecover:
+      recovered_[static_cast<std::size_t>(pid)] = 1;
+      return;
     default:
       return;  // issues, fences and transitions carry no access costs
   }
@@ -106,6 +129,8 @@ std::unique_ptr<ObserverSnapshot> CostObserver::snapshot() const {
   auto snap = std::make_unique<CostSnapshot>();
   snap->remote_reads = remote_reads_;
   snap->directories = directories_;
+  snap->recovered = recovered_;
+  snap->recovery_critical = recovery_critical_;
   return snap;
 }
 
@@ -113,6 +138,8 @@ void CostObserver::restore(const ObserverSnapshot* snap) {
   const auto& s = checked_cast<CostSnapshot>(snap, name());
   remote_reads_ = s.remote_reads;
   directories_ = s.directories;
+  recovered_ = s.recovered;
+  recovery_critical_ = s.recovery_critical;
 }
 
 // ---------------------------------------------------------------------------
@@ -166,6 +193,15 @@ void AwarenessObserver::on_event(Simulator&, Proc& p, Event& e,
       absorb(pid, ctx.prev_writer, e.var);
       // A successful CAS writes with the (just-absorbed) current awareness.
       if (e.cas_success) writer_aw(e.var) = aw_[pid];
+      return;
+    case EventKind::kCrash:
+      // A crash wipes the process' volatile state: its awareness resets to
+      // {itself}, and issue-time snapshots of writes still in the buffer are
+      // dropped (lost writes never commit; flushed ones committed — and
+      // consumed their snapshots — before this event fired).
+      aw_[pid].reset();
+      aw_[pid].set(pid);
+      issue_aw_[pid].clear();
       return;
     default:
       return;
@@ -231,8 +267,14 @@ void TraceRecorder::restore(const ObserverSnapshot* snap) {
 // ---------------------------------------------------------------------------
 
 void JsonlTraceSink::on_directive(const Simulator&, const Directive& d) {
-  *out_ << "{\"type\":\"directive\",\"kind\":\""
-        << (d.kind == ActionKind::kDeliver ? "deliver" : "commit")
+  const char* kind = "?";
+  switch (d.kind) {
+    case ActionKind::kDeliver: kind = "deliver"; break;
+    case ActionKind::kCommit: kind = "commit"; break;
+    case ActionKind::kCrash: kind = "crash"; break;
+    case ActionKind::kRecover: kind = "recover"; break;
+  }
+  *out_ << "{\"type\":\"directive\",\"kind\":\"" << kind
         << "\",\"proc\":" << d.proc;
   if (d.var != kNoVar) *out_ << ",\"var\":" << d.var;
   *out_ << "}\n";

@@ -43,12 +43,22 @@ class CostObserver : public SimObserver {
     return i < remote_reads_.size() && remote_reads_[i].count(v) != 0;
   }
 
+  /// Critical events p performed *after* its first recovery — the RME
+  /// literature charges post-crash work separately (a recovered process
+  /// pays its cold-cache critical reads again). Zero until p recovers.
+  std::uint64_t recovery_critical(ProcId p) const {
+    return recovery_critical_[static_cast<std::size_t>(p)];
+  }
+
  private:
   void charge(Proc& p, Event& e, const cost::RmrFlags& f);
   cost::CoherenceDirectory& directory(VarId v);
+  void count_critical(ProcId p, std::uint32_t crit);
 
   std::vector<std::unordered_set<VarId>> remote_reads_;  ///< per process
   std::vector<cost::CoherenceDirectory> directories_;    ///< per variable
+  std::vector<char> recovered_;  ///< per process: past its first Recover
+  std::vector<std::uint64_t> recovery_critical_;  ///< per process
 };
 
 class AwarenessObserver : public SimObserver {

@@ -122,6 +122,14 @@ class Proc {
   const SimOp& pending() const { return pending_; }
   bool done() const { return done_; }
 
+  /// True between a Crash event and the matching Recover (a crashed process
+  /// without a recovery section additionally reports done()).
+  bool crashed() const { return crashed_; }
+
+  /// Recovery incarnations started so far; 0 while the original program (or
+  /// nothing) runs.
+  std::uint32_t incarnations() const { return incarnations_; }
+
   const std::vector<BufferedWrite>& buffer() const { return buffer_; }
 
   /// True if the buffer holds a write to v; if so *out gets its value.
@@ -158,6 +166,8 @@ class Proc {
   SimOp pending_{OpKind::kRead};
   bool has_pending_ = false;
   bool done_ = false;
+  bool crashed_ = false;
+  std::uint32_t incarnations_ = 0;
   std::coroutine_handle<> resume_point_;
 
   /// Every op result handed to the program so far, in order. Programs are

@@ -22,6 +22,12 @@ std::unique_ptr<Simulator> replay(std::size_t n_procs, SimConfig config,
       case ActionKind::kCommit:
         ok = sim->commit(d.proc, d.var);
         break;
+      case ActionKind::kCrash:
+        ok = sim->crash(d.proc);
+        break;
+      case ActionKind::kRecover:
+        ok = sim->recover(d.proc);
+        break;
     }
     TPA_CHECK(ok, "replay directive could not be applied: proc=" << d.proc);
   }

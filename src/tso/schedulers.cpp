@@ -9,6 +9,9 @@ namespace tpa::tso {
 bool all_done(const Simulator& sim) {
   for (std::size_t i = 0; i < sim.num_procs(); ++i) {
     const Proc& p = sim.proc(static_cast<ProcId>(i));
+    // A crashed process with a registered recovery section still has work
+    // to do (its next incarnation); without one it is fail-stop dead.
+    if (p.crashed() && sim.has_recovery(p.id())) return false;
     if (!p.done() && p.has_pending()) return false;
     if (!p.buffer().empty()) return false;
   }

@@ -46,12 +46,14 @@ const char* to_string(EventKind k) {
     case EventKind::kEnter: return "Enter";
     case EventKind::kCs: return "CS";
     case EventKind::kExit: return "Exit";
+    case EventKind::kCrash: return "Crash";
+    case EventKind::kRecover: return "Recover";
   }
   return "?";
 }
 
 EventKind event_kind_from_string(const std::string& name) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kExit); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kRecover); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (name == to_string(k)) return k;
   }
@@ -66,9 +68,21 @@ bool is_fence_event(EventKind k) {
   return k == EventKind::kBeginFence || k == EventKind::kEndFence;
 }
 
+const char* to_string(CrashModel m) {
+  return m == CrashModel::kBufferLost ? "lost" : "flushed";
+}
+
+CrashModel crash_model_from_string(const std::string& name) {
+  if (name == "lost") return CrashModel::kBufferLost;
+  if (name == "flushed") return CrashModel::kBufferFlushed;
+  TPA_FAIL("unknown CrashModel name '" << name << "'");
+}
+
 std::string Event::to_string() const {
   std::ostringstream os;
   os << "#" << seq << " p" << proc << " " << tso::to_string(kind);
+  if (kind == EventKind::kCrash && value > 0)
+    os << " [lost " << value << " buffered]";
   if (var != kNoVar) os << " v" << var << "=" << value;
   if (kind == EventKind::kCas)
     os << (cas_success ? " [cas-ok old=" : " [cas-fail old=") << value2 << "]";
@@ -159,7 +173,10 @@ bool Proc::remotely_read(VarId v) const {
 // ---------------------------------------------------------------------------
 
 Simulator::Simulator(std::size_t n_procs, SimConfig config)
-    : config_(config), programs_(n_procs), touched_(n_procs) {
+    : config_(config),
+      programs_(n_procs),
+      recovery_(n_procs),
+      touched_(n_procs) {
   procs_.reserve(n_procs);
   for (std::size_t i = 0; i < n_procs; ++i)
     procs_.push_back(
@@ -219,6 +236,96 @@ void Simulator::spawn(ProcId p, Task<> program) {
   } else {
     note_new_pending(proc);
   }
+}
+
+void Simulator::set_recovery(ProcId p, RecoveryFactory factory) {
+  proc(p);  // validate the id
+  TPA_CHECK(factory != nullptr, "null recovery factory for p" << p);
+  recovery_[static_cast<std::size_t>(p)] = std::move(factory);
+}
+
+bool Simulator::has_recovery(ProcId p) const {
+  proc(p);  // validate the id
+  return recovery_[static_cast<std::size_t>(p)] != nullptr;
+}
+
+bool Simulator::can_crash(ProcId pid) const {
+  const Proc& p = proc(pid);
+  if (p.crashed_) return false;
+  // Never spawned: there is nothing to crash.
+  if (!programs_[static_cast<std::size_t>(pid)].valid()) return false;
+  // A finished program with a drained buffer has no state left to lose.
+  return !p.done_ || !p.buffer_.empty();
+}
+
+bool Simulator::crash(ProcId pid) {
+  if (!can_crash(pid)) return false;
+  Proc& p = proc(pid);
+  notify_directive({ActionKind::kCrash, pid});
+
+  if (config_.crash_model == CrashModel::kBufferFlushed) {
+    // The buffer drains to shared memory at the crash: each entry commits
+    // in order as an ordinary WriteCommit, so observers (awareness
+    // snapshots, cost directories, the trace) stay consistent.
+    while (!p.buffer_.empty()) do_commit(p);
+  }
+
+  Event e;
+  e.kind = EventKind::kCrash;
+  e.proc = pid;
+  e.passage = p.cur_.index;
+  // Buffer-lost: the uncommitted writes vanish; record how many.
+  e.value = static_cast<Value>(p.buffer_.size());
+  p.buffer_.clear();
+
+  // All volatile state dies with the process: the coroutine frame (which
+  // recursively destroys nested task frames), the pending op, and the
+  // in-flight passage (aborted, not recorded in finished_passages).
+  programs_[static_cast<std::size_t>(pid)] = Task<>();
+  p.pending_ = SimOp{OpKind::kRead};
+  p.has_pending_ = false;
+  p.resume_point_ = {};
+  p.op_results_.clear();
+  p.status_ = Status::kNcs;
+  p.mode_ = Mode::kRead;
+  p.cur_ = PassageStats{};
+  p.cur_.index = p.passages_done_;
+  p.met_.reset();
+  p.crashed_ = true;
+  // Without a recovery section the crash is fail-stop: the process counts
+  // as done so schedules can still complete.
+  p.done_ = !has_recovery(pid);
+  dispatch(p, e, {});
+  return true;
+}
+
+bool Simulator::recover(ProcId pid) {
+  Proc& p = proc(pid);
+  if (!p.crashed_ || recovery_[static_cast<std::size_t>(pid)] == nullptr)
+    return false;
+  notify_directive({ActionKind::kRecover, pid});
+
+  Event e;
+  e.kind = EventKind::kRecover;
+  e.proc = pid;
+  e.passage = p.cur_.index;
+  p.crashed_ = false;
+  p.done_ = false;
+  p.incarnations_++;
+  dispatch(p, e, {});
+
+  // Spawn a fresh incarnation of the recovery section; like spawn(), it
+  // runs to its first suspension point.
+  auto& program = programs_[static_cast<std::size_t>(pid)];
+  program = recovery_[static_cast<std::size_t>(pid)](p);
+  program.start();
+  if (!p.has_pending_) {
+    p.done_ = true;
+    program.rethrow_if_failed();
+  } else {
+    note_new_pending(p);
+  }
+  return true;
 }
 
 Proc& Simulator::proc(ProcId p) {
@@ -654,6 +761,8 @@ SimSnapshot Simulator::snapshot() const {
     ps.pending = p.pending_;
     ps.has_pending = p.has_pending_;
     ps.done = p.done_;
+    ps.crashed = p.crashed_;
+    ps.incarnations = p.incarnations_;
     ps.op_results = p.op_results_;
     ps.fences_total = p.fences_total_;
     ps.passages_done = p.passages_done_;
@@ -683,6 +792,7 @@ void Simulator::restore(const SimSnapshot& snap,
   // procs they reference), rebuild both, and fast-forward below.
   programs_.clear();
   programs_.resize(n);
+  recovery_.assign(n, nullptr);
   procs_.clear();
   for (std::size_t i = 0; i < n; ++i)
     procs_.push_back(std::make_unique<Proc>(this, static_cast<ProcId>(i), n));
@@ -697,24 +807,50 @@ void Simulator::restore(const SimSnapshot& snap,
   for (std::size_t i = 0; i < n; ++i) {
     Proc& p = *procs_[i];
     const SimSnapshot::ProcState& ps = snap.procs[i];
-    // Replay the recorded op results into the fresh coroutine; programs are
-    // deterministic functions of these, so this reproduces the suspension
-    // point without touching any machine state.
-    for (const Value r : ps.op_results) {
-      TPA_CHECK(p.has_pending_,
-                "restore diverged: p" << p.id() << " ran out of pending ops");
-      p.pending_.result = r;
-      resume(p);
+    if (ps.crashed || ps.incarnations > 0) {
+      // The program the builder spawned belongs to a pre-crash incarnation;
+      // drop it. A currently-crashed process has no live coroutine at all.
+      programs_[i] = Task<>();
+      p.pending_ = SimOp{OpKind::kRead};
+      p.has_pending_ = false;
+      p.resume_point_ = {};
+      p.done_ = false;
+      if (!ps.crashed) {
+        TPA_CHECK(recovery_[i] != nullptr,
+                  "restore: snapshot has p" << p.id()
+                                            << " recovered, but the builder "
+                                               "registered no recovery");
+        programs_[i] = recovery_[i](p);
+        programs_[i].start();
+        if (!p.has_pending_) p.done_ = true;
+      }
     }
-    TPA_CHECK(p.done_ == ps.done && p.has_pending_ == ps.has_pending,
-              "restore diverged for p" << p.id()
-                                       << " after replaying op results");
+    if (ps.crashed) {
+      TPA_CHECK(ps.op_results.empty(),
+                "restore: crashed p" << p.id() << " has recorded op results");
+    } else {
+      // Replay the recorded op results into the fresh coroutine; programs
+      // are deterministic functions of these, so this reproduces the
+      // suspension point without touching any machine state.
+      for (const Value r : ps.op_results) {
+        TPA_CHECK(p.has_pending_,
+                  "restore diverged: p" << p.id()
+                                        << " ran out of pending ops");
+        p.pending_.result = r;
+        resume(p);
+      }
+      TPA_CHECK(p.done_ == ps.done && p.has_pending_ == ps.has_pending,
+                "restore diverged for p" << p.id()
+                                         << " after replaying op results");
+    }
     p.status_ = ps.status;
     p.mode_ = ps.mode;
     p.buffer_ = ps.buffer;
     p.pending_ = ps.pending;
     p.has_pending_ = ps.has_pending;
     p.done_ = ps.done;
+    p.crashed_ = ps.crashed;
+    p.incarnations_ = ps.incarnations;
     p.op_results_ = ps.op_results;
     p.fences_total_ = ps.fences_total;
     p.passages_done_ = ps.passages_done;

@@ -56,6 +56,11 @@ struct SimConfig {
   /// via the CostObserver. Without it, classify_pending() conservatively
   /// reports every remote read as critical.
   bool track_costs = true;
+  /// What happens to a crashing process' write buffer (tso/event.h): lost
+  /// with the volatile state (default, the adversarial RME model) or
+  /// flushed to shared memory. Irrelevant unless the schedule contains
+  /// crash directives.
+  CrashModel crash_model = CrashModel::kBufferLost;
 };
 
 /// A shared variable. Coherence-directory state lives in the CostObserver
@@ -113,6 +118,10 @@ struct SimSnapshot {
     SimOp pending{OpKind::kRead};
     bool has_pending = false;
     bool done = false;
+    bool crashed = false;
+    /// Recovery incarnations started so far (0 = the original program).
+    std::uint32_t incarnations = 0;
+    /// Results of the *current* incarnation's ops (cleared at each crash).
     std::vector<Value> op_results;
     std::uint32_t fences_total = 0;
     std::uint32_t passages_done = 0;
@@ -163,6 +172,36 @@ class Simulator {
   /// Installs and starts a process' top-level program; it runs until its
   /// first suspension point (typically a pending Enter).
   void spawn(ProcId p, Task<> program);
+
+  /// Factory for a process' recovery section: invoked (with the process)
+  /// each time the process recovers from a crash, producing a fresh
+  /// incarnation's program. Must be deterministic, like scenario builders.
+  using RecoveryFactory = std::function<Task<>(Proc&)>;
+
+  /// Registers p's recovery section. Without one, a crashed process never
+  /// restarts (it counts as done — a permanent, fail-stop crash).
+  void set_recovery(ProcId p, RecoveryFactory factory);
+
+  /// True if a recovery section was registered for p.
+  bool has_recovery(ProcId p) const;
+
+  /// True if the crash adversary move is legal for p right now: the process
+  /// was spawned, is not already crashed, and has work left (a finished
+  /// program with a drained buffer has nothing left to lose).
+  bool can_crash(ProcId p) const;
+
+  /// The crash adversary move: p's volatile state — program counter,
+  /// pending op, current passage — is destroyed and its write buffer is
+  /// lost or flushed per SimConfig::crash_model (a flush commits each entry
+  /// in order as an ordinary WriteCommit before the Crash event). The
+  /// process re-enters ncs; it restarts only via recover(). Returns false
+  /// if the move is not legal (see can_crash).
+  bool crash(ProcId p);
+
+  /// Restarts a crashed process in a fresh incarnation of its recovery
+  /// section (set_recovery). Returns false if p is not crashed or has no
+  /// recovery section.
+  bool recover(ProcId p);
 
   Proc& proc(ProcId p);
   const Proc& proc(ProcId p) const;
@@ -258,6 +297,7 @@ class Simulator {
   SimConfig config_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<Task<>> programs_;
+  std::vector<RecoveryFactory> recovery_;
   std::vector<Variable> vars_;
   std::uint64_t seq_ = 0;
   DynBitset touched_;  ///< processes that issued at least one event

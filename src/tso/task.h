@@ -31,6 +31,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/check.h"
+
 namespace tpa::tso {
 
 template <typename T = void>
@@ -107,6 +109,12 @@ class Task {
       T await_resume() {
         if (handle.promise().exception)
           std::rethrow_exception(handle.promise().exception);
+        // A completed value-returning task that neither threw nor stored a
+        // value can only mean its frame was destroyed mid-flight (e.g. a
+        // crashed process); surface that instead of dereferencing an empty
+        // optional.
+        TPA_CHECK(handle.promise().value.has_value(),
+                  "task completed without a value");
         return std::move(*handle.promise().value);
       }
     };
@@ -155,7 +163,11 @@ class Task<void> {
   Handle handle() const { return handle_; }
 
   /// Starts a top-level task (runs until its first suspension point).
-  void start() { handle_.resume(); }
+  void start() {
+    TPA_CHECK(valid(), "start() on an invalid (moved-from or empty) task");
+    TPA_CHECK(!handle_.done(), "start() on an already-finished task");
+    handle_.resume();
+  }
 
   /// Rethrows an exception captured inside the coroutine, if any.
   void rethrow_if_failed() const {

@@ -5,6 +5,7 @@
 // immediately reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "scenario_registry.h"
@@ -37,6 +38,45 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
   tso::FuzzConfig quiet;
   quiet.seed = 0xC0FFEEULL;
   quiet.runs = ~0ULL;
+  quiet.time_budget_ms = 500;
+  const tso::FuzzResult ok =
+      tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
+  EXPECT_FALSE(ok.violation_found) << ok.violation;
+  EXPECT_GT(ok.runs, 0u);
+}
+
+// Crash-injection smoke: the seeded fuzzer with crash_prob > 0 must take
+// down the fence-free recoverable lock (buffer-lost crashes leave a stale
+// owner announcement), and the same fault load must stay quiet on the
+// fenced variant. Runs under both the fuzz-smoke and sanitize labels, so
+// the crash/recover machinery gets an ASan+UBSan pass in tier-1 CI.
+TEST(FuzzSmoke, CrashInjectionBreaksFenceFreeRecoverableLockOnly) {
+  const auto* broken = testing::find_scenario("recoverable-nofence-2p");
+  ASSERT_NE(broken, nullptr);
+  tso::FuzzConfig cfg;
+  cfg.seed = 0xC0FFEEULL;
+  cfg.runs = ~0ULL;
+  cfg.time_budget_ms = 1'500;
+  cfg.crash_prob = 0.1;
+  cfg.max_crashes = 1;
+  const tso::FuzzResult hit =
+      tso::fuzz(broken->n_procs, broken->sim, broken->build, cfg);
+  ASSERT_TRUE(hit.violation_found)
+      << "the fence-free recoverable lock must fall under crash injection";
+  ASSERT_FALSE(hit.witness.empty());
+  EXPECT_TRUE(std::any_of(hit.witness.begin(), hit.witness.end(),
+                          [](const tso::Directive& d) {
+                            return d.kind == tso::ActionKind::kCrash;
+                          }))
+      << "the shrunk witness must retain a crash directive";
+  EXPECT_TRUE(tso::replay_lenient(broken->n_procs, broken->sim, broken->build,
+                                  hit.witness)
+                  .violated)
+      << "crash smoke witness must replay";
+
+  const auto* safe = testing::find_scenario("recoverable-2p");
+  ASSERT_NE(safe, nullptr);
+  tso::FuzzConfig quiet = cfg;
   quiet.time_budget_ms = 500;
   const tso::FuzzResult ok =
       tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);

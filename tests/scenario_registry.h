@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "algos/bakery.h"
+#include "algos/recoverable.h"
 #include "algos/zoo.h"
 #include "tso/schedule.h"
 #include "tso/sim.h"
@@ -23,6 +24,9 @@ struct NamedScenario {
   tso::SimConfig sim;
   tso::ScenarioBuilder build;
   bool violating;  ///< a violation is expected to be discoverable
+  /// The violation needs fault injection (crash directives) to surface;
+  /// crash-free passes should treat the scenario as safe.
+  bool needs_crashes = false;
 };
 
 inline tso::ScenarioBuilder bakery_scenario(int n,
@@ -31,6 +35,19 @@ inline tso::ScenarioBuilder bakery_scenario(int n,
     auto lock = std::make_shared<algos::BakeryLock>(sim, n, fencing);
     for (int p = 0; p < n; ++p)
       sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+  };
+}
+
+inline tso::ScenarioBuilder recoverable_scenario(
+    int n, algos::RecoverableFencing fencing) {
+  return [n, fencing](tso::Simulator& sim) {
+    auto lock = std::make_shared<algos::RecoverableLock>(sim, fencing);
+    for (int p = 0; p < n; ++p) {
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+      sim.set_recovery(p, [lock](tso::Proc& proc) {
+        return algos::run_recovered_passages(proc, lock);
+      });
+    }
   };
 }
 
@@ -62,6 +79,16 @@ inline const std::vector<NamedScenario>& scenario_registry() {
     v->push_back({"bakery-tso-2p", 2, {},
                   bakery_scenario(2, algos::BakeryFencing::kTso), false});
     v->push_back({"mcs-2p", 2, {}, zoo_scenario("mcs", 2, 1), false});
+    // Crash–recovery (RME) scenarios: violations only become discoverable
+    // under fault injection (ExplorerConfig::max_crashes > 0 or
+    // FuzzConfig::crash_prob > 0) — without crashes both are safe, so the
+    // fence-free variant is a *safe* control for crash-free passes.
+    v->push_back({"recoverable-2p", 2, {},
+                  recoverable_scenario(2, algos::RecoverableFencing::kFull),
+                  false});
+    v->push_back({"recoverable-nofence-2p", 2, {},  // crash_model: lost
+                  recoverable_scenario(2, algos::RecoverableFencing::kNone),
+                  true, true});
     return v;
   }();
   return *kAll;

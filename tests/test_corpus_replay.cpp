@@ -36,25 +36,50 @@ std::vector<fs::path> corpus_files() {
   return files;
 }
 
+/// Lenient corpus loading: a truncated or corrupt witness file (a crashed
+/// regen, a bad merge) is skipped with a visible warning instead of
+/// aborting the whole suite — the remaining corpus still runs.
+std::vector<std::pair<fs::path, trace::Witness>> load_corpus() {
+  std::vector<std::pair<fs::path, trace::Witness>> out;
+  for (const fs::path& path : corpus_files()) {
+    trace::Witness w;
+    std::string error;
+    if (!trace::try_read_witness_file(path.string(), &w, &error)) {
+      ADD_FAILURE() << "skipping unreadable corpus witness " << path << ": "
+                    << error;
+      continue;
+    }
+    out.emplace_back(path, std::move(w));
+  }
+  return out;
+}
+
+/// The simulator config a witness replays under: the registry scenario's,
+/// with the witness' recorded crash model (meaningful only for crash-bearing
+/// schedules) applied on top.
+tso::SimConfig replay_config(const testing::NamedScenario& s,
+                             const trace::Witness& w) {
+  tso::SimConfig cfg = s.sim;
+  cfg.crash_model = w.crash_model;
+  return cfg;
+}
+
 TEST(CorpusReplay, CorpusIsNotEmpty) {
   EXPECT_GE(corpus_files().size(), 3u)
       << "the checked-in corpus should cover the known violations";
 }
 
 TEST(CorpusReplay, EveryWitnessStillReproducesItsViolation) {
-  for (const fs::path& path : corpus_files()) {
+  for (const auto& [path, w] : load_corpus()) {
     SCOPED_TRACE(path.filename().string());
-    std::ifstream in(path);
-    ASSERT_TRUE(in) << path;
-    const trace::Witness w = trace::read_witness(in);
     const auto* s = find_scenario(w.scenario);
     ASSERT_NE(s, nullptr) << "unknown scenario id '" << w.scenario << "'";
     ASSERT_EQ(s->n_procs, w.n_procs);
     ASSERT_EQ(s->sim.pso, w.pso);
     ASSERT_FALSE(w.directives.empty());
 
-    const tso::LenientReplay r =
-        tso::replay_lenient(w.n_procs, s->sim, s->build, w.directives);
+    const tso::LenientReplay r = tso::replay_lenient(
+        w.n_procs, replay_config(*s, w), s->build, w.directives);
     EXPECT_TRUE(r.violated)
         << "corpus witness no longer reproduces — regression or intentional "
            "fix (regenerate via TPA_REGEN_CORPUS, see docs/FUZZING.md)";
@@ -69,18 +94,16 @@ TEST(CorpusReplay, EveryWitnessStillReproducesItsViolation) {
 }
 
 TEST(CorpusReplay, WitnessesAreLocallyMinimal) {
-  for (const fs::path& path : corpus_files()) {
+  for (const auto& [path, w] : load_corpus()) {
     SCOPED_TRACE(path.filename().string());
-    std::ifstream in(path);
-    ASSERT_TRUE(in) << path;
-    const trace::Witness w = trace::read_witness(in);
     const auto* s = find_scenario(w.scenario);
     ASSERT_NE(s, nullptr);
     for (std::size_t i = 0; i < w.directives.size(); ++i) {
       std::vector<tso::Directive> cand = w.directives;
       cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
-      EXPECT_FALSE(
-          tso::replay_lenient(w.n_procs, s->sim, s->build, cand).violated)
+      EXPECT_FALSE(tso::replay_lenient(w.n_procs, replay_config(*s, w),
+                                       s->build, cand)
+                       .violated)
           << "directive " << i << " is removable — the witness is stale "
              "(regenerate to keep the corpus minimal)";
     }
@@ -98,19 +121,24 @@ TEST(CorpusRegen, RegenerateAllWitnessFiles) {
     tso::FuzzConfig cfg;
     cfg.seed = 0x5eedULL;
     cfg.runs = 20'000;
+    if (s.needs_crashes) {
+      cfg.crash_prob = 0.1;
+      cfg.max_crashes = 1;
+    }
     const tso::FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
     ASSERT_TRUE(r.violation_found) << s.name;
     trace::Witness w;
     w.scenario = s.name;
     w.n_procs = s.n_procs;
     w.pso = s.sim.pso;
+    w.crash_model = s.sim.crash_model;
     w.violation = violation_detail(r.violation);
     w.directives = r.witness;
     const fs::path path =
         fs::path(TPA_CORPUS_DIR) / (s.name + ".witness");
-    std::ofstream out(path);
-    ASSERT_TRUE(out) << path;
-    trace::write_witness(out, w);
+    // Atomic tmp-then-rename: an interrupted regen never leaves a
+    // truncated witness under the final name.
+    trace::write_witness_file(path.string(), w);
   }
 }
 

@@ -33,8 +33,17 @@ using tso::SimConfig;
 using tso::SimSnapshot;
 
 bool apply(Simulator& sim, const Directive& d) {
-  return d.kind == ActionKind::kDeliver ? sim.deliver(d.proc)
-                                        : sim.commit(d.proc, d.var);
+  switch (d.kind) {
+    case ActionKind::kDeliver:
+      return sim.deliver(d.proc);
+    case ActionKind::kCommit:
+      return sim.commit(d.proc, d.var);
+    case ActionKind::kCrash:
+      return sim.crash(d.proc);
+    case ActionKind::kRecover:
+      return sim.recover(d.proc);
+  }
+  return false;
 }
 
 std::vector<fs::path> corpus_files() {

@@ -93,9 +93,24 @@ TEST(RtHarness, ReportsSaneRates) {
   auto lock = rt_lock_zoo()[2].make(2);  // ticket
   const auto r = run_stress(*lock, 2, 5000);
   EXPECT_TRUE(r.exclusion_ok);
+  EXPECT_FALSE(r.deadline_hit) << "no watchdog was configured";
   EXPECT_GT(r.ops_per_sec, 0.0);
   EXPECT_NEAR(r.rmws_per_op, 1.0, 0.01) << "one fetch_add per passage";
   EXPECT_GE(r.max_thread_barriers_per_op, r.barriers_per_op - 1e-9);
+}
+
+TEST(RtHarness, WatchdogBoundsRunawayStressRuns) {
+  // An op count that would take minutes, cut off by a 50 ms budget. The
+  // partial run must still balance: every performed increment accounted
+  // for, rates computed over the work actually done.
+  auto lock = rt_lock_zoo()[2].make(2);  // ticket
+  const auto r = run_stress(*lock, 2, ~0ULL / 4, 50);
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_LT(r.total_ops, ~0ULL / 4) << "the run must have been cut short";
+  EXPECT_TRUE(r.exclusion_ok)
+      << "exclusion is checked over the completed passages";
+  EXPECT_NEAR(r.rmws_per_op, 1.0, 0.01);
 }
 
 }  // namespace
