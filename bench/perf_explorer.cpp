@@ -1,7 +1,9 @@
 // PERF2 — parallel schedule exploration (google-benchmark): wall-clock
 // scaling of the work-queue explorer on the paper's bakery lock, TSO
 // fencing, 3 processes, preemption bound 3 (the smallest bound where the
-// schedule tree is deep enough for frontier partitioning to pay off).
+// schedule tree is deep enough for frontier partitioning to pay off). All
+// scenarios come from the public registry (runtime/scenario.h), so the
+// benchmarks measure exactly the configurations the tests pin.
 //
 // BM_ParallelExplore/threads:N reports real time (UseRealTime) for the same
 // bounded workload at 1/2/4 worker threads; the `schedules/s` counter is the
@@ -14,25 +16,30 @@
 //
 // BM_SleepSets measures what the partial-order reduction buys on the same
 // scenario: fewer schedules per exhausted bound, at the price of per-step
-// signature bookkeeping. BM_FuzzThroughput tracks the randomized pipeline
-// (runs/s on a safe lock, i.e. no early exit). BM_CheckpointVsReplay pits
-// snapshot/restore at branch points against replaying every prefix from the
-// root — same schedule tree, so the `events/schedule` counter isolates the
-// redundant re-execution that checkpointing eliminates.
+// signature bookkeeping. BM_StateDedup does the same for visited-set pruning
+// (DedupMode::kState) and its symmetry-canonicalized variant on the
+// interchangeable-process ticket lock. BM_FuzzThroughput tracks the
+// randomized pipeline (runs/s on a safe lock, i.e. no early exit).
+// BM_CheckpointVsReplay pits snapshot/restore at branch points against
+// replaying every prefix from the root — same schedule tree, so the
+// `events/schedule` counter isolates the redundant re-execution that
+// checkpointing eliminates.
 //
-// Before the google-benchmark suite runs, main() measures the checkpoint
-// win head-to-head on an exhausted bound and writes the numbers to
-// BENCH_explorer.json (events executed, schedules, wall ms per mode) for
-// machine consumption by CI trend tracking.
+// Before the google-benchmark suite runs, main() measures two head-to-head
+// comparisons on exhausted bounds and writes them for machine consumption by
+// CI trend tracking:
+//   BENCH_explorer.json        checkpoint vs replay (events_reduction)
+//   BENCH_explorer_dedup.json  dedup off vs on across bakery / tournament /
+//                              recoverable / ticket+symmetry scopes, each
+//                              recording events_reduction and verdicts_match
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <memory>
+#include <vector>
 
-#include "algos/bakery.h"
-#include "algos/zoo.h"
+#include "runtime/scenario.h"
 #include "tso/explorer.h"
 #include "tso/fuzz.h"
 #include "tso/sim.h"
@@ -41,17 +48,17 @@ using namespace tpa;
 
 namespace {
 
-tso::ScenarioBuilder bakery_tso(int n) {
-  return [n](tso::Simulator& sim) {
-    auto lock =
-        std::make_shared<algos::BakeryLock>(sim, n, algos::BakeryFencing::kTso);
-    for (int p = 0; p < n; ++p)
-      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
-  };
+const runtime::Scenario& scenario(const char* name) {
+  const runtime::Scenario* s = runtime::find_scenario(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "scenario %s missing from the registry\n", name);
+    std::abort();
+  }
+  return *s;
 }
 
 void BM_ParallelExplore(benchmark::State& state) {
-  const auto build = bakery_tso(3);
+  const auto& s = scenario("bakery-tso-3p");
   tso::ExplorerConfig cfg;
   cfg.preemptions = 3;
   // The full bound has ~2M schedules (about a minute sequentially); a fixed
@@ -61,7 +68,7 @@ void BM_ParallelExplore(benchmark::State& state) {
   cfg.threads = static_cast<int>(state.range(0));
   std::uint64_t schedules = 0;
   for (auto _ : state) {
-    const auto r = tso::explore(3, {}, build, cfg);
+    const auto r = s.explore(cfg);
     benchmark::DoNotOptimize(r.violation_found);
     schedules += r.schedules + r.truncated;
   }
@@ -70,7 +77,7 @@ void BM_ParallelExplore(benchmark::State& state) {
 }
 
 void BM_SleepSets(benchmark::State& state) {
-  const auto build = bakery_tso(3);
+  const auto& s = scenario("bakery-tso-3p");
   tso::ExplorerConfig cfg;
   cfg.preemptions = 2;
   cfg.max_schedules = 20'000;
@@ -78,7 +85,7 @@ void BM_SleepSets(benchmark::State& state) {
   state.SetLabel(cfg.sleep_sets ? "sleep-sets" : "plain");
   std::uint64_t schedules = 0;
   for (auto _ : state) {
-    const auto r = tso::explore(3, {}, build, cfg);
+    const auto r = s.explore(cfg);
     benchmark::DoNotOptimize(r.violation_found);
     schedules += r.schedules + r.truncated;
   }
@@ -86,32 +93,59 @@ void BM_SleepSets(benchmark::State& state) {
       static_cast<double>(schedules), benchmark::Counter::kIsRate);
 }
 
+void BM_StateDedup(benchmark::State& state) {
+  const auto& s = scenario("ticket-3p");
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 1;
+  switch (state.range(0)) {
+    case 0: state.SetLabel("off"); break;
+    case 1:
+      cfg.dedup = tso::DedupMode::kState;
+      state.SetLabel("state");
+      break;
+    default:
+      cfg.dedup = tso::DedupMode::kState;
+      cfg.symmetric_processes = tso::SymmetryMode::kCanonical;
+      state.SetLabel("state+symmetry");
+      break;
+  }
+  std::uint64_t steps = 0, schedules = 0;
+  for (auto _ : state) {
+    const auto r = s.explore(cfg);
+    benchmark::DoNotOptimize(r.violation_found);
+    steps += r.steps;
+    schedules += r.schedules + r.truncated;
+  }
+  state.counters["events/schedule"] =
+      static_cast<double>(steps) / static_cast<double>(schedules);
+}
+
 void BM_FuzzThroughput(benchmark::State& state) {
-  const auto build = bakery_tso(2);
+  const auto& s = scenario("bakery-tso-2p");
   tso::FuzzConfig cfg;
   cfg.seed = 0x5eed;
   cfg.runs = 2'000;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    const auto r = tso::fuzz(2, {}, build, cfg);
+    const auto r = s.fuzz(cfg);
     benchmark::DoNotOptimize(r.schedule_digest);
-    runs += r.runs;
+    runs += r.schedules;
   }
   state.counters["runs/s"] = benchmark::Counter(static_cast<double>(runs),
                                                 benchmark::Counter::kIsRate);
 }
 
 void BM_CheckpointVsReplay(benchmark::State& state) {
-  const auto build = bakery_tso(2);
+  const auto& s = scenario("bakery-tso-2p");
   tso::ExplorerConfig cfg;
   cfg.preemptions = 2;
   cfg.checkpoint = state.range(0) != 0;
   state.SetLabel(cfg.checkpoint ? "checkpoint" : "replay");
   std::uint64_t events = 0, schedules = 0;
   for (auto _ : state) {
-    const auto r = tso::explore(2, {}, build, cfg);
+    const auto r = s.explore(cfg);
     benchmark::DoNotOptimize(r.violation_found);
-    events += r.events_executed;
+    events += r.steps;
     schedules += r.schedules + r.truncated;
   }
   state.counters["events/schedule"] =
@@ -126,13 +160,11 @@ struct ModeResult {
   double wall_ms = 0;
 };
 
-ModeResult run_mode(bool checkpoint) {
-  tso::ExplorerConfig cfg;
-  cfg.preemptions = 2;
-  cfg.checkpoint = checkpoint;
+ModeResult run_mode(const runtime::Scenario& s,
+                    const tso::ExplorerConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
   ModeResult m;
-  m.result = tso::explore(2, {}, bakery_tso(2), cfg);
+  m.result = s.explore(cfg);
   m.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
@@ -143,19 +175,26 @@ void emit_json(std::ostream& out, const char* mode, const ModeResult& m) {
   out << "    {\"mode\":\"" << mode << "\""
       << ",\"schedules\":" << m.result.schedules
       << ",\"truncated\":" << m.result.truncated
-      << ",\"events_executed\":" << m.result.events_executed
+      << ",\"events_executed\":" << m.result.steps
       << ",\"snapshots\":" << m.result.snapshots
-      << ",\"restores\":" << m.result.restores << ",\"wall_ms\":" << m.wall_ms
-      << "}";
+      << ",\"restores\":" << m.result.restores
+      << ",\"dedup_hits\":" << m.result.dedup_hits
+      << ",\"dedup_states\":" << m.result.dedup_states
+      << ",\"wall_ms\":" << m.wall_ms << "}";
 }
 
 /// Head-to-head checkpoint-vs-replay run, written to BENCH_explorer.json.
 int write_comparison(const char* path) {
-  const ModeResult replay = run_mode(false);
-  const ModeResult ckpt = run_mode(true);
+  const auto& s = scenario("bakery-tso-2p");
+  tso::ExplorerConfig cfg;
+  cfg.preemptions = 2;
+  cfg.checkpoint = false;
+  const ModeResult replay = run_mode(s, cfg);
+  cfg.checkpoint = true;
+  const ModeResult ckpt = run_mode(s, cfg);
   const double ratio =
-      static_cast<double>(replay.result.events_executed) /
-      static_cast<double>(ckpt.result.events_executed ? ckpt.result.events_executed : 1);
+      static_cast<double>(replay.result.steps) /
+      static_cast<double>(ckpt.result.steps ? ckpt.result.steps : 1);
 
   std::ofstream out(path);
   if (!out) {
@@ -176,10 +215,105 @@ int write_comparison(const char* path) {
   std::printf(
       "checkpoint/restore: %llu events vs %llu replayed (%.2fx reduction), "
       "%llu schedules both modes -> %s\n",
-      static_cast<unsigned long long>(ckpt.result.events_executed),
-      static_cast<unsigned long long>(replay.result.events_executed), ratio,
+      static_cast<unsigned long long>(ckpt.result.steps),
+      static_cast<unsigned long long>(replay.result.steps), ratio,
       static_cast<unsigned long long>(ckpt.result.schedules), path);
   return 0;
+}
+
+/// One dedup ablation scope: the scenario plus the bound it runs under.
+struct DedupScope {
+  const char* scenario;
+  int preemptions;
+  int max_crashes;
+  std::uint64_t max_steps;
+  bool symmetry;  ///< canonicalize fingerprints (scenario must declare it)
+};
+
+bool same_witness(const std::vector<tso::Directive>& a,
+                  const std::vector<tso::Directive>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].kind != b[i].kind || a[i].proc != b[i].proc ||
+        a[i].var != b[i].var)
+      return false;
+  return true;
+}
+
+/// Dedup-off vs dedup-on across the scope list, written to
+/// BENCH_explorer_dedup.json. `events_reduction` is the executed-machine-
+/// event ratio; `verdicts_match` asserts the soundness contract (identical
+/// verdict, violation message, witness, and exhaustion) scope by scope.
+int write_dedup_comparison(const char* path) {
+  // Spin-heavy truncated schedules dominate the 3p bakery/tournament trees
+  // at the default step cap; capping at 200 keeps both modes exhausted in
+  // seconds while preserving the comparison (both modes share the cap).
+  const DedupScope scopes[] = {
+      {"bakery-tso-3p", 2, 0, 200, false},
+      {"tournament-3p", 2, 0, 200, false},
+      {"recoverable-2p", 1, 1, 600, false},
+      {"ticket-3p", 2, 0, 600, true},
+  };
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << "{\n  \"bench\": \"explorer-dedup\",\n  \"scopes\": [\n";
+  bool all_match = true;
+  double best_3p_reduction = 0;
+  for (std::size_t i = 0; i < std::size(scopes); ++i) {
+    const DedupScope& scope = scopes[i];
+    const auto& s = scenario(scope.scenario);
+    tso::ExplorerConfig cfg;
+    cfg.preemptions = scope.preemptions;
+    cfg.max_crashes = scope.max_crashes;
+    cfg.max_steps = scope.max_steps;
+    const ModeResult off = run_mode(s, cfg);
+    cfg.dedup = tso::DedupMode::kState;
+    if (scope.symmetry)
+      cfg.symmetric_processes = tso::SymmetryMode::kCanonical;
+    const ModeResult on = run_mode(s, cfg);
+
+    const double ratio =
+        static_cast<double>(off.result.steps) /
+        static_cast<double>(on.result.steps ? on.result.steps : 1);
+    const bool match =
+        off.result.violation_found == on.result.violation_found &&
+        off.result.violation == on.result.violation &&
+        same_witness(off.result.witness, on.result.witness) &&
+        off.result.exhausted == on.result.exhausted;
+    all_match = all_match && match;
+    if (s.n_procs >= 3 && ratio > best_3p_reduction)
+      best_3p_reduction = ratio;
+
+    out << "  {\"scenario\":\"" << scope.scenario << "\""
+        << ",\"preemptions\":" << scope.preemptions
+        << ",\"max_crashes\":" << scope.max_crashes
+        << ",\"max_steps\":" << scope.max_steps << ",\"symmetry\":"
+        << (scope.symmetry ? "true" : "false") << ",\n   \"modes\": [\n";
+    emit_json(out, "off", off);
+    out << ",\n";
+    emit_json(out, scope.symmetry ? "state+symmetry" : "state", on);
+    out << "\n   ],\n   \"events_reduction\": " << ratio
+        << ",\n   \"verdicts_match\": " << (match ? "true" : "false")
+        << "\n  }" << (i + 1 < std::size(scopes) ? "," : "") << "\n";
+
+    std::printf(
+        "dedup %-16s pre=%d: %llu events vs %llu (%.2fx reduction), "
+        "verdicts %s\n",
+        scope.scenario, scope.preemptions,
+        static_cast<unsigned long long>(on.result.steps),
+        static_cast<unsigned long long>(off.result.steps), ratio,
+        match ? "match" : "DIVERGED");
+  }
+  out << "  ],\n  \"best_3p_events_reduction\": " << best_3p_reduction
+      << ",\n  \"verdicts_match\": " << (all_match ? "true" : "false")
+      << "\n}\n";
+  std::printf("dedup ablation -> %s (best 3p reduction %.2fx)\n", path,
+              best_3p_reduction);
+  return all_match ? 0 : 1;
 }
 
 }  // namespace
@@ -196,6 +330,12 @@ BENCHMARK(BM_SleepSets)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StateDedup)
+    ->ArgName("dedup")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FuzzThroughput)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CheckpointVsReplay)
     ->ArgName("ckpt")
@@ -205,6 +345,9 @@ BENCHMARK(BM_CheckpointVsReplay)
 
 int main(int argc, char** argv) {
   if (const int rc = write_comparison("BENCH_explorer.json"); rc != 0)
+    return rc;
+  if (const int rc = write_dedup_comparison("BENCH_explorer_dedup.json");
+      rc != 0)
     return rc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

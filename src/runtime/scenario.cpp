@@ -1,36 +1,40 @@
-// Scenario registry shared by the fuzz, corpus-replay, and smoke tests:
-// resolves the scenario ids stored in witness files (tests/corpus/*.witness)
-// back to (n_procs, SimConfig, ScenarioBuilder) so serialized schedules can
-// be replayed against a freshly built simulator. Builders must be
-// schedule-independent and safe to invoke concurrently (the parallel
-// explorer shares them across workers).
-#pragma once
+#include "runtime/scenario.h"
 
-#include <memory>
-#include <string>
-#include <vector>
+#include <utility>
 
-#include "algos/bakery.h"
-#include "algos/recoverable.h"
 #include "algos/zoo.h"
-#include "tso/schedule.h"
-#include "tso/sim.h"
+#include "util/check.h"
 
-namespace tpa::testing {
+namespace tpa::runtime {
 
-struct NamedScenario {
-  std::string name;
-  std::size_t n_procs;
-  tso::SimConfig sim;
-  tso::ScenarioBuilder build;
-  bool violating;  ///< a violation is expected to be discoverable
-  /// The violation needs fault injection (crash directives) to surface;
-  /// crash-free passes should treat the scenario as safe.
-  bool needs_crashes = false;
-};
+std::unique_ptr<tso::Simulator> Scenario::make_simulator() const {
+  auto out = std::make_unique<tso::Simulator>(n_procs, sim);
+  build(*out);
+  return out;
+}
 
-inline tso::ScenarioBuilder bakery_scenario(int n,
-                                            algos::BakeryFencing fencing) {
+tso::ExplorerResult Scenario::explore(tso::ExplorerConfig config) const {
+  TPA_CHECK(config.symmetric_processes == tso::SymmetryMode::kOff || symmetric,
+            "scenario '" << name << "' does not declare symmetric processes "
+            "— symmetry reduction would be unsound on it");
+  return tso::explore(n_procs, sim, build, std::move(config));
+}
+
+tso::FuzzResult Scenario::fuzz(const tso::FuzzConfig& config) const {
+  return tso::fuzz(n_procs, sim, build, config);
+}
+
+std::unique_ptr<tso::Simulator> Scenario::replay(
+    const std::vector<tso::Directive>& directives) const {
+  return tso::replay(n_procs, sim, build, directives);
+}
+
+tso::LenientReplay Scenario::replay_lenient(
+    const std::vector<tso::Directive>& directives) const {
+  return tso::replay_lenient(n_procs, sim, build, directives);
+}
+
+tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing) {
   return [n, fencing](tso::Simulator& sim) {
     auto lock = std::make_shared<algos::BakeryLock>(sim, n, fencing);
     for (int p = 0; p < n; ++p)
@@ -38,8 +42,8 @@ inline tso::ScenarioBuilder bakery_scenario(int n,
   };
 }
 
-inline tso::ScenarioBuilder recoverable_scenario(
-    int n, algos::RecoverableFencing fencing) {
+tso::ScenarioBuilder recoverable_scenario(int n,
+                                          algos::RecoverableFencing fencing) {
   return [n, fencing](tso::Simulator& sim) {
     auto lock = std::make_shared<algos::RecoverableLock>(sim, fencing);
     for (int p = 0; p < n; ++p) {
@@ -51,8 +55,7 @@ inline tso::ScenarioBuilder recoverable_scenario(
   };
 }
 
-inline tso::ScenarioBuilder zoo_scenario(const char* name, int n,
-                                         int passages) {
+tso::ScenarioBuilder zoo_scenario(const char* name, int n, int passages) {
   const auto& factory = algos::lock_factory(name);
   return [&factory, n, passages](tso::Simulator& sim) {
     auto lock = factory.make(sim, n);
@@ -61,9 +64,9 @@ inline tso::ScenarioBuilder zoo_scenario(const char* name, int n,
   };
 }
 
-inline const std::vector<NamedScenario>& scenario_registry() {
-  static const std::vector<NamedScenario>* kAll = [] {
-    auto* v = new std::vector<NamedScenario>;
+const std::vector<Scenario>& scenario_registry() {
+  static const std::vector<Scenario>* kAll = [] {
+    auto* v = new std::vector<Scenario>;
     tso::SimConfig pso;
     pso.pso = true;
     // The fence-free bakery: the paper's "fences are unavoidable" premise.
@@ -89,24 +92,35 @@ inline const std::vector<NamedScenario>& scenario_registry() {
     v->push_back({"recoverable-nofence-2p", 2, {},  // crash_model: lost
                   recoverable_scenario(2, algos::RecoverableFencing::kNone),
                   true, true});
+    // Three-process scopes for the stateful-exploration benchmarks
+    // (bench/perf_explorer.cpp) and the dedup ablation tests. Not part of
+    // the violating corpus, so corpus regeneration ignores them.
+    v->push_back({"bakery-tso-3p", 3, {},
+                  bakery_scenario(3, algos::BakeryFencing::kTso), false});
+    v->push_back({"tournament-3p", 3, {}, zoo_scenario("tournament", 3, 1),
+                  false});
+    // Genuinely symmetric scenarios: shared variables only, no pid
+    // dependence in program or builder — the only registry entries where
+    // process-symmetry reduction is valid.
+    v->push_back({"ticket-3p", 3, {}, zoo_scenario("ticket", 3, 1), false,
+                  false, /*symmetric=*/true});
+    v->push_back({"tas-2p", 2, {}, zoo_scenario("tas", 2, 1), false, false,
+                  /*symmetric=*/true});
     return v;
   }();
   return *kAll;
 }
 
-inline const NamedScenario* find_scenario(const std::string& name) {
+const Scenario* find_scenario(const std::string& name) {
   for (const auto& s : scenario_registry())
     if (s.name == name) return &s;
   return nullptr;
 }
 
-/// TPA_CHECK messages carry "<expr> at <file>:<line> — <detail>"; corpus
-/// files store only the detail part so they stay valid across unrelated
-/// source-line churn.
-inline std::string violation_detail(const std::string& message) {
+std::string violation_detail(const std::string& message) {
   const auto pos = message.find(" — ");
   if (pos == std::string::npos) return message;
   return message.substr(pos + std::string(" — ").size());
 }
 
-}  // namespace tpa::testing
+}  // namespace tpa::runtime

@@ -1,0 +1,94 @@
+// Scenario — the public bundle tying a named concurrent algorithm setup
+// (process count, simulator configuration, builder) to the analyses that run
+// against it: exhaustive exploration (tso/explorer.h), schedule fuzzing
+// (tso/fuzz.h), and deterministic witness replay (tso/schedule.h).
+//
+// Grown out of the test-only registry the fuzz/corpus tests shared; the
+// registry itself lives here too, so examples, benchmarks and tests resolve
+// the scenario ids stored in witness files (tests/corpus/*.witness) through
+// one place. Builders must be schedule-independent and safe to invoke
+// concurrently (the parallel explorer shares them across workers).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/bakery.h"
+#include "algos/recoverable.h"
+#include "tso/explorer.h"
+#include "tso/fuzz.h"
+#include "tso/schedule.h"
+#include "tso/sim.h"
+
+namespace tpa::runtime {
+
+struct Scenario {
+  std::string name;
+  std::size_t n_procs = 0;
+  tso::SimConfig sim;
+  tso::ScenarioBuilder build;
+  bool violating = false;  ///< a violation is expected to be discoverable
+  /// The violation needs fault injection (crash directives) to surface;
+  /// crash-free passes should treat the scenario as safe.
+  bool needs_crashes = false;
+  /// The processes are interchangeable: builder and programs are invariant
+  /// under process renaming. Declaring this is the precondition for
+  /// ExplorerConfig::symmetric_processes — explore() rejects a symmetry
+  /// request on a scenario that does not declare it. Most lock scenarios are
+  /// *not* symmetric: pid tie-breaks (bakery), per-process slots (mcs,
+  /// anderson), pid-derived tournament paths, or pid-encoded values
+  /// (recoverable) all break renaming invariance.
+  bool symmetric = false;
+
+  /// A freshly built simulator for this scenario.
+  std::unique_ptr<tso::Simulator> make_simulator() const;
+
+  /// Exhaustive exploration under `config`. Rejects (via check.h)
+  /// config.symmetric_processes != kOff unless the scenario declares
+  /// `symmetric` — the structural probe inside tso::explore cannot see
+  /// late pid-dependence, so the declaration is load-bearing.
+  tso::ExplorerResult explore(tso::ExplorerConfig config = {}) const;
+
+  /// Seeded schedule fuzzing under `config`.
+  tso::FuzzResult fuzz(const tso::FuzzConfig& config = {}) const;
+
+  /// Strict witness replay: every directive must apply (tso::replay).
+  std::unique_ptr<tso::Simulator> replay(
+      const std::vector<tso::Directive>& directives) const;
+
+  /// Lenient replay: inapplicable directives are skipped (tso::replay_lenient).
+  tso::LenientReplay replay_lenient(
+      const std::vector<tso::Directive>& directives) const;
+};
+
+// ---- builder helpers ------------------------------------------------------
+
+/// n processes, one passage each, through a BakeryLock with the given
+/// fence placement.
+tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing);
+
+/// n processes with recovery sections, one passage each, through a
+/// RecoverableLock (the RME crash-safety scenario).
+tso::ScenarioBuilder recoverable_scenario(int n,
+                                          algos::RecoverableFencing fencing);
+
+/// n processes, `passages` passages each, through a lock from the
+/// algos/zoo.h factory table ("tas", "ticket", "mcs", "tournament", ...).
+tso::ScenarioBuilder zoo_scenario(const char* name, int n, int passages);
+
+// ---- the registry ---------------------------------------------------------
+
+/// Every named scenario, stable across runs. Ids are stored in corpus
+/// witness files; renaming or removing an entry invalidates the corpus.
+const std::vector<Scenario>& scenario_registry();
+
+/// Registry lookup by name; nullptr when absent.
+const Scenario* find_scenario(const std::string& name);
+
+/// TPA_CHECK messages carry "<expr> at <file>:<line> — <detail>"; corpus
+/// files store only the detail part so they stay valid across unrelated
+/// source-line churn.
+std::string violation_detail(const std::string& message);
+
+}  // namespace tpa::runtime

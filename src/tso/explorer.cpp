@@ -1,12 +1,17 @@
 #include "tso/explorer.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <limits>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "tso/fuzz.h"
@@ -15,7 +20,114 @@
 
 namespace tpa::tso {
 
+const char* to_string(DedupMode m) {
+  return m == DedupMode::kOff ? "off" : "state";
+}
+
+DedupMode dedup_mode_from_string(const std::string& name) {
+  if (name == "off") return DedupMode::kOff;
+  if (name == "state") return DedupMode::kState;
+  TPA_FAIL("unknown DedupMode name '" << name << "'");
+}
+
+const char* to_string(SymmetryMode m) {
+  return m == SymmetryMode::kOff ? "off" : "canonical";
+}
+
+SymmetryMode symmetry_mode_from_string(const std::string& name) {
+  if (name == "off") return SymmetryMode::kOff;
+  if (name == "canonical") return SymmetryMode::kCanonical;
+  TPA_FAIL("unknown SymmetryMode name '" << name << "'");
+}
+
+std::string ExplorerResult::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  json_fields(os);
+  os << ",\"exhausted\":" << (exhausted ? "true" : "false")
+     << ",\"violation_found\":" << (violation_found ? "true" : "false")
+     << ",\"snapshots\":" << snapshots << ",\"restores\":" << restores
+     << ",\"dedup_hits\":" << dedup_hits
+     << ",\"dedup_states\":" << dedup_states << "}";
+  return os.str();
+}
+
 namespace {
+
+// ---- the sharded concurrent visited set (DedupMode::kState) --------------
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Visited states, keyed on the (canonical) fingerprint — which already
+/// folds in the scheduler's current process — and guarded by the *remaining*
+/// budgets. An entry means: from this state, with these budgets, the whole
+/// subtree was explored and found violation-free. A later visit may be
+/// pruned only if some stored entry dominates its budgets on every
+/// component: whatever the weaker visit could reach, the stronger one
+/// already covered. Sharded by fingerprint so parallel workers rarely
+/// contend on one mutex.
+class VisitedSet {
+ public:
+  struct Budget {
+    int preemptions = 0;
+    int crashes = 0;
+    std::uint64_t steps_left = 0;
+
+    bool dominates(const Budget& b) const {
+      return preemptions >= b.preemptions && crashes >= b.crashes &&
+             steps_left >= b.steps_left;
+    }
+  };
+
+  bool subsumed(const Fingerprint& fp, const Budget& b) const {
+    const Shard& s = shard(fp);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(fp);
+    if (it == s.map.end()) return false;
+    for (const Budget& have : it->second)
+      if (have.dominates(b)) return true;
+    return false;
+  }
+
+  /// Records a fully explored, violation-free visit. Returns false when an
+  /// existing entry already dominates it (nothing stored); otherwise drops
+  /// every entry the new one dominates and stores it.
+  bool insert(const Fingerprint& fp, const Budget& b) {
+    Shard& s = shard(fp);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& entries = s.map[fp];
+    for (const Budget& have : entries)
+      if (have.dominates(b)) return false;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Budget& have) {
+                                   return b.dominates(have);
+                                 }),
+                  entries.end());
+    entries.push_back(b);
+    return true;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Fingerprint, std::vector<Budget>, FingerprintHash> map;
+  };
+
+  static constexpr std::size_t kShards = 64;
+
+  Shard& shard(const Fingerprint& fp) {
+    return shards_[FingerprintHash{}(fp) & (kShards - 1)];
+  }
+  const Shard& shard(const Fingerprint& fp) const {
+    return shards_[FingerprintHash{}(fp) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
 
 // ---- shared cross-thread exploration state ------------------------------
 
@@ -36,6 +148,8 @@ struct Shared {
   /// indices abandon early: their violation could never win, so the
   /// reported witness is independent of thread timing.
   std::atomic<std::size_t> winner{std::numeric_limits<std::size_t>::max()};
+  /// The cross-thread visited set; null unless DedupMode::kState.
+  std::unique_ptr<VisitedSet> visited;
 
   bool over_budget() {
     if (used.load(std::memory_order_relaxed) >= max_schedules) {
@@ -209,7 +323,16 @@ class Dfs {
         build_(build),
         cfg_(config),
         shared_(shared),
-        index_(index) {}
+        index_(index),
+        dedup_(config.dedup != DedupMode::kOff) {
+    if (cfg_.symmetric_processes == SymmetryMode::kCanonical) {
+      // All non-identity renamings, enumerated once per worker.
+      std::vector<ProcId> perm(n_procs);
+      std::iota(perm.begin(), perm.end(), 0);
+      while (std::next_permutation(perm.begin(), perm.end()))
+        perms_.push_back(perm);
+    }
+  }
 
   void run_root() {
     dirs_.clear();
@@ -229,7 +352,7 @@ class Dfs {
  private:
   std::unique_ptr<Simulator> fresh() {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
-    sim->count_events_into(&result_.events_executed);
+    sim->count_events_into(&result_.steps);
     build_(*sim);
     return sim;
   }
@@ -247,10 +370,26 @@ class Dfs {
   /// Reinstates a checkpoint in a fresh simulator — no events re-executed.
   std::unique_ptr<Simulator> revive(const SimSnapshot& snap) {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
-    sim->count_events_into(&result_.events_executed);
+    sim->count_events_into(&result_.steps);
     sim->restore(snap, build_);
     result_.restores++;
     return sim;
+  }
+
+  /// The visited-set key: the state fingerprint with `current` folded in,
+  /// canonicalized (minimized over every process renaming) when symmetry
+  /// reduction is on.
+  Fingerprint state_key(const Simulator& sim, ProcId current) const {
+    Fingerprint best = sim.fingerprint(current);
+    for (const auto& perm : perms_) {
+      const Fingerprint f = sim.fingerprint(current, perm.data());
+      if (f.hi < best.hi || (f.hi == best.hi && f.lo < best.lo)) best = f;
+    }
+    return best;
+  }
+
+  void record_visited(const Fingerprint& key, const VisitedSet::Budget& b) {
+    if (shared_->visited->insert(key, b)) result_.dedup_states++;
   }
 
   bool stop() {
@@ -276,13 +415,35 @@ class Dfs {
     shared_->claim(index_);
   }
 
-  void dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
+  /// Explores the subtree rooted at the current state. Returns true iff the
+  /// subtree was *fully* explored and found violation-free — the only
+  /// condition under which its (fingerprint, budget) may enter the visited
+  /// set. A truncated node counts as fully explored *for its budget*: the
+  /// step cap is part of the budget tuple, so dominance accounts for it.
+  /// Insertion is strictly post-order; a concurrent worker can therefore
+  /// trust any entry it reads, which keeps cross-thread pruning sound.
+  bool dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
            int crashes_left, SleepSet sleep) {
-    if (stop()) return;
+    if (stop()) return false;
     if (dirs_.size() >= cfg_.max_steps) {
       result_.truncated++;
       shared_->charge();
-      return;
+      return true;
+    }
+
+    Fingerprint key{};
+    const VisitedSet::Budget budget{preemptions, crashes_left,
+                                    cfg_.max_steps - dirs_.size()};
+    if (dedup_) {
+      key = state_key(*sim, current);
+      if (shared_->visited->subsumed(key, budget)) {
+        // A previous visit fully explored this state, violation-free, with
+        // at least our remaining budgets: nothing below can be new, and
+        // nothing below can violate — so pruning cannot change the verdict
+        // or the first-in-DFS-order witness.
+        result_.dedup_hits++;
+        return true;
+      }
     }
 
     const Options opt =
@@ -295,9 +456,11 @@ class Dfs {
           cfg_.on_complete(*sim);
         } catch (const CheckFailure& e) {
           record_violation(e.what());
+          return false;
         }
       }
-      return;
+      if (dedup_) record_visited(key, budget);
+      return true;
     }
 
     // Signatures are taken at the node's state, before any child consumes
@@ -318,7 +481,7 @@ class Dfs {
     }
 
     for (std::size_t i = 0; i < opt.options.size(); ++i) {
-      if (stop()) return;
+      if (stop()) return false;
       const ProcId p = opt.options[i];
       if (cfg_.sleep_sets &&
           std::any_of(sleep.begin(), sleep.end(),
@@ -338,14 +501,18 @@ class Dfs {
       } catch (const CheckFailure& e) {
         dirs_.push_back(d);
         record_violation(e.what());
-        return;
+        return false;
       }
       dirs_.push_back(d);
       const int cost = (opt.current_runnable && p != current) ? 1 : 0;
-      dfs(std::move(sim), p, preemptions - cost, crashes_left,
-          std::move(child_sleep));
+      const bool child_complete = dfs(std::move(sim), p, preemptions - cost,
+                                      crashes_left, std::move(child_sleep));
       dirs_.pop_back();
       sim = nullptr;
+      // An incomplete child means a sticky stop condition (violation,
+      // budget, deadline, beaten) ended it mid-subtree: this subtree is not
+      // fully explored either, so it must never enter the visited set.
+      if (!child_complete) return false;
       if (cfg_.sleep_sets) sleep.push_back({p, sigs[i]});
     }
 
@@ -355,7 +522,7 @@ class Dfs {
     // and buffers change wholesale), so crash children start with an empty
     // sleep set and are never themselves sleep-pruned.
     for (const ProcId p : opt.crash_cand) {
-      if (stop()) return;
+      if (stop()) return false;
       if (sim == nullptr)  // a previous child consumed it
         sim = snap != nullptr ? revive(*snap) : rebuild();
       const Directive d{ActionKind::kCrash, p};
@@ -365,13 +532,18 @@ class Dfs {
       } catch (const CheckFailure& e) {
         dirs_.push_back(d);
         record_violation(e.what());
-        return;
+        return false;
       }
       dirs_.push_back(d);
-      dfs(std::move(sim), current, preemptions, crashes_left - 1, {});
+      const bool child_complete =
+          dfs(std::move(sim), current, preemptions, crashes_left - 1, {});
       dirs_.pop_back();
       sim = nullptr;
+      if (!child_complete) return false;
     }
+
+    if (dedup_) record_visited(key, budget);
+    return true;
   }
 
   std::size_t n_;
@@ -380,6 +552,9 @@ class Dfs {
   const ExplorerConfig& cfg_;
   Shared* shared_;
   std::size_t index_;
+  bool dedup_ = false;
+  /// Non-identity process renamings (symmetry canonicalization only).
+  std::vector<std::vector<ProcId>> perms_;
   std::vector<Directive> dirs_;
   ExplorerResult result_;
 };
@@ -430,7 +605,7 @@ class FrontierBuilder {
  private:
   std::unique_ptr<Simulator> fresh() {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
-    sim->count_events_into(&result_.events_executed);
+    sim->count_events_into(&result_.steps);
     build_(*sim);
     return sim;
   }
@@ -446,7 +621,7 @@ class FrontierBuilder {
 
   std::unique_ptr<Simulator> revive(const SimSnapshot& snap) {
     auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
-    sim->count_events_into(&result_.events_executed);
+    sim->count_events_into(&result_.steps);
     sim->restore(snap, build_);
     result_.restores++;
     return sim;
@@ -608,9 +783,11 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
   for (std::size_t i = 0; i < sub.size(); ++i) {
     result.schedules += sub[i].schedules;
     result.truncated += sub[i].truncated;
-    result.events_executed += sub[i].events_executed;
+    result.steps += sub[i].steps;
     result.snapshots += sub[i].snapshots;
     result.restores += sub[i].restores;
+    result.dedup_hits += sub[i].dedup_hits;
+    result.dedup_states += sub[i].dedup_states;
     if (!sub[i].exhausted) result.exhausted = false;
     if (sub[i].violation_found && i < winner) winner = i;
   }
@@ -621,6 +798,39 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
   }
   if (shared->over.load(std::memory_order_relaxed)) result.exhausted = false;
   return result;
+}
+
+/// Structural sanity check for SymmetryMode::kCanonical: probes the freshly
+/// built initial state and rejects scenarios that are visibly *not* invariant
+/// under process renaming. Necessarily incomplete (a program can branch on
+/// its pid arbitrarily late), so runtime::Scenario additionally gates
+/// symmetry on an explicit declaration; this catches the obvious misuses —
+/// per-process initial ops, DSM-owned variables, partial recovery sections.
+void validate_symmetric_scenario(std::size_t n_procs, const SimConfig& cfg,
+                                 const ScenarioBuilder& build) {
+  Simulator probe(n_procs, cfg);
+  build(probe);
+  for (const ProcId owner : probe.var_owners())
+    TPA_CHECK(owner == kNoProc,
+              "symmetric_processes: scenario allocates a DSM variable owned "
+              "by p" << owner << " — per-process memory segments are not "
+              "invariant under process renaming");
+  const Proc& first = probe.proc(0);
+  const bool recovery0 = probe.has_recovery(0);
+  for (std::size_t p = 0; p < n_procs; ++p) {
+    const Proc& proc = probe.proc(static_cast<ProcId>(p));
+    TPA_CHECK(proc.has_pending() && first.has_pending(),
+              "symmetric_processes: p" << p << " has no initial pending op");
+    const SimOp& a = first.pending();
+    const SimOp& b = proc.pending();
+    TPA_CHECK(a.kind == b.kind && a.var == b.var && a.value == b.value &&
+                  a.expected == b.expected,
+              "symmetric_processes: p" << p << "'s first op differs from "
+              "p0's — the programs are not invariant under process renaming");
+    TPA_CHECK(probe.has_recovery(static_cast<ProcId>(p)) == recovery0,
+              "symmetric_processes: recovery sections are not uniform "
+              "across processes");
+  }
 }
 
 }  // namespace
@@ -639,7 +849,34 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
     eff.track_costs = false;
   }
 
+  if (config.dedup != DedupMode::kOff) {
+    // The fingerprint deliberately excludes observers, traces and cost
+    // counters: a hook may inspect exactly that state, so two states the
+    // fingerprint merges could still differ under the hook's invariant.
+    TPA_CHECK(!config.on_complete,
+              "dedup: on_complete hooks may inspect observer/trace state "
+              "outside the fingerprint — combine is rejected as unsound");
+    // A sleep set is path context (which siblings were already explored),
+    // not machine state; merging states with different sleep sets could
+    // prune schedules the earlier visit never covered.
+    TPA_CHECK(!config.sleep_sets,
+              "dedup: sleep sets are path context outside the fingerprint — "
+              "combine is rejected as unsound");
+  }
+  if (config.symmetric_processes == SymmetryMode::kCanonical) {
+    TPA_CHECK(config.dedup == DedupMode::kState,
+              "symmetric_processes requires dedup = DedupMode::kState (it "
+              "only canonicalizes visited-set fingerprints)");
+    // Canonicalization enumerates all n! renamings per visited node.
+    TPA_CHECK(n_procs <= 6, "symmetric_processes: " << n_procs
+                                << " processes would need " << n_procs
+                                << "! renamings per state — capped at 6");
+    validate_symmetric_scenario(n_procs, eff, build);
+  }
+
   Shared shared(config.max_schedules, config.time_budget_ms);
+  if (config.dedup != DedupMode::kOff)
+    shared.visited = std::make_unique<VisitedSet>();
   ExplorerResult result;
   if (config.threads <= 1) {
     Dfs dfs(n_procs, eff, build, config, &shared, 0);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "tso/run_stats.h"
 #include "tso/schedule.h"
 #include "tso/sim.h"
 
@@ -31,6 +32,35 @@ namespace tpa::tso {
 /// CheckFailure from the hook counts as a violation, so arbitrary
 /// invariants can be checked for-all-schedules within the bound.
 using ScheduleHook = std::function<void(const Simulator&)>;
+
+/// Stateful exploration: prune a branch when the machine state (by
+/// Simulator::fingerprint) was already fully explored, violation-free, with
+/// an equal-or-larger remaining budget. Sound — verdicts and witnesses are
+/// bit-identical to kOff — but schedule/truncated *counts* shrink, so it is
+/// off wherever count parity with the raw bound matters. See
+/// docs/EXPLORER.md for the soundness argument and the (rejected) invalid
+/// combinations.
+enum class DedupMode : std::uint8_t {
+  kOff,    ///< enumerate the raw schedule tree
+  kState,  ///< visited-set pruning on (fingerprint, remaining budget)
+};
+
+const char* to_string(DedupMode m);
+DedupMode dedup_mode_from_string(const std::string& name);
+
+/// Process-symmetry reduction: canonicalize visited-set fingerprints by
+/// minimizing over all process renamings, merging states that differ only by
+/// a permutation of interchangeable processes. Requires DedupMode::kState
+/// and a scenario whose builder and programs are invariant under process
+/// renaming (runtime::Scenario::symmetric declares this; explore() also
+/// structurally validates the initial state).
+enum class SymmetryMode : std::uint8_t {
+  kOff,        ///< fingerprints as-is
+  kCanonical,  ///< minimize fingerprints over all n! renamings
+};
+
+const char* to_string(SymmetryMode m);
+SymmetryMode symmetry_mode_from_string(const std::string& name);
 
 struct ExplorerConfig {
   /// Preemptive context switches allowed per schedule (switching away from
@@ -92,27 +122,40 @@ struct ExplorerConfig {
   /// Purely an execution strategy: schedule counts, DFS order and witnesses
   /// are identical either way (tests/test_observer.cpp pins this), but the
   /// machine events executed drop by the average branch depth — see
-  /// ExplorerResult::events_executed and bench/perf_explorer.cpp.
+  /// RunStats::steps and bench/perf_explorer.cpp.
   bool checkpoint = true;
+
+  /// Visited-state pruning (see DedupMode). Off by default: verdicts and
+  /// witnesses are unchanged when on, but counts shrink. Rejected (via
+  /// check.h) in combination with on_complete hooks — a hook may inspect
+  /// observer or trace state the fingerprint deliberately ignores — and with
+  /// sleep_sets, whose sleep set is path context outside the fingerprint.
+  DedupMode dedup = DedupMode::kOff;
+
+  /// Canonicalize fingerprints under process renaming (see SymmetryMode).
+  /// Requires dedup == kState and a genuinely symmetric scenario; both are
+  /// enforced via check.h.
+  SymmetryMode symmetric_processes = SymmetryMode::kOff;
 };
 
-struct ExplorerResult {
+struct ExplorerResult : RunStats {
+  // From RunStats: schedules (complete schedules explored), steps (machine
+  // events executed — restores replay none), truncated (schedules cut off at
+  // max_steps), deadline_hit (config.time_budget_ms ran out).
   bool violation_found = false;
   std::string violation;            ///< failure message (first found)
   std::vector<Directive> witness;   ///< schedule reproducing the violation
                                     ///< (shrunk when config.shrink is set)
   std::vector<Directive> raw_witness;  ///< pre-shrink witness (empty if
                                        ///< shrinking is off or a no-op)
-  std::uint64_t schedules = 0;      ///< complete schedules explored
-  std::uint64_t truncated = 0;      ///< schedules cut off at max_steps
   bool exhausted = true;            ///< false if max_schedules was hit
-  bool deadline_hit = false;        ///< config.time_budget_ms ran out
-
-  /// Machine events actually executed across every simulator the
-  /// exploration created (restores replay none — the checkpoint win).
-  std::uint64_t events_executed = 0;
   std::uint64_t snapshots = 0;  ///< checkpoints taken at branch points
   std::uint64_t restores = 0;   ///< simulators revived from a checkpoint
+  std::uint64_t dedup_hits = 0;    ///< subtrees pruned by the visited set
+  std::uint64_t dedup_states = 0;  ///< (fingerprint, budget) entries stored
+
+  /// RunStats fields plus the explorer-specific figures, as one JSON object.
+  std::string to_json() const;
 };
 
 /// Exhaustively explores the scenario under the config's bound. Any

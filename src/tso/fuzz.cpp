@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "tso/schedulers.h"
@@ -9,6 +10,16 @@
 #include "util/rng.h"
 
 namespace tpa::tso {
+
+std::string FuzzResult::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  json_fields(os);
+  os << ",\"violation_found\":" << (violation_found ? "true" : "false")
+     << ",\"violating_run\":" << violating_run << ",\"schedule_digest\":"
+     << schedule_digest << "}";
+  return os.str();
+}
 
 namespace {
 
@@ -234,12 +245,15 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
 
   for (std::uint64_t run = 0; run < config.runs; ++run) {
     if (config.time_budget_ms != 0 &&
-        std::chrono::steady_clock::now() >= deadline)
+        std::chrono::steady_clock::now() >= deadline) {
+      result.deadline_hit = true;
       break;
+    }
 
     RunOutcome out;
     const double commit_prob = pick_commit_prob(rng, config.commit_prob);
     auto sim = std::make_unique<Simulator>(n_procs, run_cfg);
+    sim->count_events_into(&result.steps);
     build(*sim);
 
     const bool mutate =
@@ -326,7 +340,8 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
       continue_random(*sim, rng, commit_prob, config.crash_prob,
                       config.max_crashes, config.max_steps, &out);
 
-    result.runs++;
+    result.schedules++;
+    if (!out.violated && !out.complete) result.truncated++;
     for (const Directive& d : out.schedule)
       digest_directive(&result.schedule_digest, d);
     result.schedule_digest ^= 0xabcdefULL;  // run separator

@@ -89,16 +89,21 @@ struct FuzzConfig {
   ScheduleHook on_complete;
 };
 
-struct FuzzResult {
+struct FuzzResult : RunStats {
+  // From RunStats: schedules (runs actually executed), steps (machine events
+  // executed across all runs), truncated (runs that neither completed nor
+  // violated within max_steps), deadline_hit (time_budget_ms ran out).
   bool violation_found = false;
   std::string violation;
   std::vector<Directive> witness;      ///< shrunk (when config.shrink)
   std::vector<Directive> raw_witness;  ///< as recorded in the violating run
-  std::uint64_t runs = 0;              ///< runs actually executed
   std::uint64_t violating_run = 0;     ///< 0-based index of the hit
   /// FNV-1a digest over every applied directive of every run: two fuzz
   /// passes with equal configs explore byte-identical schedules.
   std::uint64_t schedule_digest = 0;
+
+  /// RunStats fields plus the fuzzer-specific figures, as one JSON object.
+  std::string to_json() const;
 };
 
 /// Runs seeded schedule fuzzing against the scenario, stopping at the first

@@ -176,6 +176,16 @@ class Proc {
   /// suspension point — the basis of Simulator::restore().
   std::vector<Value> op_results_;
 
+  /// FNV-1a basis for op_hash_ (an empty op-result history).
+  static constexpr std::uint64_t kOpHashBasis = 0xcbf29ce484222325ULL;
+
+  /// Running FNV-1a hash of op_results_, maintained incrementally as results
+  /// are handed out (and reset when a crash clears the history). Because the
+  /// coroutine's control location and locals are a deterministic function of
+  /// the op-result stream, this hash stands in for them in
+  /// Simulator::fingerprint() without walking the unbounded history.
+  std::uint64_t op_hash_ = kOpHashBasis;
+
   std::uint32_t fences_total_ = 0;
   std::uint32_t passages_done_ = 0;
   PassageStats cur_;

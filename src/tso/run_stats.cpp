@@ -1,0 +1,22 @@
+#include "tso/run_stats.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace tpa::tso {
+
+void RunStats::json_fields(std::ostream& out) const {
+  out << "\"schedules\":" << schedules << ",\"steps\":" << steps
+      << ",\"truncated\":" << truncated
+      << ",\"deadline_hit\":" << (deadline_hit ? "true" : "false");
+}
+
+std::string RunStats::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  json_fields(os);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tpa::tso

@@ -1,0 +1,38 @@
+// RunStats — the accounting every schedule-space pass shares.
+//
+// Both the exhaustive explorer (tso/explorer.h) and the randomized fuzzer
+// (tso/fuzz.h) drive many short-lived simulators and report the same core
+// figures: schedules finished, machine events (steps) executed, schedules
+// cut off at the per-run step cap, and whether a wall-clock budget ended the
+// pass early. ExplorerResult and FuzzResult derive from this struct so
+// benches and tests read one shape instead of copying fields between two.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace tpa::tso {
+
+struct RunStats {
+  /// Complete schedules finished (explorer) / fuzz runs executed (fuzzer).
+  std::uint64_t schedules = 0;
+  /// Machine events actually executed across every simulator the pass
+  /// created. Checkpoint restores replay none, and dedup prunes whole
+  /// subtrees — this is the figure those optimizations shrink.
+  std::uint64_t steps = 0;
+  /// Schedules/runs cut off at the per-schedule step cap (a process spinning
+  /// on a never-committed write does this).
+  std::uint64_t truncated = 0;
+  /// The configured wall-clock budget ran out before the pass finished.
+  bool deadline_hit = false;
+
+  /// Emits the four fields as `"key":value` pairs (no braces), for embedding
+  /// into a larger JSON object.
+  void json_fields(std::ostream& out) const;
+
+  /// The four fields as a self-contained JSON object.
+  std::string to_json() const;
+};
+
+}  // namespace tpa::tso

@@ -286,6 +286,7 @@ bool Simulator::crash(ProcId pid) {
   p.has_pending_ = false;
   p.resume_point_ = {};
   p.op_results_.clear();
+  p.op_hash_ = Proc::kOpHashBasis;
   p.status_ = Status::kNcs;
   p.mode_ = Mode::kRead;
   p.cur_ = PassageStats{};
@@ -408,8 +409,23 @@ void Simulator::notify_directive(const Directive& d) {
   for (auto& o : observers_) o->on_directive(*this, d);
 }
 
+namespace {
+
+/// One FNV-1a step over an op result, shared by the incremental op_hash_
+/// maintenance and its from-scratch recomputation in restore().
+std::uint64_t fold_op_result(std::uint64_t h, Value r) {
+  h ^= static_cast<std::uint64_t>(r);
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
 void Simulator::resume(Proc& p) {
-  if (!restoring_) p.op_results_.push_back(p.pending_.result);
+  if (!restoring_) {
+    p.op_results_.push_back(p.pending_.result);
+    p.op_hash_ = fold_op_result(p.op_hash_, p.pending_.result);
+  }
   p.has_pending_ = false;
   auto h = p.resume_point_;
   p.resume_point_ = {};
@@ -739,6 +755,100 @@ PendingClass Simulator::classify_pending(ProcId pid) const {
 }
 
 // ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Two independently seeded 64-bit accumulators, each word pushed through a
+/// splitmix64-style finalizer. 128 bits keep the pairwise collision odds
+/// negligible across any realistic visited-set size (docs/EXPLORER.md).
+struct FpMix {
+  std::uint64_t lo = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t hi = 0xc2b2ae3d27d4eb4fULL;
+
+  static std::uint64_t scramble(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void mix(std::uint64_t x) {
+    lo = scramble(lo ^ x);
+    hi = scramble(hi + x + 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace
+
+Fingerprint Simulator::fingerprint(ProcId current, const ProcId* rename) const {
+  const std::size_t n = procs_.size();
+  FpMix m;
+  const auto rn = [&](ProcId p) -> std::uint64_t {
+    if (p == kNoProc) return ~0ULL;
+    return static_cast<std::uint64_t>(
+        rename != nullptr ? rename[static_cast<std::size_t>(p)] : p);
+  };
+
+  // Config bits the transition relation consults. Constant within one
+  // exploration, but cheap — and they make fingerprints comparable across
+  // configs.
+  m.mix((static_cast<std::uint64_t>(config_.pso) << 1) |
+        static_cast<std::uint64_t>(config_.crash_model ==
+                                   CrashModel::kBufferFlushed));
+
+  // Committed shared memory. Variable ids are structural (builders allocate
+  // them in a fixed order) and are not renamed; the process-id fields are.
+  m.mix(vars_.size());
+  for (const Variable& v : vars_) {
+    m.mix(static_cast<std::uint64_t>(v.value));
+    m.mix(rn(v.owner));
+    m.mix(rn(v.last_writer));
+  }
+
+  // Per-process blobs, visited in *renamed* position order so a declared
+  // symmetry's renaming permutes the blobs rather than their contents.
+  std::vector<std::size_t> inv(n);
+  for (std::size_t p = 0; p < n; ++p)
+    inv[rename != nullptr ? static_cast<std::size_t>(rename[p]) : p] = p;
+  m.mix(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t i = inv[pos];
+    const Proc& p = *procs_[i];
+    m.mix((static_cast<std::uint64_t>(p.status_) << 8) |
+          (static_cast<std::uint64_t>(p.mode_) << 6) |
+          (static_cast<std::uint64_t>(p.done_) << 5) |
+          (static_cast<std::uint64_t>(p.crashed_) << 4) |
+          (static_cast<std::uint64_t>(p.has_pending_) << 3) |
+          (static_cast<std::uint64_t>(programs_[i].valid()) << 2) |
+          (static_cast<std::uint64_t>(recovery_[i] != nullptr) << 1));
+    m.mix(p.incarnations_);
+    m.mix(p.buffer_.size());
+    for (const BufferedWrite& w : p.buffer_) {
+      m.mix(static_cast<std::uint64_t>(w.var));
+      m.mix(static_cast<std::uint64_t>(w.value));
+    }
+    if (p.has_pending_) {
+      m.mix((static_cast<std::uint64_t>(p.pending_.kind) << 32) |
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(p.pending_.var)));
+      m.mix(static_cast<std::uint64_t>(p.pending_.value));
+      m.mix(static_cast<std::uint64_t>(p.pending_.expected));
+    }
+    // Control location: the op-result stream determines the coroutine's
+    // suspension point and every local, so its running hash stands in for
+    // both (op counter included — each result extends the stream).
+    m.mix(p.op_hash_);
+  }
+
+  m.mix(rn(current));
+  return {m.lo, m.hi};
+}
+
+// ---------------------------------------------------------------------------
 // Checkpointing
 // ---------------------------------------------------------------------------
 
@@ -852,6 +962,9 @@ void Simulator::restore(const SimSnapshot& snap,
     p.crashed_ = ps.crashed;
     p.incarnations_ = ps.incarnations;
     p.op_results_ = ps.op_results;
+    p.op_hash_ = Proc::kOpHashBasis;
+    for (const Value r : ps.op_results)
+      p.op_hash_ = fold_op_result(p.op_hash_, r);
     p.fences_total_ = ps.fences_total;
     p.passages_done_ = ps.passages_done;
     p.cur_ = ps.cur;

@@ -104,6 +104,17 @@ PendingClass pending_class_from_string(const std::string& name);
 /// transition events, fence events).
 bool is_special(PendingClass c);
 
+/// A 128-bit canonical fingerprint of the full machine state, as computed by
+/// Simulator::fingerprint(). Two states with equal fingerprints have (up to
+/// hash collision, ~2^-128 per pair) identical futures under any schedule:
+/// the fingerprint covers everything the transition relation reads and
+/// nothing it does not (see the member doc on Simulator::fingerprint).
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
 /// A full checkpoint of the simulator (and its observers) at a quiescent
 /// point between scheduler steps. Move-only; share via shared_ptr when the
 /// same checkpoint seeds several branches. Restoring re-runs the scenario
@@ -265,6 +276,28 @@ class Simulator {
   /// Definition 2 bookkeeping from the CostObserver; false when cost
   /// tracking is off.
   bool remotely_read(ProcId p, VarId v) const;
+
+  /// Canonical fingerprint of the complete *machine* state: committed shared
+  /// memory (value + last_writer + owner per variable), each process'
+  /// control location (an incrementally maintained hash of its op-result
+  /// stream + incarnation count), write-buffer contents, pending op,
+  /// status/mode/done/crashed flags, and the config bits the transition
+  /// relation consults (pso, crash model). Pure instrumentation — observers,
+  /// contention bookkeeping, passage statistics, the touched set — is
+  /// deliberately excluded, so a bare core and a fully instrumented
+  /// simulator in the same machine state fingerprint identically.
+  ///
+  /// `current` (optional) folds the scheduler's currently running process
+  /// into the hash, so explorers can key visited sets on (state, current)
+  /// with a single value. `rename` (optional, length num_procs, a
+  /// permutation) renames every process-id the state mentions — blob
+  /// positions, last_writer/owner fields, and `current` — as if processes
+  /// had been permuted at spawn time. Symmetry reduction minimizes over all
+  /// renamings; this is only meaningful for scenarios whose builders and
+  /// programs are invariant under process renaming (runtime::Scenario's
+  /// `symmetric` declaration).
+  Fingerprint fingerprint(ProcId current = kNoProc,
+                          const ProcId* rename = nullptr) const;
 
   /// Checkpoints the complete machine + observer state. Call only between
   /// scheduler steps (never from inside an observer callback).

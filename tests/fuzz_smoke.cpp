@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <string>
 
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "tso/fuzz.h"
 #include "tso/schedule.h"
 #include "util/check.h"
@@ -17,7 +17,7 @@ namespace tpa {
 namespace {
 
 TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
-  const auto* broken = testing::find_scenario("bakery-none-2p");
+  const auto* broken = runtime::find_scenario("bakery-none-2p");
   ASSERT_NE(broken, nullptr);
   tso::FuzzConfig cfg;
   cfg.seed = 0xC0FFEEULL;
@@ -33,7 +33,7 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
                   .violated)
       << "smoke witness must replay";
 
-  const auto* safe = testing::find_scenario("bakery-tso-2p");
+  const auto* safe = runtime::find_scenario("bakery-tso-2p");
   ASSERT_NE(safe, nullptr);
   tso::FuzzConfig quiet;
   quiet.seed = 0xC0FFEEULL;
@@ -42,7 +42,7 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
   const tso::FuzzResult ok =
       tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
   EXPECT_FALSE(ok.violation_found) << ok.violation;
-  EXPECT_GT(ok.runs, 0u);
+  EXPECT_GT(ok.schedules, 0u);
 }
 
 // Crash-injection smoke: the seeded fuzzer with crash_prob > 0 must take
@@ -51,7 +51,7 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
 // fenced variant. Runs under both the fuzz-smoke and sanitize labels, so
 // the crash/recover machinery gets an ASan+UBSan pass in tier-1 CI.
 TEST(FuzzSmoke, CrashInjectionBreaksFenceFreeRecoverableLockOnly) {
-  const auto* broken = testing::find_scenario("recoverable-nofence-2p");
+  const auto* broken = runtime::find_scenario("recoverable-nofence-2p");
   ASSERT_NE(broken, nullptr);
   tso::FuzzConfig cfg;
   cfg.seed = 0xC0FFEEULL;
@@ -74,14 +74,51 @@ TEST(FuzzSmoke, CrashInjectionBreaksFenceFreeRecoverableLockOnly) {
                   .violated)
       << "crash smoke witness must replay";
 
-  const auto* safe = testing::find_scenario("recoverable-2p");
+  const auto* safe = runtime::find_scenario("recoverable-2p");
   ASSERT_NE(safe, nullptr);
   tso::FuzzConfig quiet = cfg;
   quiet.time_budget_ms = 500;
   const tso::FuzzResult ok =
       tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
   EXPECT_FALSE(ok.violation_found) << ok.violation;
-  EXPECT_GT(ok.runs, 0u);
+  EXPECT_GT(ok.schedules, 0u);
+}
+
+// Dedup ablation smoke: stateful exploration (visited-set pruning) must
+// find the very same violation, with the very same witness, as the raw
+// enumeration — on a violating scope and on a safe one. Runs under both the
+// fuzz-smoke and sanitize labels, so the fingerprint/visited-set machinery
+// gets an ASan+UBSan pass in tier-1 CI.
+TEST(FuzzSmoke, StateDedupKeepsVerdictsAndWitnessesBitIdentical) {
+  const auto* broken = runtime::find_scenario("bakery-none-2p");
+  ASSERT_NE(broken, nullptr);
+  tso::ExplorerConfig off;
+  off.preemptions = 2;
+  tso::ExplorerConfig on = off;
+  on.dedup = tso::DedupMode::kState;
+  const tso::ExplorerResult a = broken->explore(off);
+  const tso::ExplorerResult b = broken->explore(on);
+  ASSERT_TRUE(a.violation_found && b.violation_found);
+  EXPECT_EQ(a.violation, b.violation);
+  ASSERT_EQ(a.witness.size(), b.witness.size());
+  for (std::size_t i = 0; i < a.witness.size(); ++i) {
+    EXPECT_EQ(a.witness[i].kind, b.witness[i].kind) << i;
+    EXPECT_EQ(a.witness[i].proc, b.witness[i].proc) << i;
+    EXPECT_EQ(a.witness[i].var, b.witness[i].var) << i;
+  }
+  EXPECT_THROW((void)broken->replay(b.witness), CheckFailure)
+      << "the dedup run's witness must still replay to the violation";
+
+  const auto* safe = runtime::find_scenario("bakery-tso-2p");
+  ASSERT_NE(safe, nullptr);
+  const tso::ExplorerResult sa = safe->explore(off);
+  const tso::ExplorerResult sb = safe->explore(on);
+  EXPECT_FALSE(sa.violation_found) << sa.violation;
+  EXPECT_FALSE(sb.violation_found) << sb.violation;
+  EXPECT_TRUE(sa.exhausted && sb.exhausted);
+  EXPECT_GT(sb.dedup_hits, 0u) << "pruning must fire on the safe scope";
+  EXPECT_LT(sb.steps, sa.steps)
+      << "pruning must reduce executed machine events";
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "trace/format.h"
 #include "tso/fuzz.h"
 #include "util/check.h"
@@ -25,8 +25,8 @@ namespace tpa {
 namespace {
 
 namespace fs = std::filesystem;
-using testing::find_scenario;
-using testing::violation_detail;
+using runtime::find_scenario;
+using runtime::violation_detail;
 
 std::vector<fs::path> corpus_files() {
   std::vector<fs::path> files;
@@ -57,7 +57,7 @@ std::vector<std::pair<fs::path, trace::Witness>> load_corpus() {
 /// The simulator config a witness replays under: the registry scenario's,
 /// with the witness' recorded crash model (meaningful only for crash-bearing
 /// schedules) applied on top.
-tso::SimConfig replay_config(const testing::NamedScenario& s,
+tso::SimConfig replay_config(const runtime::Scenario& s,
                              const trace::Witness& w) {
   tso::SimConfig cfg = s.sim;
   cfg.crash_model = w.crash_model;
@@ -116,7 +116,7 @@ TEST(CorpusReplay, WitnessesAreLocallyMinimal) {
 TEST(CorpusRegen, RegenerateAllWitnessFiles) {
   if (std::getenv("TPA_REGEN_CORPUS") == nullptr)
     GTEST_SKIP() << "set TPA_REGEN_CORPUS=1 to rewrite tests/corpus/";
-  for (const auto& s : testing::scenario_registry()) {
+  for (const auto& s : runtime::scenario_registry()) {
     if (!s.violating) continue;
     tso::FuzzConfig cfg;
     cfg.seed = 0x5eedULL;

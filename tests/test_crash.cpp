@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "algos/recoverable.h"
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "trace/analyzer.h"
 #include "trace/format.h"
 #include "tso/explorer.h"
@@ -30,7 +30,7 @@ namespace tpa {
 namespace {
 
 namespace fs = std::filesystem;
-using testing::find_scenario;
+using runtime::find_scenario;
 using tso::ActionKind;
 using tso::CrashModel;
 using tso::Directive;
@@ -285,7 +285,7 @@ TEST(CrashExplorer, CrashWitnessRoundTripsThroughTheV2Format) {
   w.scenario = s->name;
   w.n_procs = s->n_procs;
   w.crash_model = s->sim.crash_model;
-  w.violation = testing::violation_detail(r.violation);
+  w.violation = runtime::violation_detail(r.violation);
   w.directives = r.witness;
   const std::string text = trace::witness_to_string(w);
   EXPECT_NE(text.find("tpa-witness v2"), std::string::npos)

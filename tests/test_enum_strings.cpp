@@ -8,6 +8,7 @@
 #include <string>
 
 #include "tso/event.h"
+#include "tso/explorer.h"
 #include "tso/sim.h"
 #include "util/check.h"
 
@@ -44,11 +45,37 @@ TEST(EnumStrings, PendingClassRoundTripsAndNamesAreUnique) {
   EXPECT_EQ(seen.size(), 13u) << "update when PendingClass grows";
 }
 
+TEST(EnumStrings, DedupModeRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto m : {tso::DedupMode::kOff, tso::DedupMode::kState}) {
+    const std::string name = tso::to_string(m);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::dedup_mode_from_string(name), m) << name;
+  }
+  EXPECT_EQ(seen.size(), 2u) << "update when DedupMode grows";
+}
+
+TEST(EnumStrings, SymmetryModeRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto m : {tso::SymmetryMode::kOff, tso::SymmetryMode::kCanonical}) {
+    const std::string name = tso::to_string(m);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::symmetry_mode_from_string(name), m) << name;
+  }
+  EXPECT_EQ(seen.size(), 2u) << "update when SymmetryMode grows";
+}
+
 TEST(EnumStrings, UnknownNamesAreRejected) {
   EXPECT_THROW(tso::event_kind_from_string("bogus"), CheckFailure);
   EXPECT_THROW(tso::event_kind_from_string(""), CheckFailure);
   EXPECT_THROW(tso::pending_class_from_string("bogus"), CheckFailure);
   EXPECT_THROW(tso::pending_class_from_string(""), CheckFailure);
+  EXPECT_THROW(tso::dedup_mode_from_string("bogus"), CheckFailure);
+  EXPECT_THROW(tso::dedup_mode_from_string(""), CheckFailure);
+  EXPECT_THROW(tso::symmetry_mode_from_string("bogus"), CheckFailure);
+  EXPECT_THROW(tso::symmetry_mode_from_string(""), CheckFailure);
 }
 
 TEST(EnumStrings, EventToStringCoversEveryKind) {

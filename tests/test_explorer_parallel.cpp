@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "tso/explorer.h"
 #include "tso/fuzz.h"
 #include "tso/schedule.h"
@@ -18,7 +18,7 @@
 namespace tpa {
 namespace {
 
-using testing::find_scenario;
+using runtime::find_scenario;
 using tso::ExplorerConfig;
 using tso::ExplorerResult;
 using tso::explore;
@@ -63,7 +63,7 @@ TEST(ExplorerParallel, ThreeProcessCountsMatchSequential) {
   const auto* s = find_scenario("bakery-none-3p");
   ASSERT_NE(s, nullptr);
   // Use the *safe* TSO bakery at 3 procs for count parity.
-  const auto build = testing::bakery_scenario(3, algos::BakeryFencing::kTso);
+  const auto build = runtime::bakery_scenario(3, algos::BakeryFencing::kTso);
   ExplorerConfig cfg;
   cfg.preemptions = 1;
   const ExplorerResult seq = explore(3, {}, build, cfg);

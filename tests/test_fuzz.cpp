@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "trace/format.h"
 #include "tso/explorer.h"
 #include "tso/fuzz.h"
@@ -18,14 +18,14 @@
 namespace tpa {
 namespace {
 
-using testing::find_scenario;
+using runtime::find_scenario;
 using tso::Directive;
 using tso::FuzzConfig;
 using tso::FuzzResult;
 using tso::LenientReplay;
 using tso::ShrinkOutcome;
 
-const testing::NamedScenario& scenario(const char* name) {
+const runtime::Scenario& scenario(const char* name) {
   const auto* s = find_scenario(name);
   EXPECT_NE(s, nullptr) << name;
   return *s;
@@ -39,8 +39,8 @@ TEST(Fuzz, SeededFuzzIsDeterministic) {
   const FuzzResult a = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
   const FuzzResult b = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
   EXPECT_FALSE(a.violation_found) << a.violation;
-  EXPECT_EQ(a.runs, 40u);
-  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.schedules, 40u);
+  EXPECT_EQ(a.schedules, b.schedules);
   EXPECT_EQ(a.schedule_digest, b.schedule_digest)
       << "same seed must explore byte-identical schedules";
 
@@ -217,7 +217,7 @@ TEST(Fuzz, TimeBudgetBoundsThePass) {
   cfg.time_budget_ms = 100;
   const FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
   EXPECT_FALSE(r.violation_found) << r.violation;
-  EXPECT_GT(r.runs, 0u);
+  EXPECT_GT(r.schedules, 0u);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "scenario_registry.h"
+#include "runtime/scenario.h"
 #include "trace/format.h"
 #include "tso/explorer.h"
 #include "tso/observers.h"
@@ -24,8 +24,8 @@ namespace tpa {
 namespace {
 
 namespace fs = std::filesystem;
-using testing::find_scenario;
-using testing::violation_detail;
+using runtime::find_scenario;
+using runtime::violation_detail;
 using tso::ActionKind;
 using tso::Directive;
 using tso::Simulator;
@@ -220,9 +220,8 @@ TEST(Observer, CheckpointModeMatchesReplayModeAndDoesLessWork) {
   EXPECT_EQ(b.restores, 0u);
   // The acceptance bar: checkpointing must cut the events executed at least
   // in half relative to replaying every prefix from the root.
-  EXPECT_LE(2 * a.events_executed, b.events_executed)
-      << "checkpoint=" << a.events_executed
-      << " replay=" << b.events_executed;
+  EXPECT_LE(2 * a.steps, b.steps)
+      << "checkpoint=" << a.steps << " replay=" << b.steps;
 }
 
 TEST(Observer, CheckpointModeFindsTheSameWitness) {
