@@ -36,7 +36,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/scenario.h"
@@ -171,6 +174,18 @@ ModeResult run_mode(const runtime::Scenario& s,
   return m;
 }
 
+/// Best-of-`reps` wall time (the min filters scheduler noise; the counters
+/// are deterministic, so any rep's result serves as the representative).
+ModeResult run_mode_best_of(const runtime::Scenario& s,
+                            const tso::ExplorerConfig& cfg, int reps) {
+  ModeResult best = run_mode(s, cfg);
+  for (int r = 1; r < reps; ++r) {
+    ModeResult m = run_mode(s, cfg);
+    if (m.wall_ms < best.wall_ms) best = std::move(m);
+  }
+  return best;
+}
+
 void emit_json(std::ostream& out, const char* mode, const ModeResult& m) {
   out << "    {\"mode\":\"" << mode << "\""
       << ",\"schedules\":" << m.result.schedules
@@ -242,9 +257,13 @@ bool same_witness(const std::vector<tso::Directive>& a,
 
 /// Dedup-off vs dedup-on across the scope list, written to
 /// BENCH_explorer_dedup.json. `events_reduction` is the executed-machine-
-/// event ratio; `verdicts_match` asserts the soundness contract (identical
-/// verdict, violation message, witness, and exhaustion) scope by scope.
-int write_dedup_comparison(const char* path) {
+/// event ratio and `wall_ratio` the on/off wall-clock ratio (< 1 means
+/// dedup is faster); `verdicts_match` asserts the soundness contract
+/// (identical verdict, violation message, witness, and exhaustion) scope by
+/// scope. With `max_wall_ratio` >= 0 the run doubles as a regression gate:
+/// nonzero exit when any scope's wall_ratio exceeds it.
+int write_dedup_comparison(const char* path, int reps,
+                           double max_wall_ratio) {
   // Spin-heavy truncated schedules dominate the 3p bakery/tournament trees
   // at the default step cap; capping at 200 keeps both modes exhausted in
   // seconds while preserving the comparison (both modes share the cap).
@@ -262,6 +281,7 @@ int write_dedup_comparison(const char* path) {
   }
   out << "{\n  \"bench\": \"explorer-dedup\",\n  \"scopes\": [\n";
   bool all_match = true;
+  bool all_fast = true;
   double best_3p_reduction = 0;
   for (std::size_t i = 0; i < std::size(scopes); ++i) {
     const DedupScope& scope = scopes[i];
@@ -270,21 +290,25 @@ int write_dedup_comparison(const char* path) {
     cfg.preemptions = scope.preemptions;
     cfg.max_crashes = scope.max_crashes;
     cfg.max_steps = scope.max_steps;
-    const ModeResult off = run_mode(s, cfg);
+    const ModeResult off = run_mode_best_of(s, cfg, reps);
     cfg.dedup = tso::DedupMode::kState;
     if (scope.symmetry)
       cfg.symmetric_processes = tso::SymmetryMode::kCanonical;
-    const ModeResult on = run_mode(s, cfg);
+    const ModeResult on = run_mode_best_of(s, cfg, reps);
 
     const double ratio =
         static_cast<double>(off.result.steps) /
         static_cast<double>(on.result.steps ? on.result.steps : 1);
+    const double wall_ratio =
+        on.wall_ms / (off.wall_ms > 0 ? off.wall_ms : 1e-9);
     const bool match =
         off.result.violation_found == on.result.violation_found &&
         off.result.violation == on.result.violation &&
         same_witness(off.result.witness, on.result.witness) &&
         off.result.exhausted == on.result.exhausted;
     all_match = all_match && match;
+    const bool fast = max_wall_ratio < 0 || wall_ratio <= max_wall_ratio;
+    all_fast = all_fast && fast;
     if (s.n_procs >= 3 && ratio > best_3p_reduction)
       best_3p_reduction = ratio;
 
@@ -297,23 +321,26 @@ int write_dedup_comparison(const char* path) {
     out << ",\n";
     emit_json(out, scope.symmetry ? "state+symmetry" : "state", on);
     out << "\n   ],\n   \"events_reduction\": " << ratio
+        << ",\n   \"wall_ratio\": " << wall_ratio
         << ",\n   \"verdicts_match\": " << (match ? "true" : "false")
         << "\n  }" << (i + 1 < std::size(scopes) ? "," : "") << "\n";
 
     std::printf(
         "dedup %-16s pre=%d: %llu events vs %llu (%.2fx reduction), "
-        "verdicts %s\n",
+        "wall %.0fms vs %.0fms (ratio %.2f%s), verdicts %s\n",
         scope.scenario, scope.preemptions,
         static_cast<unsigned long long>(on.result.steps),
-        static_cast<unsigned long long>(off.result.steps), ratio,
+        static_cast<unsigned long long>(off.result.steps), ratio, on.wall_ms,
+        off.wall_ms, wall_ratio, fast ? "" : " — TOO SLOW",
         match ? "match" : "DIVERGED");
   }
   out << "  ],\n  \"best_3p_events_reduction\": " << best_3p_reduction
       << ",\n  \"verdicts_match\": " << (all_match ? "true" : "false")
+      << ",\n  \"dedup_faster_everywhere\": " << (all_fast ? "true" : "false")
       << "\n}\n";
   std::printf("dedup ablation -> %s (best 3p reduction %.2fx)\n", path,
               best_3p_reduction);
-  return all_match ? 0 : 1;
+  return all_match && all_fast ? 0 : 1;
 }
 
 }  // namespace
@@ -344,9 +371,24 @@ BENCHMARK(BM_CheckpointVsReplay)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  // Gate mode (the `perf-smoke` ctest): only the dedup ablation runs, and
+  // any scope where dedup is slower wall-clock than raw enumeration fails
+  // the run. The generous 1.0x default just pins "dedup must not lose".
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--dedup-gate";
+    if (arg.rfind(prefix, 0) != 0) continue;
+    double threshold = 1.0;
+    if (arg.size() > prefix.size() && arg[prefix.size()] == '=')
+      threshold = std::atof(arg.c_str() + prefix.size() + 1);
+    return write_dedup_comparison("BENCH_explorer_dedup.json", /*reps=*/2,
+                                  threshold);
+  }
+
   if (const int rc = write_comparison("BENCH_explorer.json"); rc != 0)
     return rc;
-  if (const int rc = write_dedup_comparison("BENCH_explorer_dedup.json");
+  if (const int rc = write_dedup_comparison("BENCH_explorer_dedup.json",
+                                            /*reps=*/3, /*max_wall_ratio=*/-1);
       rc != 0)
     return rc;
   benchmark::Initialize(&argc, argv);

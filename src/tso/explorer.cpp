@@ -1,20 +1,17 @@
 #include "tso/explorer.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <numeric>
 #include <sstream>
-#include <unordered_map>
 #include <utility>
 
 #include "tso/fuzz.h"
+#include "tso/visited.h"
 #include "util/check.h"
 #include "util/work_queue.h"
 
@@ -53,81 +50,6 @@ std::string ExplorerResult::to_json() const {
 }
 
 namespace {
-
-// ---- the sharded concurrent visited set (DedupMode::kState) --------------
-
-struct FingerprintHash {
-  std::size_t operator()(const Fingerprint& f) const {
-    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
-  }
-};
-
-/// Visited states, keyed on the (canonical) fingerprint — which already
-/// folds in the scheduler's current process — and guarded by the *remaining*
-/// budgets. An entry means: from this state, with these budgets, the whole
-/// subtree was explored and found violation-free. A later visit may be
-/// pruned only if some stored entry dominates its budgets on every
-/// component: whatever the weaker visit could reach, the stronger one
-/// already covered. Sharded by fingerprint so parallel workers rarely
-/// contend on one mutex.
-class VisitedSet {
- public:
-  struct Budget {
-    int preemptions = 0;
-    int crashes = 0;
-    std::uint64_t steps_left = 0;
-
-    bool dominates(const Budget& b) const {
-      return preemptions >= b.preemptions && crashes >= b.crashes &&
-             steps_left >= b.steps_left;
-    }
-  };
-
-  bool subsumed(const Fingerprint& fp, const Budget& b) const {
-    const Shard& s = shard(fp);
-    std::lock_guard<std::mutex> lock(s.mu);
-    const auto it = s.map.find(fp);
-    if (it == s.map.end()) return false;
-    for (const Budget& have : it->second)
-      if (have.dominates(b)) return true;
-    return false;
-  }
-
-  /// Records a fully explored, violation-free visit. Returns false when an
-  /// existing entry already dominates it (nothing stored); otherwise drops
-  /// every entry the new one dominates and stores it.
-  bool insert(const Fingerprint& fp, const Budget& b) {
-    Shard& s = shard(fp);
-    std::lock_guard<std::mutex> lock(s.mu);
-    auto& entries = s.map[fp];
-    for (const Budget& have : entries)
-      if (have.dominates(b)) return false;
-    entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                 [&](const Budget& have) {
-                                   return b.dominates(have);
-                                 }),
-                  entries.end());
-    entries.push_back(b);
-    return true;
-  }
-
- private:
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Fingerprint, std::vector<Budget>, FingerprintHash> map;
-  };
-
-  static constexpr std::size_t kShards = 64;
-
-  Shard& shard(const Fingerprint& fp) {
-    return shards_[FingerprintHash{}(fp) & (kShards - 1)];
-  }
-  const Shard& shard(const Fingerprint& fp) const {
-    return shards_[FingerprintHash{}(fp) & (kShards - 1)];
-  }
-
-  std::array<Shard, kShards> shards_;
-};
 
 // ---- shared cross-thread exploration state ------------------------------
 
@@ -315,6 +237,11 @@ struct Node {
 
 class Dfs {
  public:
+  /// Forced-chain states are dedup-checked every this-many depths (see the
+  /// engagement rule in dfs()); bounds how far past a convergence point a
+  /// redundant chain can run before it is pruned.
+  static constexpr std::size_t kChainStride = 8;
+
   Dfs(std::size_t n_procs, const SimConfig& sim_config,
       const ScenarioBuilder& build, const ExplorerConfig& config,
       Shared* shared, std::size_t index)
@@ -324,15 +251,8 @@ class Dfs {
         cfg_(config),
         shared_(shared),
         index_(index),
-        dedup_(config.dedup != DedupMode::kOff) {
-    if (cfg_.symmetric_processes == SymmetryMode::kCanonical) {
-      // All non-identity renamings, enumerated once per worker.
-      std::vector<ProcId> perm(n_procs);
-      std::iota(perm.begin(), perm.end(), 0);
-      while (std::next_permutation(perm.begin(), perm.end()))
-        perms_.push_back(perm);
-    }
-  }
+        dedup_(config.dedup != DedupMode::kOff),
+        symmetric_(config.symmetric_processes == SymmetryMode::kCanonical) {}
 
   void run_root() {
     dirs_.clear();
@@ -376,16 +296,34 @@ class Dfs {
     return sim;
   }
 
-  /// The visited-set key: the state fingerprint with `current` folded in,
-  /// canonicalized (minimized over every process renaming) when symmetry
-  /// reduction is on.
+  /// The visited-set key: the (incrementally maintained) state fingerprint
+  /// with `current` folded in, canonicalized by sorting renaming-invariant
+  /// per-process signatures when symmetry reduction is on — near-linear in
+  /// state size, never an enumeration of renamings.
   Fingerprint state_key(const Simulator& sim, ProcId current) const {
-    Fingerprint best = sim.fingerprint(current);
-    for (const auto& perm : perms_) {
-      const Fingerprint f = sim.fingerprint(current, perm.data());
-      if (f.hi < best.hi || (f.hi == best.hi && f.lo < best.lo)) best = f;
+    return symmetric_ ? sim.fingerprint_symmetric(current)
+                      : sim.fingerprint(current);
+  }
+
+  /// Snapshot pooling: a branch point's snapshot dies as soon as its last
+  /// sibling restores from it, so the DFS holds only O(depth) snapshots at
+  /// a time and their ProcState vectors (buffers, op histories, passages)
+  /// can be recycled instead of reallocated at every branch point. Pool
+  /// entries are owned by this Dfs; a pooled snapshot never crosses
+  /// threads, because Dfs-created snapshots stay inside its own recursion.
+  std::shared_ptr<const SimSnapshot> take_snapshot(const Simulator& sim) {
+    std::unique_ptr<SimSnapshot> s;
+    if (!snap_pool_.empty()) {
+      s = std::move(snap_pool_.back());
+      snap_pool_.pop_back();
+    } else {
+      s = std::make_unique<SimSnapshot>();
     }
-    return best;
+    sim.snapshot_into(*s);
+    result_.snapshots++;
+    return {s.release(), [this](const SimSnapshot* p) {
+              snap_pool_.emplace_back(const_cast<SimSnapshot*>(p));
+            }};
   }
 
   void record_visited(const Fingerprint& key, const VisitedSet::Budget& b) {
@@ -431,10 +369,30 @@ class Dfs {
       return true;
     }
 
+    const Options opt =
+        enumerate_options(*sim, n_, current, preemptions, crashes_left);
+
+    // Dedup engages at *branch* nodes (two or more children) and at every
+    // kChainStride-th depth along forced chains, not at every node. A chain
+    // node's subtree is determined by its single forced move, so a
+    // convergent path is still pruned within at most kChainStride forced
+    // steps of where per-node checking would have caught it — while the
+    // fingerprint + two probes per machine event used to dominate the wall
+    // clock (the visited set saw ~60x more traffic than it had branch
+    // nodes). Checking branch nodes alone is not enough: once the
+    // preemption budget is spent, whole suffixes become forced chains and
+    // low-budget scopes (recoverable-2p) lose nearly all their pruning.
+    // Soundness is untouched either way: pruning any fully-explored
+    // violation-free subtree is sound no matter at which nodes the check
+    // happens to run, and the engagement rule is a deterministic function
+    // of the node (child count, depth), so verdicts stay reproducible.
     Fingerprint key{};
     const VisitedSet::Budget budget{preemptions, crashes_left,
                                     cfg_.max_steps - dirs_.size()};
-    if (dedup_) {
+    const bool dedup_here =
+        dedup_ && (opt.options.size() + opt.crash_cand.size() > 1 ||
+                   dirs_.size() % kChainStride == 0);
+    if (dedup_here) {
       key = state_key(*sim, current);
       if (shared_->visited->subsumed(key, budget)) {
         // A previous visit fully explored this state, violation-free, with
@@ -446,8 +404,6 @@ class Dfs {
       }
     }
 
-    const Options opt =
-        enumerate_options(*sim, n_, current, preemptions, crashes_left);
     if (opt.cand.empty()) {
       result_.schedules++;  // a complete schedule: everyone done & drained
       shared_->charge();
@@ -459,7 +415,7 @@ class Dfs {
           return false;
         }
       }
-      if (dedup_) record_visited(key, budget);
+      if (dedup_here) record_visited(key, budget);
       return true;
     }
 
@@ -475,10 +431,8 @@ class Dfs {
     // Branch point: checkpoint once, then every sibling after the first
     // restores from here instead of replaying `dirs_` from the root.
     std::shared_ptr<const SimSnapshot> snap;
-    if (cfg_.checkpoint && opt.options.size() + opt.crash_cand.size() > 1) {
-      snap = std::make_shared<const SimSnapshot>(sim->snapshot());
-      result_.snapshots++;
-    }
+    if (cfg_.checkpoint && opt.options.size() + opt.crash_cand.size() > 1)
+      snap = take_snapshot(*sim);
 
     for (std::size_t i = 0; i < opt.options.size(); ++i) {
       if (stop()) return false;
@@ -542,7 +496,7 @@ class Dfs {
       if (!child_complete) return false;
     }
 
-    if (dedup_) record_visited(key, budget);
+    if (dedup_here) record_visited(key, budget);
     return true;
   }
 
@@ -553,8 +507,9 @@ class Dfs {
   Shared* shared_;
   std::size_t index_;
   bool dedup_ = false;
-  /// Non-identity process renamings (symmetry canonicalization only).
-  std::vector<std::vector<ProcId>> perms_;
+  bool symmetric_ = false;
+  /// Recycled branch-point snapshots (see take_snapshot).
+  std::vector<std::unique_ptr<SimSnapshot>> snap_pool_;
   std::vector<Directive> dirs_;
   ExplorerResult result_;
 };
@@ -867,16 +822,12 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
     TPA_CHECK(config.dedup == DedupMode::kState,
               "symmetric_processes requires dedup = DedupMode::kState (it "
               "only canonicalizes visited-set fingerprints)");
-    // Canonicalization enumerates all n! renamings per visited node.
-    TPA_CHECK(n_procs <= 6, "symmetric_processes: " << n_procs
-                                << " processes would need " << n_procs
-                                << "! renamings per state — capped at 6");
     validate_symmetric_scenario(n_procs, eff, build);
   }
 
   Shared shared(config.max_schedules, config.time_budget_ms);
   if (config.dedup != DedupMode::kOff)
-    shared.visited = std::make_unique<VisitedSet>();
+    shared.visited = std::make_unique<VisitedSet>(config.threads > 1);
   ExplorerResult result;
   if (config.threads <= 1) {
     Dfs dfs(n_procs, eff, build, config, &shared, 0);

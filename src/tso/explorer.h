@@ -48,15 +48,17 @@ enum class DedupMode : std::uint8_t {
 const char* to_string(DedupMode m);
 DedupMode dedup_mode_from_string(const std::string& name);
 
-/// Process-symmetry reduction: canonicalize visited-set fingerprints by
-/// minimizing over all process renamings, merging states that differ only by
-/// a permutation of interchangeable processes. Requires DedupMode::kState
-/// and a scenario whose builder and programs are invariant under process
-/// renaming (runtime::Scenario::symmetric declares this; explore() also
-/// structurally validates the initial state).
+/// Process-symmetry reduction: canonicalize visited-set fingerprints under
+/// process renaming, merging states that differ only by a permutation of
+/// interchangeable processes. Canonicalization sorts renaming-invariant
+/// per-process signatures (Simulator::fingerprint_symmetric) — near-linear
+/// in state size, not an enumeration of the n! renamings. Requires
+/// DedupMode::kState and a scenario whose builder and programs are invariant
+/// under process renaming (runtime::Scenario::symmetric declares this;
+/// explore() also structurally validates the initial state).
 enum class SymmetryMode : std::uint8_t {
   kOff,        ///< fingerprints as-is
-  kCanonical,  ///< minimize fingerprints over all n! renamings
+  kCanonical,  ///< canonical process order via sorted invariant signatures
 };
 
 const char* to_string(SymmetryMode m);

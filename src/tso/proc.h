@@ -144,6 +144,13 @@ class Proc {
   /// tracking is off (SimConfig::track_costs).
   bool remotely_read(VarId v) const;
 
+  /// Running FNV-1a hash of the op-result stream handed to this process'
+  /// program so far (reset at each crash). The program's control location
+  /// and locals are a deterministic function of that stream, so this hash
+  /// stands in for the coroutine frame in Simulator::fingerprint() — the
+  /// incremental fingerprint folds it into the process' blob component.
+  std::uint64_t op_history_hash() const { return op_hash_; }
+
   std::uint32_t fences_completed() const { return fences_total_; }
   std::uint32_t passages_done() const { return passages_done_; }
   const PassageStats& current_passage() const { return cur_; }

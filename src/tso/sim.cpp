@@ -78,6 +78,16 @@ CrashModel crash_model_from_string(const std::string& name) {
   TPA_FAIL("unknown CrashModel name '" << name << "'");
 }
 
+const char* to_string(FingerprintMode m) {
+  return m == FingerprintMode::kIncremental ? "incremental" : "audit";
+}
+
+FingerprintMode fingerprint_mode_from_string(const std::string& name) {
+  if (name == "incremental") return FingerprintMode::kIncremental;
+  if (name == "audit") return FingerprintMode::kAudit;
+  TPA_FAIL("unknown FingerprintMode name '" << name << "'");
+}
+
 std::string Event::to_string() const {
   std::ostringstream os;
   os << "#" << seq << " p" << proc << " " << tso::to_string(kind);
@@ -189,6 +199,7 @@ Simulator::Simulator(std::size_t n_procs, SimConfig config)
   if (config_.check_exclusion)
     add_observer(std::make_unique<ExclusionChecker>());
   if (config_.record_trace) add_observer(std::make_unique<TraceRecorder>());
+  fp_rebuild();
 }
 
 void Simulator::add_observer(std::unique_ptr<SimObserver> observer) {
@@ -213,6 +224,7 @@ VarId Simulator::alloc_var(Value init, ProcId owner) {
   v.initial = init;
   v.owner = owner;
   vars_.push_back(v);
+  fp_grow_var();
   return static_cast<VarId>(vars_.size() - 1);
 }
 
@@ -222,10 +234,12 @@ void Simulator::poke(VarId v, Value value) {
   TPA_CHECK(seq_ == 0, "poke(v" << v << ") after the execution started");
   vars_[static_cast<std::size_t>(v)].value = value;
   vars_[static_cast<std::size_t>(v)].initial = value;
+  fp_dirty_var(v);
 }
 
 void Simulator::spawn(ProcId p, Task<> program) {
   Proc& proc = this->proc(p);
+  fp_dirty_proc(p);
   TPA_CHECK(!programs_[static_cast<std::size_t>(p)].valid(),
             "process p" << p << " already has a program");
   programs_[static_cast<std::size_t>(p)] = std::move(program);
@@ -242,6 +256,7 @@ void Simulator::set_recovery(ProcId p, RecoveryFactory factory) {
   proc(p);  // validate the id
   TPA_CHECK(factory != nullptr, "null recovery factory for p" << p);
   recovery_[static_cast<std::size_t>(p)] = std::move(factory);
+  fp_dirty_proc(p);
 }
 
 bool Simulator::has_recovery(ProcId p) const {
@@ -261,6 +276,7 @@ bool Simulator::can_crash(ProcId pid) const {
 bool Simulator::crash(ProcId pid) {
   if (!can_crash(pid)) return false;
   Proc& p = proc(pid);
+  fp_dirty_proc(pid);
   notify_directive({ActionKind::kCrash, pid});
 
   if (config_.crash_model == CrashModel::kBufferFlushed) {
@@ -304,6 +320,7 @@ bool Simulator::recover(ProcId pid) {
   Proc& p = proc(pid);
   if (!p.crashed_ || recovery_[static_cast<std::size_t>(pid)] == nullptr)
     return false;
+  fp_dirty_proc(pid);
   notify_directive({ActionKind::kRecover, pid});
 
   Event e;
@@ -422,6 +439,7 @@ std::uint64_t fold_op_result(std::uint64_t h, Value r) {
 }  // namespace
 
 void Simulator::resume(Proc& p) {
+  fp_dirty_proc(p.id());
   if (!restoring_) {
     p.op_results_.push_back(p.pending_.result);
     p.op_hash_ = fold_op_result(p.op_hash_, p.pending_.result);
@@ -446,6 +464,9 @@ void Simulator::note_new_pending(Proc& p) {
 bool Simulator::deliver(ProcId pid) {
   Proc& p = proc(pid);
   if (p.done_ || !p.has_pending_) return false;
+  // Every deliver path below mutates p's blob (mode, buffer, pending op,
+  // status, or the op history via resume()).
+  fp_dirty_proc(pid);
   notify_directive({ActionKind::kDeliver, pid});
 
   if (p.mode_ == Mode::kWrite) {
@@ -545,6 +566,8 @@ void Simulator::do_commit(Proc& p, std::size_t index) {
             "commit index out of range for p" << p.id());
   const BufferedWrite entry = p.buffer_[index];
   p.buffer_.erase(p.buffer_.begin() + static_cast<std::ptrdiff_t>(index));
+  fp_dirty_proc(p.id());
+  fp_dirty_var(entry.var);
 
   Variable& var = vars_[static_cast<std::size_t>(entry.var)];
   Event e;
@@ -642,6 +665,7 @@ void Simulator::perform_cas(Proc& p) {
   if (e.cas_success) {
     var.value = p.pending_.value;
     var.last_writer = p.id();
+    fp_dirty_var(v);
   }
 
   p.cur_.cas_ops++;
@@ -782,70 +806,255 @@ struct FpMix {
   }
 };
 
+// The incremental fingerprint is a commutative combination of per-component
+// hashes: component c with hash h contributes fp_tag_x(tag(c), h) to an XOR
+// accumulator and fp_tag_s(tag(c), h) to a SUM accumulator. XOR and
+// addition are invertible, so when an event changes a component, the old
+// contribution folds out and the new one folds in — O(1) per event, no walk
+// over the machine state. Each component hash is itself a sequential FNV-1a
+// chain (order-sensitive inside the component, e.g. across buffer entries),
+// and the two tagged scrambles are independent, so the pair (x, s) loses
+// none of the old sequential walk's discriminating power in practice.
+
+constexpr std::uint64_t kFpBasis = 0xcbf29ce484222325ULL;  // FNV-1a offset
+
+inline std::uint64_t fp_fold(std::uint64_t h, std::uint64_t w) {
+  h ^= w;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+/// Tag namespaces keep a variable component and a process-position
+/// component with the same index from ever colliding.
+inline std::uint64_t fp_var_tag(std::size_t v) { return (1ULL << 32) + v; }
+inline std::uint64_t fp_proc_tag(std::size_t pos) {
+  return (2ULL << 32) + pos;
+}
+
+inline std::uint64_t fp_tag_x(std::uint64_t tag, std::uint64_t h) {
+  return FpMix::scramble(h + tag * 0x9e3779b97f4a7c15ULL +
+                         0x6a09e667f3bcc909ULL);
+}
+inline std::uint64_t fp_tag_s(std::uint64_t tag, std::uint64_t h) {
+  return FpMix::scramble(h ^ (tag * 0xc2b2ae3d27d4eb4fULL +
+                              0xbb67ae8584caa73bULL));
+}
+
+inline std::uint64_t fp_pid(ProcId p, const ProcId* rename) {
+  if (p == kNoProc) return ~0ULL;
+  return static_cast<std::uint64_t>(
+      rename != nullptr ? rename[static_cast<std::size_t>(p)] : p);
+}
+
+/// The committed-memory component of one variable. Variable ids are
+/// structural (builders allocate them in a fixed order) and are not
+/// renamed; the process-id fields are.
+std::uint64_t fp_var_component(const Variable& v, const ProcId* rename) {
+  std::uint64_t h = kFpBasis;
+  h = fp_fold(h, static_cast<std::uint64_t>(v.value));
+  h = fp_fold(h, fp_pid(v.owner, rename));
+  h = fp_fold(h, fp_pid(v.last_writer, rename));
+  return h;
+}
+
+/// One process' blob: control flags, incarnation count, write buffer in
+/// FIFO order, the parked pending op, and the op-result history hash (the
+/// coroutine-frame surrogate — the control location and every local are a
+/// deterministic function of the op-result stream). Deliberately free of
+/// process ids, so a renaming permutes blob *positions*, never contents.
+std::uint64_t fp_proc_blob(const Proc& p, bool program_valid,
+                           bool has_recovery) {
+  std::uint64_t h = kFpBasis;
+  h = fp_fold(h, (static_cast<std::uint64_t>(p.status()) << 8) |
+                     (static_cast<std::uint64_t>(p.mode()) << 6) |
+                     (static_cast<std::uint64_t>(p.done()) << 5) |
+                     (static_cast<std::uint64_t>(p.crashed()) << 4) |
+                     (static_cast<std::uint64_t>(p.has_pending()) << 3) |
+                     (static_cast<std::uint64_t>(program_valid) << 2) |
+                     (static_cast<std::uint64_t>(has_recovery) << 1));
+  h = fp_fold(h, p.incarnations());
+  h = fp_fold(h, p.buffer().size());
+  for (const BufferedWrite& w : p.buffer()) {
+    h = fp_fold(h, static_cast<std::uint64_t>(w.var));
+    h = fp_fold(h, static_cast<std::uint64_t>(w.value));
+  }
+  if (p.has_pending()) {
+    h = fp_fold(h, (static_cast<std::uint64_t>(p.pending().kind) << 32) |
+                       static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(p.pending().var)));
+    h = fp_fold(h, static_cast<std::uint64_t>(p.pending().value));
+    h = fp_fold(h, static_cast<std::uint64_t>(p.pending().expected));
+  }
+  h = fp_fold(h, p.op_history_hash());
+  return h;
+}
+
+/// The shared finalizer: accumulators plus everything that is global to the
+/// state — config bits the transition relation consults, the component
+/// counts, and the scheduler's current process.
+Fingerprint fp_finalize(const SimConfig& cfg, std::size_t n_vars,
+                        std::size_t n_procs, std::uint64_t x, std::uint64_t s,
+                        std::uint64_t current_code) {
+  FpMix m;
+  m.mix((static_cast<std::uint64_t>(cfg.pso) << 1) |
+        static_cast<std::uint64_t>(cfg.crash_model ==
+                                   CrashModel::kBufferFlushed));
+  m.mix(n_vars);
+  m.mix(n_procs);
+  m.mix(x);
+  m.mix(s);
+  m.mix(current_code);
+  return {m.lo, m.hi};
+}
+
 }  // namespace
 
-Fingerprint Simulator::fingerprint(ProcId current, const ProcId* rename) const {
+void Simulator::fp_dirty_proc(ProcId p) const {
+  if (restoring_) return;  // restore() ends with a full fp_rebuild()
+  const auto i = static_cast<std::size_t>(p);
+  if (!fp_proc_stale_[i]) {
+    fp_proc_stale_[i] = 1;
+    fp_dirty_procs_.push_back(p);
+  }
+}
+
+void Simulator::fp_dirty_var(VarId v) const {
+  if (restoring_) return;
+  const auto i = static_cast<std::size_t>(v);
+  if (!fp_var_stale_[i]) {
+    fp_var_stale_[i] = 1;
+    fp_dirty_vars_.push_back(v);
+  }
+}
+
+void Simulator::fp_grow_var() {
+  if (restoring_) return;
+  const std::size_t v = fp_var_.size();
+  const std::uint64_t h = fp_var_component(vars_[v], nullptr);
+  fp_var_.push_back(h);
+  fp_var_stale_.push_back(0);
+  fp_x_ ^= fp_tag_x(fp_var_tag(v), h);
+  fp_s_ += fp_tag_s(fp_var_tag(v), h);
+}
+
+void Simulator::fp_rebuild() const {
+  fp_x_ = 0;
+  fp_s_ = 0;
+  fp_var_.resize(vars_.size());
+  fp_var_stale_.assign(vars_.size(), 0);
+  fp_dirty_vars_.clear();
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const std::uint64_t h = fp_var_component(vars_[v], nullptr);
+    fp_var_[v] = h;
+    fp_x_ ^= fp_tag_x(fp_var_tag(v), h);
+    fp_s_ += fp_tag_s(fp_var_tag(v), h);
+  }
+  fp_proc_.resize(procs_.size());
+  fp_proc_stale_.assign(procs_.size(), 0);
+  fp_dirty_procs_.clear();
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const std::uint64_t h =
+        fp_proc_blob(*procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    fp_proc_[i] = h;
+    fp_x_ ^= fp_tag_x(fp_proc_tag(i), h);
+    fp_s_ += fp_tag_s(fp_proc_tag(i), h);
+  }
+}
+
+void Simulator::fp_flush() const {
+  for (const VarId v : fp_dirty_vars_) {
+    const auto i = static_cast<std::size_t>(v);
+    const std::uint64_t tag = fp_var_tag(i);
+    fp_x_ ^= fp_tag_x(tag, fp_var_[i]);
+    fp_s_ -= fp_tag_s(tag, fp_var_[i]);
+    fp_var_[i] = fp_var_component(vars_[i], nullptr);
+    fp_x_ ^= fp_tag_x(tag, fp_var_[i]);
+    fp_s_ += fp_tag_s(tag, fp_var_[i]);
+    fp_var_stale_[i] = 0;
+  }
+  fp_dirty_vars_.clear();
+  for (const ProcId p : fp_dirty_procs_) {
+    const auto i = static_cast<std::size_t>(p);
+    const std::uint64_t tag = fp_proc_tag(i);
+    fp_x_ ^= fp_tag_x(tag, fp_proc_[i]);
+    fp_s_ -= fp_tag_s(tag, fp_proc_[i]);
+    fp_proc_[i] =
+        fp_proc_blob(*procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    fp_x_ ^= fp_tag_x(tag, fp_proc_[i]);
+    fp_s_ += fp_tag_s(tag, fp_proc_[i]);
+    fp_proc_stale_[i] = 0;
+  }
+  fp_dirty_procs_.clear();
+}
+
+Fingerprint Simulator::fingerprint(ProcId current) const {
+  fp_flush();
+  const Fingerprint out = fp_finalize(config_, vars_.size(), procs_.size(),
+                                      fp_x_, fp_s_, fp_pid(current, nullptr));
+  if (config_.fingerprint == FingerprintMode::kAudit) {
+    const Fingerprint oracle = fingerprint_oracle(current);
+    TPA_CHECK(out == oracle,
+              "incremental fingerprint diverged from the full re-walk "
+              "oracle (seq=" << seq_ << ", current=p" << current << ")");
+  }
+  return out;
+}
+
+Fingerprint Simulator::fingerprint_oracle(ProcId current,
+                                          const ProcId* rename) const {
+  std::uint64_t x = 0, s = 0;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const std::uint64_t h = fp_var_component(vars_[v], rename);
+    x ^= fp_tag_x(fp_var_tag(v), h);
+    s += fp_tag_s(fp_var_tag(v), h);
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const std::uint64_t h =
+        fp_proc_blob(*procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    // A renaming permutes blob *positions* (the tag), never blob contents.
+    const std::size_t pos =
+        rename != nullptr ? static_cast<std::size_t>(rename[i]) : i;
+    x ^= fp_tag_x(fp_proc_tag(pos), h);
+    s += fp_tag_s(fp_proc_tag(pos), h);
+  }
+  return fp_finalize(config_, vars_.size(), procs_.size(), x, s,
+                     fp_pid(current, rename));
+}
+
+Fingerprint Simulator::fingerprint_symmetric(ProcId current) const {
+  fp_flush();
   const std::size_t n = procs_.size();
-  FpMix m;
-  const auto rn = [&](ProcId p) -> std::uint64_t {
-    if (p == kNoProc) return ~0ULL;
-    return static_cast<std::uint64_t>(
-        rename != nullptr ? rename[static_cast<std::size_t>(p)] : p);
-  };
-
-  // Config bits the transition relation consults. Constant within one
-  // exploration, but cheap — and they make fingerprints comparable across
-  // configs.
-  m.mix((static_cast<std::uint64_t>(config_.pso) << 1) |
-        static_cast<std::uint64_t>(config_.crash_model ==
-                                   CrashModel::kBufferFlushed));
-
-  // Committed shared memory. Variable ids are structural (builders allocate
-  // them in a fixed order) and are not renamed; the process-id fields are.
-  m.mix(vars_.size());
-  for (const Variable& v : vars_) {
-    m.mix(static_cast<std::uint64_t>(v.value));
-    m.mix(rn(v.owner));
-    m.mix(rn(v.last_writer));
+  // Renaming-invariant signature per process: (blob hash, hash of the
+  // variables it last wrote, is-current flag). Sorting on it yields a
+  // canonical order in O(vars + n log n). Processes that tie on the whole
+  // signature are genuinely interchangeable — equal blobs, referenced by no
+  // variable (a variable has exactly one last writer, so two processes can
+  // only share a writer-reference hash when neither is referenced, modulo
+  // hash collision), and not current — so any tie-break yields the same
+  // canonical fingerprint.
+  fp_wref_.assign(n, kFpBasis);
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const ProcId w = vars_[v].last_writer;
+    if (w != kNoProc)
+      fp_wref_[static_cast<std::size_t>(w)] =
+          fp_fold(fp_wref_[static_cast<std::size_t>(w)], v);
+    // Owners are not folded in: symmetric scenarios may not allocate
+    // DSM-owned variables (validated before exploration starts).
   }
-
-  // Per-process blobs, visited in *renamed* position order so a declared
-  // symmetry's renaming permutes the blobs rather than their contents.
-  std::vector<std::size_t> inv(n);
-  for (std::size_t p = 0; p < n; ++p)
-    inv[rename != nullptr ? static_cast<std::size_t>(rename[p]) : p] = p;
-  m.mix(n);
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    const std::size_t i = inv[pos];
-    const Proc& p = *procs_[i];
-    m.mix((static_cast<std::uint64_t>(p.status_) << 8) |
-          (static_cast<std::uint64_t>(p.mode_) << 6) |
-          (static_cast<std::uint64_t>(p.done_) << 5) |
-          (static_cast<std::uint64_t>(p.crashed_) << 4) |
-          (static_cast<std::uint64_t>(p.has_pending_) << 3) |
-          (static_cast<std::uint64_t>(programs_[i].valid()) << 2) |
-          (static_cast<std::uint64_t>(recovery_[i] != nullptr) << 1));
-    m.mix(p.incarnations_);
-    m.mix(p.buffer_.size());
-    for (const BufferedWrite& w : p.buffer_) {
-      m.mix(static_cast<std::uint64_t>(w.var));
-      m.mix(static_cast<std::uint64_t>(w.value));
-    }
-    if (p.has_pending_) {
-      m.mix((static_cast<std::uint64_t>(p.pending_.kind) << 32) |
-            static_cast<std::uint64_t>(
-                static_cast<std::uint32_t>(p.pending_.var)));
-      m.mix(static_cast<std::uint64_t>(p.pending_.value));
-      m.mix(static_cast<std::uint64_t>(p.pending_.expected));
-    }
-    // Control location: the op-result stream determines the coroutine's
-    // suspension point and every local, so its running hash stands in for
-    // both (op counter included — each result extends the stream).
-    m.mix(p.op_hash_);
-  }
-
-  m.mix(rn(current));
-  return {m.lo, m.hi};
+  fp_order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) fp_order_[i] = static_cast<ProcId>(i);
+  std::sort(fp_order_.begin(), fp_order_.end(), [&](ProcId a, ProcId b) {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (fp_proc_[ia] != fp_proc_[ib]) return fp_proc_[ia] < fp_proc_[ib];
+    if (fp_wref_[ia] != fp_wref_[ib]) return fp_wref_[ia] < fp_wref_[ib];
+    return (a == current) < (b == current);
+  });
+  fp_rank_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    fp_rank_[static_cast<std::size_t>(fp_order_[pos])] =
+        static_cast<ProcId>(pos);
+  return fingerprint_oracle(current, fp_rank_.data());
 }
 
 // ---------------------------------------------------------------------------
@@ -854,17 +1063,27 @@ Fingerprint Simulator::fingerprint(ProcId current, const ProcId* rename) const {
 
 SimSnapshot Simulator::snapshot() const {
   SimSnapshot s;
+  snapshot_into(s);
+  return s;
+}
+
+void Simulator::snapshot_into(SimSnapshot& s) const {
   s.seq = seq_;
+  s.var_values.clear();
+  s.var_writers.clear();
   s.var_values.reserve(vars_.size());
   s.var_writers.reserve(vars_.size());
   for (const Variable& v : vars_) {
     s.var_values.push_back(v.value);
     s.var_writers.push_back(v.last_writer);
   }
-  s.procs.reserve(procs_.size());
-  for (const auto& up : procs_) {
-    const Proc& p = *up;
-    SimSnapshot::ProcState ps;
+  // Resize rather than clear: a recycled snapshot's ProcStates keep their
+  // vector capacities (buffer, op_results, ...) across round-trips, which is
+  // what makes pooling them in the explorer pay off.
+  s.procs.resize(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const Proc& p = *procs_[i];
+    SimSnapshot::ProcState& ps = s.procs[i];
     ps.status = p.status_;
     ps.mode = p.mode_;
     ps.buffer = p.buffer_;
@@ -879,12 +1098,11 @@ SimSnapshot Simulator::snapshot() const {
     ps.cur = p.cur_;
     ps.met = p.met_;
     ps.finished = p.finished_;
-    s.procs.push_back(std::move(ps));
   }
   s.touched = touched_;
+  s.observers.clear();
   s.observers.reserve(observers_.size());
   for (const auto& o : observers_) s.observers.push_back(o->snapshot());
-  return s;
 }
 
 void Simulator::restore(const SimSnapshot& snap,
@@ -978,6 +1196,9 @@ void Simulator::restore(const SimSnapshot& snap,
   seq_ = snap.seq;
   touched_ = snap.touched;
   restoring_ = false;
+  // Incremental-fingerprint caches were frozen (fp_dirty_* no-ops) during
+  // the rebuild; recompute them from the restored state in one pass.
+  fp_rebuild();
   for (std::size_t i = 0; i < observers_.size(); ++i)
     observers_[i]->restore(snap.observers[i].get());
 }

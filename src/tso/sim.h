@@ -38,6 +38,25 @@ class CostObserver;
 class AwarenessObserver;
 class TraceRecorder;
 
+/// How Simulator::fingerprint() is maintained. The incremental mode is the
+/// production path: each machine event folds the changed per-process /
+/// per-variable hash components out of and back into two running
+/// accumulators, so a fingerprint costs O(1) per event instead of a walk
+/// over the whole machine state. Audit mode keeps the same incremental
+/// bookkeeping but additionally recomputes the fingerprint from scratch on
+/// every fingerprint() call and TPA_CHECKs that both agree — the debug
+/// oracle the differential tests (tests/test_fingerprint.cpp) also drive.
+enum class FingerprintMode : std::uint8_t {
+  kIncremental,  ///< O(1) per-event maintenance (default)
+  kAudit,        ///< incremental + from-scratch cross-check on every call
+};
+
+const char* to_string(FingerprintMode m);
+
+/// Inverse of to_string(FingerprintMode); throws CheckFailure on unknown
+/// names (tested by tests/test_enum_strings.cpp).
+FingerprintMode fingerprint_mode_from_string(const std::string& name);
+
 struct SimConfig {
   /// Track awareness sets (Definition 1) via the AwarenessObserver. Needed
   /// by the lower-bound construction; may be disabled for perf runs.
@@ -61,6 +80,9 @@ struct SimConfig {
   /// flushed to shared memory. Irrelevant unless the schedule contains
   /// crash directives.
   CrashModel crash_model = CrashModel::kBufferLost;
+  /// Fingerprint maintenance strategy; kAudit cross-checks the incremental
+  /// fingerprint against a from-scratch recomputation on every call.
+  FingerprintMode fingerprint = FingerprintMode::kIncremental;
 };
 
 /// A shared variable. Coherence-directory state lives in the CostObserver
@@ -287,21 +309,47 @@ class Simulator {
   /// deliberately excluded, so a bare core and a fully instrumented
   /// simulator in the same machine state fingerprint identically.
   ///
+  /// Maintained *incrementally*: every deliver/commit/crash/recover marks
+  /// the per-process and per-variable hash components it touched dirty, and
+  /// fingerprint() folds just those back into two running accumulators — an
+  /// O(1)-per-event cost, never a walk over the full state
+  /// (docs/EXPLORER.md documents the maintenance invariant). Under
+  /// FingerprintMode::kAudit every call is additionally cross-checked
+  /// against fingerprint_oracle().
+  ///
   /// `current` (optional) folds the scheduler's currently running process
   /// into the hash, so explorers can key visited sets on (state, current)
-  /// with a single value. `rename` (optional, length num_procs, a
+  /// with a single value.
+  Fingerprint fingerprint(ProcId current = kNoProc) const;
+
+  /// The debug oracle: the same fingerprint function recomputed from
+  /// scratch by walking the complete machine state. Always equal to
+  /// fingerprint() when `rename` is null — the differential tests pin this
+  /// after every event kind. `rename` (optional, length num_procs, a
   /// permutation) renames every process-id the state mentions — blob
   /// positions, last_writer/owner fields, and `current` — as if processes
-  /// had been permuted at spawn time. Symmetry reduction minimizes over all
-  /// renamings; this is only meaningful for scenarios whose builders and
-  /// programs are invariant under process renaming (runtime::Scenario's
-  /// `symmetric` declaration).
-  Fingerprint fingerprint(ProcId current = kNoProc,
-                          const ProcId* rename = nullptr) const;
+  /// had been permuted at spawn time; only meaningful for scenarios whose
+  /// builders and programs are invariant under process renaming
+  /// (runtime::Scenario's `symmetric` declaration).
+  Fingerprint fingerprint_oracle(ProcId current = kNoProc,
+                                 const ProcId* rename = nullptr) const;
+
+  /// Canonical fingerprint under process-symmetry: fingerprint_oracle()
+  /// evaluated at a canonical renaming chosen in O(vars + procs·log procs)
+  /// by sorting processes on renaming-invariant signatures (blob hash,
+  /// last-writer references, current flag) — near-linear, replacing the old
+  /// min-over-n!-renamings scheme. States in the same renaming orbit map to
+  /// the same key; distinct orbits stay distinct (up to hash collision).
+  /// Only sound on declared-symmetric scenarios; see docs/EXPLORER.md.
+  Fingerprint fingerprint_symmetric(ProcId current = kNoProc) const;
 
   /// Checkpoints the complete machine + observer state. Call only between
   /// scheduler steps (never from inside an observer callback).
   SimSnapshot snapshot() const;
+
+  /// snapshot() into an existing object, reusing its vector capacity —
+  /// explorers pool snapshots to keep branch points allocation-free.
+  void snapshot_into(SimSnapshot& out) const;
 
   /// Reinstates a snapshot taken from a simulator with the same shape: same
   /// process count, same config/observer set, and the same deterministic
@@ -316,6 +364,20 @@ class Simulator {
 
   void resume(Proc& p);
   void note_new_pending(Proc& p);
+
+  // ---- incremental fingerprint maintenance (see sim.cpp) ----
+
+  /// Marks p's blob component stale; fingerprint() re-folds it. O(1).
+  void fp_dirty_proc(ProcId p) const;
+  /// Marks v's component stale; fingerprint() re-folds it. O(1).
+  void fp_dirty_var(VarId v) const;
+  /// Appends a component slot for a newly allocated variable.
+  void fp_grow_var();
+  /// Recomputes every component and both accumulators from the live state
+  /// (used by restore(); also the body of the audit oracle).
+  void fp_rebuild() const;
+  /// Folds all dirty components back into the accumulators.
+  void fp_flush() const;
 
   /// Stamps the event, counts it, and runs the observer pipeline.
   void dispatch(Proc& p, Event& e, const StepContext& ctx);
@@ -337,6 +399,24 @@ class Simulator {
   std::uint64_t work_events_ = 0;
   std::uint64_t* events_sink_ = nullptr;
   bool restoring_ = false;
+
+  // Incremental fingerprint state. The fingerprint is a pure function of
+  // the machine state, so the caches are `mutable`: fingerprint() flushes
+  // the dirty lists from const context. fp_x_ is an XOR of per-component
+  // scrambles, fp_s_ a sum of independently scrambled ones — two invertible
+  // commutative group operations, so a changed component folds out in O(1).
+  mutable std::vector<std::uint64_t> fp_var_;   ///< per-variable components
+  mutable std::vector<std::uint64_t> fp_proc_;  ///< per-process blob hashes
+  mutable std::uint64_t fp_x_ = 0;
+  mutable std::uint64_t fp_s_ = 0;
+  mutable std::vector<VarId> fp_dirty_vars_;
+  mutable std::vector<ProcId> fp_dirty_procs_;
+  mutable std::vector<std::uint8_t> fp_var_stale_;
+  mutable std::vector<std::uint8_t> fp_proc_stale_;
+  /// Scratch for fingerprint_symmetric (avoids per-call allocation).
+  mutable std::vector<ProcId> fp_rank_;
+  mutable std::vector<std::uint64_t> fp_wref_;
+  mutable std::vector<ProcId> fp_order_;
 
   std::vector<std::unique_ptr<SimObserver>> observers_;
   // Raw views into observers_ for the hot paths / typed accessors.

@@ -1,0 +1,100 @@
+#include "tso/visited.h"
+
+namespace tpa::tso {
+
+namespace {
+
+/// Spinlock guard that compiles down to nothing when `enabled` is false —
+/// the single-threaded exploration path takes no locks at all.
+class ShardLock {
+ public:
+  ShardLock(std::atomic_flag& flag, bool enabled)
+      : flag_(flag), enabled_(enabled) {
+    if (!enabled_) return;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~ShardLock() {
+    if (enabled_) flag_.clear(std::memory_order_release);
+  }
+
+  ShardLock(const ShardLock&) = delete;
+  ShardLock& operator=(const ShardLock&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+  const bool enabled_;
+};
+
+}  // namespace
+
+VisitedSet::VisitedSet(bool concurrent) : concurrent_(concurrent) {
+  for (Shard& s : shards_) s.slots.resize(kInitialSlots);
+}
+
+bool VisitedSet::subsumed(const Fingerprint& fp, const Budget& b) const {
+  const Shard& s = shard(fp);
+  ShardLock lock(s.lock, concurrent_);
+  const std::size_t mask = s.slots.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(fp.lo) & mask;;
+       i = (i + 1) & mask) {
+    const Slot& slot = s.slots[i];
+    if (!slot.used) return false;  // chains are contiguous: fp is absent
+    if (slot.fp == fp && slot.budget.dominates(b)) return true;
+  }
+}
+
+bool VisitedSet::insert(const Fingerprint& fp, const Budget& b) {
+  Shard& s = shard(fp);
+  ShardLock lock(s.lock, concurrent_);
+  // Growth happens before the probe so the claimed slot index stays valid.
+  if ((s.live + 1) * 10 > s.slots.size() * 7) rehash_grow(s);
+  const std::size_t mask = s.slots.size() - 1;
+  Slot* reuse = nullptr;
+  std::size_t i = static_cast<std::size_t>(fp.lo) & mask;
+  // One pass over the whole chain: a dominating entry anywhere wins (return
+  // false), and only then may a dominated same-fingerprint slot be
+  // overwritten. Extra dominated entries further along the chain are left
+  // in place — stale but sound, since each is an independently valid
+  // fully-explored claim.
+  for (;; i = (i + 1) & mask) {
+    Slot& slot = s.slots[i];
+    if (!slot.used) break;
+    if (slot.fp != fp) continue;
+    if (slot.budget.dominates(b)) return false;
+    if (reuse == nullptr && b.dominates(slot.budget)) reuse = &slot;
+  }
+  if (reuse != nullptr) {
+    reuse->budget = b;
+    return true;
+  }
+  Slot& slot = s.slots[i];
+  slot.fp = fp;
+  slot.budget = b;
+  slot.used = true;
+  s.live++;
+  return true;
+}
+
+std::size_t VisitedSet::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    ShardLock lock(s.lock, concurrent_);
+    total += s.live;
+  }
+  return total;
+}
+
+void VisitedSet::rehash_grow(Shard& s) {
+  std::vector<Slot> old = std::move(s.slots);
+  s.slots.assign(old.size() * 2, Slot{});
+  const std::size_t mask = s.slots.size() - 1;
+  for (const Slot& slot : old) {
+    if (!slot.used) continue;
+    std::size_t i = static_cast<std::size_t>(slot.fp.lo) & mask;
+    while (s.slots[i].used) i = (i + 1) & mask;
+    s.slots[i] = slot;
+  }
+}
+
+}  // namespace tpa::tso

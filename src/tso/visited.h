@@ -1,0 +1,97 @@
+// VisitedSet — the explorer's state-dedup store (DedupMode::kState).
+//
+// Visited states are keyed on the (canonical) 128-bit fingerprint — which
+// already folds in the scheduler's current process — and guarded by the
+// *remaining* adversary budgets. An entry means: from this state, with these
+// budgets, the whole subtree was explored and found violation-free. A later
+// visit may be pruned only if some stored entry dominates its budgets on
+// every component: whatever the weaker visit could reach, the stronger one
+// already covered.
+//
+// Layout: power-of-two shards of open-addressed, linearly-probed flat slot
+// arrays. One (fingerprint, budget) pair per slot; incomparable budgets for
+// the same fingerprint occupy separate slots along the probe chain. There is
+// no deletion: when a new budget dominates a stored one for the same
+// fingerprint, the slot is overwritten in place — sound because dominance is
+// transitive, so every visit the old entry could prune, the new one prunes
+// too. A shard rehashes into twice the slots at 70% load.
+//
+// Concurrency: in single-threaded explorations (the common case, and the
+// whole bench matrix) no atomics are touched at all. With `concurrent`
+// construction each shard is guarded by a spinlock — an uncontended
+// test-and-set on the fast path, with the shard index taken from fp.hi and
+// the probe index from fp.lo so parallel workers land on different shards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tso/sim.h"
+
+namespace tpa::tso {
+
+class VisitedSet {
+ public:
+  /// The remaining adversary budgets at a visit, compared pointwise.
+  struct Budget {
+    int preemptions = 0;
+    int crashes = 0;
+    std::uint64_t steps_left = 0;
+
+    bool dominates(const Budget& b) const {
+      return preemptions >= b.preemptions && crashes >= b.crashes &&
+             steps_left >= b.steps_left;
+    }
+  };
+
+  /// `concurrent` enables the per-shard spinlocks; leave it false for
+  /// single-threaded explorations and no lock is ever touched.
+  explicit VisitedSet(bool concurrent = false);
+
+  VisitedSet(const VisitedSet&) = delete;
+  VisitedSet& operator=(const VisitedSet&) = delete;
+
+  /// True if a stored entry for fp dominates b (the visit may be pruned).
+  bool subsumed(const Fingerprint& fp, const Budget& b) const;
+
+  /// Records a fully explored, violation-free visit. Returns false when an
+  /// existing entry already dominates it (nothing stored); otherwise stores
+  /// it — overwriting a dominated same-fingerprint entry in place if the
+  /// probe chain holds one — and returns true.
+  bool insert(const Fingerprint& fp, const Budget& b);
+
+  /// Live entries across all shards (exact when quiescent).
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    Fingerprint fp;
+    Budget budget;
+    bool used = false;
+  };
+
+  struct Shard {
+    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<Slot> slots;  ///< size is always a power of two
+    std::size_t live = 0;
+  };
+
+  static constexpr std::size_t kShards = 64;        // power of two
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+
+  Shard& shard(const Fingerprint& fp) const {
+    // fp.hi picks the shard, fp.lo the probe start: the two words are
+    // independently mixed, so shard balance does not distort probe chains.
+    return shards_[static_cast<std::size_t>(fp.hi) & (kShards - 1)];
+  }
+
+  static void rehash_grow(Shard& s);
+
+  const bool concurrent_;
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace tpa::tso

@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "runtime/scenario.h"
 #include "tso/fuzz.h"
 #include "tso/schedule.h"
+#include "tso/visited.h"
 #include "util/check.h"
 
 namespace tpa {
@@ -119,6 +123,93 @@ TEST(FuzzSmoke, StateDedupKeepsVerdictsAndWitnessesBitIdentical) {
   EXPECT_GT(sb.dedup_hits, 0u) << "pruning must fire on the safe scope";
   EXPECT_LT(sb.steps, sa.steps)
       << "pruning must reduce executed machine events";
+}
+
+// Visited-set semantics under forced shard collisions: every fingerprint
+// shares the same `hi` word, so all entries land in one shard and the probe
+// chains + in-place growth get exercised far past the initial table size.
+// Runs under the sanitize label so the open-addressing code gets an
+// ASan+UBSan pass in tier-1 CI.
+TEST(FuzzSmoke, VisitedSetDominanceSurvivesForcedCollisionsAndGrowth) {
+  using tso::VisitedSet;
+  VisitedSet set(/*concurrent=*/false);
+  const std::uint64_t hi = 0xABCDEF0123456789ULL;
+
+  // Dominance ordering on a single key: weaker budgets are subsumed, a
+  // strictly stronger claim overwrites in place (size must not grow).
+  const tso::Fingerprint fp{/*lo=*/42, hi};
+  EXPECT_FALSE(set.subsumed(fp, {1, 0, 50}));
+  EXPECT_TRUE(set.insert(fp, {1, 0, 50}));
+  EXPECT_TRUE(set.subsumed(fp, {1, 0, 50}));
+  EXPECT_TRUE(set.subsumed(fp, {0, 0, 10}));
+  EXPECT_FALSE(set.subsumed(fp, {2, 0, 50})) << "more preemptions left";
+  EXPECT_FALSE(set.subsumed(fp, {1, 1, 50})) << "more crashes left";
+  EXPECT_FALSE(set.subsumed(fp, {1, 0, 51})) << "more steps left";
+  const std::size_t before = set.size();
+  EXPECT_TRUE(set.insert(fp, {3, 1, 99})) << "stronger claim must land";
+  EXPECT_EQ(set.size(), before) << "stronger claim overwrites in place";
+  EXPECT_TRUE(set.subsumed(fp, {2, 1, 70}));
+  EXPECT_FALSE(set.insert(fp, {2, 0, 40}))
+      << "a dominated claim adds nothing";
+
+  // Incomparable budgets must coexist: neither dominates the other.
+  const tso::Fingerprint fp2{/*lo=*/43, hi};
+  EXPECT_TRUE(set.insert(fp2, {2, 0, 10}));
+  EXPECT_TRUE(set.insert(fp2, {0, 0, 99})) << "incomparable claim must land";
+  EXPECT_TRUE(set.subsumed(fp2, {1, 0, 5}));
+  EXPECT_TRUE(set.subsumed(fp2, {0, 0, 80}));
+
+  // Growth: push one shard far past its initial capacity (1024 slots,
+  // grows at ~70% load) and verify every claim is still retrievable.
+  for (std::uint64_t lo = 0; lo < 4'000; ++lo)
+    EXPECT_TRUE(set.insert({lo + 100, hi},
+                           {static_cast<int>(lo % 3), 0, lo}));
+  for (std::uint64_t lo = 0; lo < 4'000; ++lo) {
+    EXPECT_TRUE(set.subsumed({lo + 100, hi},
+                             {static_cast<int>(lo % 3), 0, lo}))
+        << lo;
+    EXPECT_FALSE(set.subsumed({lo + 100, hi},
+                              {static_cast<int>(lo % 3), 1, lo}))
+        << lo;
+  }
+  EXPECT_GE(set.size(), 4'000u);
+}
+
+// Concurrent stress: many threads hammer the same shard (shared `hi`) with
+// overlapping keys and mixed budgets, forcing lock contention, probe-chain
+// races, and under-lock growth. Sound outcome: after the dust settles every
+// key holds a claim at least as strong as the strongest inserted one. The
+// sanitize twin runs this under ASan+UBSan (and the spinlocks keep TSan-like
+// interleavings honest on a single core via yielding contention).
+TEST(FuzzSmoke, VisitedSetConcurrentInsertsKeepStrongestClaim) {
+  using tso::VisitedSet;
+  VisitedSet set(/*concurrent=*/true);
+  const std::uint64_t hi = 0x5115511551155115ULL;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 1'500;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&set, hi, t] {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        // Thread t claims key k with budget strength t (totally ordered so
+        // the strongest surviving claim is well-defined: kThreads - 1).
+        set.insert({k, hi}, {t, t, static_cast<std::uint64_t>(t)});
+        // Interleave reads; any answer is fine, it must just not crash.
+        (void)set.subsumed({(k * 7) % kKeys, hi}, {0, 0, 0});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(set.subsumed(
+        {k, hi}, {kThreads - 1, kThreads - 1, kThreads - 1}))
+        << "key " << k << " lost the strongest inserted claim";
+    EXPECT_FALSE(set.subsumed({k, hi}, {kThreads, 0, 0}))
+        << "key " << k << " reports a claim nobody inserted";
+  }
 }
 
 }  // namespace

@@ -67,6 +67,18 @@ TEST(EnumStrings, SymmetryModeRoundTripsAndNamesAreUnique) {
   EXPECT_EQ(seen.size(), 2u) << "update when SymmetryMode grows";
 }
 
+TEST(EnumStrings, FingerprintModeRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto m :
+       {tso::FingerprintMode::kIncremental, tso::FingerprintMode::kAudit}) {
+    const std::string name = tso::to_string(m);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::fingerprint_mode_from_string(name), m) << name;
+  }
+  EXPECT_EQ(seen.size(), 2u) << "update when FingerprintMode grows";
+}
+
 TEST(EnumStrings, UnknownNamesAreRejected) {
   EXPECT_THROW(tso::event_kind_from_string("bogus"), CheckFailure);
   EXPECT_THROW(tso::event_kind_from_string(""), CheckFailure);
@@ -76,6 +88,18 @@ TEST(EnumStrings, UnknownNamesAreRejected) {
   EXPECT_THROW(tso::dedup_mode_from_string(""), CheckFailure);
   EXPECT_THROW(tso::symmetry_mode_from_string("bogus"), CheckFailure);
   EXPECT_THROW(tso::symmetry_mode_from_string(""), CheckFailure);
+  EXPECT_THROW(tso::fingerprint_mode_from_string("bogus"), CheckFailure);
+  EXPECT_THROW(tso::fingerprint_mode_from_string(""), CheckFailure);
+  try {
+    (void)tso::fingerprint_mode_from_string("oracle");
+    FAIL() << "unknown FingerprintMode name must be rejected";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown FingerprintMode"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("'oracle'"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(EnumStrings, EventToStringCoversEveryKind) {
