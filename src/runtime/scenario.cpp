@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "algos/zoo.h"
+#include "trace/campaign.h"
 #include "util/check.h"
 
 namespace tpa::runtime {
@@ -17,7 +18,23 @@ tso::ExplorerResult Scenario::explore(tso::ExplorerConfig config) const {
   TPA_CHECK(config.symmetric_processes == tso::SymmetryMode::kOff || symmetric,
             "scenario '" << name << "' does not declare symmetric processes "
             "— symmetry reduction would be unsound on it");
+  if (!config.campaign_path.empty()) config.campaign_scenario = name;
   return tso::explore(n_procs, sim, build, std::move(config));
+}
+
+tso::ExplorerResult resume(const std::string& campaign_path,
+                           const tso::ResumeOptions& options) {
+  const trace::Campaign header = trace::read_campaign_file(campaign_path);
+  TPA_CHECK(!header.scenario.empty(),
+            "resume: campaign '" << campaign_path << "' records no scenario "
+            "id — it was started via raw tso::explore; resume it with "
+            "tso::resume and an explicit builder");
+  const Scenario* scenario = find_scenario(header.scenario);
+  TPA_CHECK(scenario != nullptr, "resume: campaign scenario '"
+                                     << header.scenario
+                                     << "' is not in the registry");
+  return tso::resume(campaign_path, scenario->n_procs, scenario->sim,
+                     scenario->build, options);
 }
 
 tso::FuzzResult Scenario::fuzz(const tso::FuzzConfig& config) const {

@@ -47,7 +47,10 @@ struct Scenario {
   /// Exhaustive exploration under `config`. Rejects (via check.h)
   /// config.symmetric_processes != kOff unless the scenario declares
   /// `symmetric` — the structural probe inside tso::explore cannot see
-  /// late pid-dependence, so the declaration is load-bearing.
+  /// late pid-dependence, so the declaration is load-bearing. When
+  /// config.campaign_path is set, the campaign header records this
+  /// scenario's name so runtime::resume() can resolve the builder from the
+  /// registry alone.
   tso::ExplorerResult explore(tso::ExplorerConfig config = {}) const;
 
   /// Seeded schedule fuzzing under `config`.
@@ -78,6 +81,14 @@ tso::ScenarioBuilder recoverable_scenario(int n,
 tso::ScenarioBuilder zoo_scenario(const char* name, int n, int passages);
 
 // ---- the registry ---------------------------------------------------------
+
+/// Continues (or reports) the exploration campaign checkpointed at
+/// `campaign_path` (see tso::resume). The scenario is resolved from the
+/// campaign header through the registry — a campaign started via
+/// Scenario::explore resumes with nothing but the file path. Rejects (via
+/// check.h) campaigns whose scenario id is absent from the registry.
+tso::ExplorerResult resume(const std::string& campaign_path,
+                           const tso::ResumeOptions& options = {});
 
 /// Every named scenario, stable across runs. Ids are stored in corpus
 /// witness files; renaming or removing an entry invalidates the corpus.

@@ -1,0 +1,76 @@
+#include "trace/atomic_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace tpa::trace {
+
+namespace {
+
+/// fsync through a fresh descriptor: fsync(2) flushes the *file* (inode),
+/// not the descriptor, so syncing via a reopened fd covers data written
+/// through any earlier stream to the same file.
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  TPA_CHECK(fd >= 0, "atomic write: cannot open '" << tmp
+                         << "': " << std::strerror(errno));
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ok = (::fsync(fd) == 0) && ok;
+  ok = (::close(fd) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    TPA_FAIL("atomic write: short write or failed fsync on '" << tmp << "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    TPA_FAIL("atomic write: rename '" << tmp << "' -> '" << path
+                                      << "' failed: " << std::strerror(err));
+  }
+}
+
+void fsync_rename(const std::string& tmp_path, const std::string& path) {
+  if (!fsync_path(tmp_path)) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    TPA_FAIL("atomic write: fsync '" << tmp_path
+                                     << "' failed: " << std::strerror(err));
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    TPA_FAIL("atomic write: rename '" << tmp_path << "' -> '" << path
+                                      << "' failed: " << std::strerror(err));
+  }
+}
+
+}  // namespace tpa::trace

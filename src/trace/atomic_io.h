@@ -1,0 +1,29 @@
+// Atomic, durable file publication — the one write path every artifact the
+// tool leaves behind goes through (witness files, campaign checkpoints,
+// bench JSON, finalized JSONL trace streams).
+//
+// The contract: the final name either holds the complete previous content or
+// the complete new content, never a torn mix, even if the writing process is
+// SIGKILLed at an arbitrary instruction. Content is written to a sibling
+// "<path>.tmp", fsync'd to stable storage *before* the rename, and only then
+// renamed over the target — rename(2) is atomic on POSIX, and the fsync
+// ensures the data the rename publishes is actually on disk (without it, a
+// power loss shortly after the rename can surface a zero-length file).
+#pragma once
+
+#include <string>
+
+namespace tpa::trace {
+
+/// Writes `content` to "<path>.tmp", fsyncs it, and renames it over `path`.
+/// Raises CheckFailure on any I/O error (the tmp file is removed on
+/// failure, so retries start clean).
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Publishes an already-written temporary file: fsyncs `tmp_path`, then
+/// renames it to `path`. For streaming writers (JsonlTraceSink) that build
+/// the temporary incrementally and publish once on close. Raises
+/// CheckFailure on failure, removing `tmp_path` first.
+void fsync_rename(const std::string& tmp_path, const std::string& path);
+
+}  // namespace tpa::trace

@@ -1,6 +1,5 @@
 #include "trace/format.h"
 
-#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -8,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "trace/atomic_io.h"
 #include "util/check.h"
 
 namespace tpa::trace {
@@ -203,20 +203,9 @@ Witness witness_from_string(const std::string& text) {
 }
 
 void write_witness_file(const std::string& path, const Witness& witness) {
-  // tmp-then-rename: the final name only ever holds a complete witness.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    TPA_CHECK(os.good(), "witness: cannot open '" << tmp << "' for writing");
-    write_witness(os, witness);
-    os.flush();
-    TPA_CHECK(os.good(), "witness: short write to '" << tmp << "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp);
-  TPA_CHECK(!ec, "witness: rename '" << tmp << "' -> '" << path
-                                     << "' failed: " << ec.message());
+  // tmp + fsync + rename (trace/atomic_io.h): the final name only ever
+  // holds a complete witness, even across a SIGKILL or power loss.
+  atomic_write_file(path, witness_to_string(witness));
 }
 
 bool try_read_witness_file(const std::string& path, Witness* out,

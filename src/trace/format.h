@@ -77,11 +77,11 @@ Witness read_witness(std::istream& is);
 std::string witness_to_string(const Witness& witness);
 Witness witness_from_string(const std::string& text);
 
-/// Writes the witness to `path` atomically: the text is written to a
-/// sibling "<path>.tmp" file and renamed over the target only after the
-/// write is verified, so a crash (or full disk) mid-write can never leave a
-/// truncated witness under the final name. Raises CheckFailure on I/O
-/// errors.
+/// Writes the witness to `path` atomically (trace/atomic_io.h): the text is
+/// written to a sibling "<path>.tmp" file, fsync'd, and only then renamed
+/// over the target, so a crash (or full disk, or SIGKILL) mid-write can
+/// never leave a truncated witness under the final name. Raises
+/// CheckFailure on I/O errors.
 void write_witness_file(const std::string& path, const Witness& witness);
 
 /// Lenient counterpart to read_witness for corpus loading: returns false —

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "trace/campaign.h"
 #include "tso/fuzz.h"
 #include "tso/visited.h"
 #include "util/check.h"
@@ -45,7 +46,10 @@ std::string ExplorerResult::to_json() const {
      << ",\"violation_found\":" << (violation_found ? "true" : "false")
      << ",\"snapshots\":" << snapshots << ",\"restores\":" << restores
      << ",\"dedup_hits\":" << dedup_hits
-     << ",\"dedup_states\":" << dedup_states << "}";
+     << ",\"dedup_states\":" << dedup_states
+     << ",\"dedup_entries\":" << dedup_entries
+     << ",\"dedup_bytes\":" << dedup_bytes
+     << ",\"dedup_evictions\":" << dedup_evictions << "}";
   return os.str();
 }
 
@@ -233,6 +237,50 @@ struct Node {
   std::shared_ptr<const SimSnapshot> snap;
 };
 
+// ---- durable campaign checkpointing --------------------------------------
+
+/// One unexplored sibling at an open branch point of the running DFS. The
+/// directive and the child's budgets are computed when the branch point is
+/// expanded (the parent state is still intact then), so a checkpoint can
+/// serialize pending children without touching the simulator.
+struct PendingChild {
+  Directive d;
+  ProcId current = kNoProc;
+  int preemptions = 0;
+  int crashes_left = 0;
+};
+
+/// The recursion stack's view of one branch point: children [next..) are
+/// still unexplored, and the node's directive prefix is the first
+/// `prefix_len` entries of the DFS' running `dirs_`.
+struct Level {
+  std::size_t prefix_len = 0;
+  std::size_t next = 0;
+  std::vector<PendingChild> children;
+};
+
+/// Shared context for campaign-mode exploration (sequential only). The
+/// checkpoint a Dfs writes is (aggregate stats so far) + (every unexplored
+/// subtree root): the current node, the open levels' pending children
+/// innermost-first, then the outer frontier nodes not yet started. That
+/// tiles the remaining schedule tree exactly — resuming from any checkpoint
+/// reproduces the uninterrupted run's verdict, witness and (dedup off)
+/// counts; work done after the checkpoint is simply redone.
+struct CampaignRecorder {
+  std::string path;
+  std::chrono::milliseconds interval{250};
+  std::chrono::steady_clock::time_point next_write;
+  bool suspended = false;  ///< deadline checkpoint written; no more writes
+  /// Identity + config fields, with stats holding the *baseline* carried in
+  /// from the resumed file (all zero for a fresh campaign).
+  trace::Campaign base;
+  /// Accumulated stats of frontier nodes already fully explored this leg.
+  ExplorerResult done;
+  /// Frontier nodes of this leg; [outer_next..) are not yet started.
+  const std::vector<trace::CampaignNode>* outer = nullptr;
+  std::size_t outer_next = 0;
+};
+
 // ---- the DFS core (runs from the root, or from a frontier prefix) --------
 
 class Dfs {
@@ -244,13 +292,14 @@ class Dfs {
 
   Dfs(std::size_t n_procs, const SimConfig& sim_config,
       const ScenarioBuilder& build, const ExplorerConfig& config,
-      Shared* shared, std::size_t index)
+      Shared* shared, std::size_t index, CampaignRecorder* camp = nullptr)
       : n_(n_procs),
         sim_cfg_(sim_config),
         build_(build),
         cfg_(config),
         shared_(shared),
         index_(index),
+        camp_(camp),
         dedup_(config.dedup != DedupMode::kOff),
         symmetric_(config.symmetric_processes == SymmetryMode::kCanonical) {}
 
@@ -261,8 +310,23 @@ class Dfs {
 
   void run_from(const Node& node) {
     dirs_ = node.dirs;
-    auto sim = (cfg_.checkpoint && node.snap != nullptr) ? revive(*node.snap)
-                                                         : rebuild();
+    std::unique_ptr<Simulator> sim;
+    if (cfg_.checkpoint && node.snap != nullptr) {
+      sim = revive(*node.snap);
+    } else {
+      // A campaign frontier node's last directive is an *unapplied* child
+      // step: replaying it may legitimately raise the violation the
+      // uninterrupted run would have found at that branch, so the replay
+      // records it instead of letting the exception escape. (Parallel-mode
+      // prefixes were pre-validated by the frontier builder; for them this
+      // also converts a diverged replay into a loud violation.)
+      try {
+        sim = rebuild();
+      } catch (const CheckFailure& e) {
+        record_violation(e.what());
+        return;
+      }
+    }
     dfs(std::move(sim), node.current, node.preemptions, node.crashes_left,
         node.sleep);
   }
@@ -330,6 +394,81 @@ class Dfs {
     if (shared_->visited->insert(key, b)) result_.dedup_states++;
   }
 
+  /// Serializes the current checkpoint: baseline + finished-node + this
+  /// node's partial stats, and every unexplored subtree root — optionally
+  /// the node being entered, then the open levels' pending children
+  /// (innermost first — DFS completion order), then the outer frontier.
+  void write_checkpoint(bool include_current, ProcId current, int preemptions,
+                        int crashes_left) {
+    trace::Campaign c = camp_->base;
+    c.frontier.clear();
+    c.complete = false;
+    c.exhausted = true;
+    c.violation_found = false;
+    c.violation.clear();
+    c.witness.clear();
+    const ExplorerResult& d = camp_->done;
+    c.schedules += d.schedules + result_.schedules;
+    c.steps += d.steps + result_.steps;
+    c.truncated += d.truncated + result_.truncated;
+    c.snapshots += d.snapshots + result_.snapshots;
+    c.restores += d.restores + result_.restores;
+    c.dedup_hits += d.dedup_hits + result_.dedup_hits;
+    c.dedup_states += d.dedup_states + result_.dedup_states;
+    if (shared_->visited != nullptr)
+      c.dedup_evictions += shared_->visited->evictions();
+    if (include_current)
+      c.frontier.push_back(
+          trace::CampaignNode{current, preemptions, crashes_left, dirs_});
+    for (auto lvl = levels_.rbegin(); lvl != levels_.rend(); ++lvl) {
+      for (std::size_t k = lvl->next; k < lvl->children.size(); ++k) {
+        const PendingChild& ch = lvl->children[k];
+        trace::CampaignNode node{
+            ch.current, ch.preemptions, ch.crashes_left,
+            {dirs_.begin(),
+             dirs_.begin() + static_cast<std::ptrdiff_t>(lvl->prefix_len)}};
+        node.dirs.push_back(ch.d);
+        c.frontier.push_back(std::move(node));
+      }
+    }
+    if (camp_->outer != nullptr)
+      for (std::size_t k = camp_->outer_next; k < camp_->outer->size(); ++k)
+        c.frontier.push_back((*camp_->outer)[k]);
+    trace::write_campaign_file(camp_->path, c);
+  }
+
+  /// Periodic checkpoint, rate-limited by the configured interval. Runs at
+  /// node entry only (never mid-unwind), where the level stack is a
+  /// consistent picture of the remaining work. Self-pacing: a checkpoint
+  /// write is fsync-bound and can cost more than the interval itself (slow
+  /// or containerized filesystems), and a naive `now - last >= interval`
+  /// check then fires at *every* node entry — the exploration starves on
+  /// its own durability. Deferring the next write by a multiple of the
+  /// last write's measured cost bounds checkpoint overhead at ~20% of wall
+  /// clock whatever the filesystem does.
+  void maybe_periodic(ProcId current, int preemptions, int crashes_left) {
+    const auto start = std::chrono::steady_clock::now();
+    if (start < camp_->next_write) return;
+    write_checkpoint(/*include_current=*/true, current, preemptions,
+                     crashes_left);
+    const auto end = std::chrono::steady_clock::now();
+    camp_->next_write = end + std::max<std::chrono::steady_clock::duration>(
+                                  camp_->interval, (end - start) * 4);
+  }
+
+  /// One-time checkpoint when the wall-clock budget trips, taken at the
+  /// stop() site that first observes it (the stack is consistent there) so
+  /// the suspended campaign loses no more work than one subtree step. Other
+  /// stop causes don't suspend: a violation or exhausted schedule budget
+  /// ends the campaign terminally in explore_impl.
+  void maybe_suspend(bool include_current, ProcId current, int preemptions,
+                     int crashes_left) {
+    if (camp_ == nullptr || camp_->suspended) return;
+    if (!shared_->deadline_tripped.load(std::memory_order_relaxed)) return;
+    camp_->suspended = true;
+    write_checkpoint(include_current, current, preemptions, crashes_left);
+  }
+
   bool stop() {
     if (result_.violation_found) return true;
     if (shared_->beaten(index_)) return true;
@@ -362,7 +501,12 @@ class Dfs {
   /// trust any entry it reads, which keeps cross-thread pruning sound.
   bool dfs(std::unique_ptr<Simulator> sim, ProcId current, int preemptions,
            int crashes_left, SleepSet sleep) {
-    if (stop()) return false;
+    if (stop()) {
+      maybe_suspend(/*include_current=*/true, current, preemptions,
+                    crashes_left);
+      return false;
+    }
+    if (camp_ != nullptr) maybe_periodic(current, preemptions, crashes_left);
     if (dirs_.size() >= cfg_.max_steps) {
       result_.truncated++;
       shared_->charge();
@@ -434,8 +578,34 @@ class Dfs {
     if (cfg_.checkpoint && opt.options.size() + opt.crash_cand.size() > 1)
       snap = take_snapshot(*sim);
 
+    // Campaign mode: materialize this branch point's children now, while
+    // the parent state is intact — directives and budgets exactly as the
+    // loops below will compute them — so a checkpoint taken anywhere in the
+    // subtree can serialize the still-pending siblings.
+    if (camp_ != nullptr) {
+      Level lvl;
+      lvl.prefix_len = dirs_.size();
+      lvl.children.reserve(opt.options.size() + opt.crash_cand.size());
+      for (const ProcId p : opt.options) {
+        const int cost = (opt.current_runnable && p != current) ? 1 : 0;
+        lvl.children.push_back(
+            PendingChild{make_directive(*sim, p), p, preemptions - cost,
+                         crashes_left});
+      }
+      for (const ProcId p : opt.crash_cand)
+        lvl.children.push_back(PendingChild{
+            Directive{ActionKind::kCrash, p}, current, preemptions,
+            crashes_left - 1});
+      levels_.push_back(std::move(lvl));
+    }
+
     for (std::size_t i = 0; i < opt.options.size(); ++i) {
-      if (stop()) return false;
+      if (stop()) {
+        maybe_suspend(/*include_current=*/false, current, preemptions,
+                      crashes_left);
+        return false;
+      }
+      if (camp_ != nullptr) levels_.back().next = i + 1;
       const ProcId p = opt.options[i];
       if (cfg_.sleep_sets &&
           std::any_of(sleep.begin(), sleep.end(),
@@ -475,8 +645,14 @@ class Dfs {
     // leaves `current` in place. It is dependent with everything (memory
     // and buffers change wholesale), so crash children start with an empty
     // sleep set and are never themselves sleep-pruned.
-    for (const ProcId p : opt.crash_cand) {
-      if (stop()) return false;
+    for (std::size_t j = 0; j < opt.crash_cand.size(); ++j) {
+      const ProcId p = opt.crash_cand[j];
+      if (stop()) {
+        maybe_suspend(/*include_current=*/false, current, preemptions,
+                      crashes_left);
+        return false;
+      }
+      if (camp_ != nullptr) levels_.back().next = opt.options.size() + j + 1;
       if (sim == nullptr)  // a previous child consumed it
         sim = snap != nullptr ? revive(*snap) : rebuild();
       const Directive d{ActionKind::kCrash, p};
@@ -496,6 +672,7 @@ class Dfs {
       if (!child_complete) return false;
     }
 
+    if (camp_ != nullptr) levels_.pop_back();
     if (dedup_here) record_visited(key, budget);
     return true;
   }
@@ -506,13 +683,55 @@ class Dfs {
   const ExplorerConfig& cfg_;
   Shared* shared_;
   std::size_t index_;
+  CampaignRecorder* camp_ = nullptr;
   bool dedup_ = false;
   bool symmetric_ = false;
   /// Recycled branch-point snapshots (see take_snapshot).
   std::vector<std::unique_ptr<SimSnapshot>> snap_pool_;
   std::vector<Directive> dirs_;
   ExplorerResult result_;
+  /// Campaign mode: one entry per open branch point of the recursion.
+  std::vector<Level> levels_;
 };
+
+/// Explores a campaign's frontier nodes in DFS order, each in a fresh Dfs.
+/// The first violation wins (matching first-in-DFS-order semantics) and a
+/// tripped schedule or wall-clock budget abandons the remaining nodes, so
+/// the aggregate is exactly what an uninterrupted sequential run reports.
+ExplorerResult run_campaign_nodes(std::size_t n_procs, const SimConfig& eff,
+                                  const ScenarioBuilder& build,
+                                  const ExplorerConfig& config, Shared* shared,
+                                  CampaignRecorder* camp,
+                                  const std::vector<trace::CampaignNode>& nodes) {
+  ExplorerResult total;
+  camp->outer = &nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    camp->outer_next = i + 1;
+    Dfs dfs(n_procs, eff, build, config, shared, 0, camp);
+    dfs.run_from(Node{nodes[i].dirs, nodes[i].current, nodes[i].preemptions,
+                      nodes[i].crashes_left, {}, nullptr});
+    ExplorerResult sub = dfs.take_result();
+    total.schedules += sub.schedules;
+    total.steps += sub.steps;
+    total.truncated += sub.truncated;
+    total.snapshots += sub.snapshots;
+    total.restores += sub.restores;
+    total.dedup_hits += sub.dedup_hits;
+    total.dedup_states += sub.dedup_states;
+    camp->done = total;
+    if (sub.violation_found) {
+      total.violation_found = true;
+      total.violation = std::move(sub.violation);
+      total.witness = std::move(sub.witness);
+      break;
+    }
+    if (!sub.exhausted) {
+      total.exhausted = false;
+      break;
+    }
+  }
+  return total;
+}
 
 // ---- frontier partitioning for the parallel mode -------------------------
 
@@ -788,10 +1007,33 @@ void validate_symmetric_scenario(std::size_t n_procs, const SimConfig& cfg,
   }
 }
 
-}  // namespace
+/// The campaign header's identity + config fields for a fresh campaign
+/// (baseline stats all zero).
+trace::Campaign campaign_identity(std::size_t n_procs, const SimConfig& sim,
+                                  const ExplorerConfig& cfg) {
+  trace::Campaign c;
+  c.scenario = cfg.campaign_scenario;
+  c.n_procs = n_procs;
+  c.pso = sim.pso;
+  c.crash_model = sim.crash_model;
+  c.preemptions = cfg.preemptions;
+  c.max_steps = cfg.max_steps;
+  c.max_schedules = cfg.max_schedules;
+  c.max_crashes = cfg.max_crashes;
+  c.dedup = cfg.dedup;
+  c.symmetry = cfg.symmetric_processes;
+  c.dedup_max_bytes = cfg.dedup_max_bytes;
+  c.shrink = cfg.shrink;
+  c.checkpoint = cfg.checkpoint;
+  return c;
+}
 
-ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
-                       const ScenarioBuilder& build, ExplorerConfig config) {
+/// The whole exploration, fresh or resumed: `loaded` carries a resumed
+/// campaign's baseline stats and frontier (null for explore()).
+ExplorerResult explore_impl(std::size_t n_procs, SimConfig sim_config,
+                            const ScenarioBuilder& build,
+                            const ExplorerConfig& config,
+                            const trace::Campaign* loaded) {
   // With no per-schedule hook the exploration only counts schedules and
   // checks exclusion: run the bare core (plus ExclusionChecker) and log
   // directives in the explorer itself — no trace, awareness or cost
@@ -824,12 +1066,68 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
               "only canonicalizes visited-set fingerprints)");
     validate_symmetric_scenario(n_procs, eff, build);
   }
+  const bool campaign = !config.campaign_path.empty();
+  if (campaign) {
+    // The checkpoint partitions the *sequential* DFS; the parallel mode has
+    // its own frontier machinery and no single consistent recursion stack.
+    TPA_CHECK(config.threads <= 1,
+              "campaign: checkpointing serializes the sequential DFS "
+              "frontier — run with threads == 1 (resume legs may still pick "
+              "any wall-clock budget)");
+    // A hook is process-local state (closures, captured observers) that a
+    // resuming process cannot reinstate from a file.
+    TPA_CHECK(!config.on_complete,
+              "campaign: on_complete hooks are process-local state a resume "
+              "cannot reinstate — combine is rejected");
+    // A sleep set is path context that keeps *growing* after a frontier
+    // node is serialized; a resumed node would miss the later entries and
+    // explore schedules the uninterrupted run pruned, breaking count
+    // parity. Rejected rather than silently inexact.
+    TPA_CHECK(!config.sleep_sets,
+              "campaign: sleep sets are path context accumulated after a "
+              "frontier node is serialized — combine is rejected");
+  }
 
   Shared shared(config.max_schedules, config.time_budget_ms);
+  if (loaded != nullptr)
+    shared.used.store(loaded->schedules + loaded->truncated,
+                      std::memory_order_relaxed);
   if (config.dedup != DedupMode::kOff)
-    shared.visited = std::make_unique<VisitedSet>(config.threads > 1);
+    shared.visited = std::make_unique<VisitedSet>(config.threads > 1,
+                                                  config.dedup_max_bytes);
   ExplorerResult result;
-  if (config.threads <= 1) {
+  CampaignRecorder camp;
+  if (campaign) {
+    camp.path = config.campaign_path;
+    camp.interval = std::chrono::milliseconds(config.checkpoint_interval_ms);
+    camp.base = loaded != nullptr
+                    ? *loaded
+                    : campaign_identity(n_procs, sim_config, config);
+    camp.base.frontier.clear();
+    camp.next_write = std::chrono::steady_clock::now() + camp.interval;
+    std::vector<trace::CampaignNode> nodes;
+    if (loaded != nullptr) {
+      nodes = loaded->frontier;
+    } else {
+      // Publish the root frontier before the first step: a kill at any
+      // later point finds a resumable file (and resuming from the root is
+      // simply the whole exploration).
+      nodes.push_back(trace::CampaignNode{kNoProc, config.preemptions,
+                                          config.max_crashes, {}});
+      trace::Campaign init = camp.base;
+      init.frontier = nodes;
+      trace::write_campaign_file(camp.path, init);
+    }
+    result =
+        run_campaign_nodes(n_procs, eff, build, config, &shared, &camp, nodes);
+    result.schedules += camp.base.schedules;
+    result.steps += camp.base.steps;
+    result.truncated += camp.base.truncated;
+    result.snapshots += camp.base.snapshots;
+    result.restores += camp.base.restores;
+    result.dedup_hits += camp.base.dedup_hits;
+    result.dedup_states += camp.base.dedup_states;
+  } else if (config.threads <= 1) {
     Dfs dfs(n_procs, eff, build, config, &shared, 0);
     dfs.run_root();
     result = dfs.take_result();
@@ -841,6 +1139,12 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
     result.deadline_hit = true;
     result.exhausted = false;
   }
+  if (shared.visited != nullptr) {
+    result.dedup_entries = shared.visited->entries();
+    result.dedup_bytes = shared.visited->bytes();
+    result.dedup_evictions = shared.visited->evictions();
+  }
+  if (campaign) result.dedup_evictions += camp.base.dedup_evictions;
   if (result.violation_found && config.shrink && !result.witness.empty()) {
     ShrinkOutcome shrunk = shrink_witness(n_procs, eff, build,
                                           result.witness, config.on_complete);
@@ -849,7 +1153,86 @@ ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
       result.witness = std::move(shrunk.witness);
     }
   }
+  if (campaign && !result.deadline_hit) {
+    // Terminal record: complete, empty frontier, final (shrunk) witness.
+    // A deadline-suspended run instead leaves the checkpoint written at the
+    // trip standing, so the campaign stays resumable. Resuming a terminal
+    // campaign returns this record without re-exploring.
+    trace::Campaign fin = camp.base;
+    fin.frontier.clear();
+    fin.schedules = result.schedules;
+    fin.steps = result.steps;
+    fin.truncated = result.truncated;
+    fin.snapshots = result.snapshots;
+    fin.restores = result.restores;
+    fin.dedup_hits = result.dedup_hits;
+    fin.dedup_states = result.dedup_states;
+    fin.dedup_evictions = result.dedup_evictions;
+    fin.complete = true;
+    fin.exhausted = result.exhausted;
+    fin.violation_found = result.violation_found;
+    fin.violation = result.violation;
+    fin.witness = result.witness;
+    trace::write_campaign_file(config.campaign_path, fin);
+  }
   return result;
+}
+
+}  // namespace
+
+ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
+                       const ScenarioBuilder& build, ExplorerConfig config) {
+  return explore_impl(n_procs, std::move(sim_config), build, config, nullptr);
+}
+
+ExplorerResult resume(const std::string& campaign_path, std::size_t n_procs,
+                      SimConfig sim_config, const ScenarioBuilder& build,
+                      const ResumeOptions& options) {
+  const trace::Campaign c = trace::read_campaign_file(campaign_path);
+  TPA_CHECK(c.n_procs == n_procs, "resume: campaign records "
+                                      << c.n_procs << " processes, caller "
+                                      << "supplies " << n_procs);
+  TPA_CHECK(c.pso == sim_config.pso,
+            "resume: campaign " << (c.pso ? "was" : "was not")
+                                << " recorded under PSO");
+  TPA_CHECK(c.crash_model == sim_config.crash_model,
+            "resume: campaign crash model is " << to_string(c.crash_model));
+  if (c.complete) {
+    // Nothing left to explore: report the recorded terminal result.
+    ExplorerResult r;
+    r.schedules = c.schedules;
+    r.steps = c.steps;
+    r.truncated = c.truncated;
+    r.snapshots = c.snapshots;
+    r.restores = c.restores;
+    r.dedup_hits = c.dedup_hits;
+    r.dedup_states = c.dedup_states;
+    r.dedup_evictions = c.dedup_evictions;
+    r.exhausted = c.exhausted;
+    r.violation_found = c.violation_found;
+    r.violation = c.violation;
+    r.witness = c.witness;
+    return r;
+  }
+  // The explorer configuration comes from the file — only wall-clock knobs
+  // (deliberately outside the config hash) come from the caller.
+  ExplorerConfig cfg;
+  cfg.preemptions = c.preemptions;
+  cfg.max_steps = c.max_steps;
+  cfg.max_schedules = c.max_schedules;
+  cfg.max_crashes = c.max_crashes;
+  cfg.time_budget_ms = options.time_budget_ms;
+  cfg.threads = 1;
+  cfg.sleep_sets = false;
+  cfg.shrink = c.shrink;
+  cfg.checkpoint = c.checkpoint;
+  cfg.dedup = c.dedup;
+  cfg.symmetric_processes = c.symmetry;
+  cfg.dedup_max_bytes = c.dedup_max_bytes;
+  cfg.campaign_path = campaign_path;
+  cfg.checkpoint_interval_ms = options.checkpoint_interval_ms;
+  cfg.campaign_scenario = c.scenario;
+  return explore_impl(n_procs, std::move(sim_config), build, cfg, &c);
 }
 
 }  // namespace tpa::tso

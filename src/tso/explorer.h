@@ -138,6 +138,51 @@ struct ExplorerConfig {
   /// Requires dedup == kState and a genuinely symmetric scenario; both are
   /// enforced via check.h.
   SymmetryMode symmetric_processes = SymmetryMode::kOff;
+
+  /// Byte budget for the dedup visited set (the memory governor; see
+  /// tso/visited.h). Capped shards evict cold entries instead of growing,
+  /// so long explorations hold a bounded working set. Evicting only
+  /// forfeits pruning — verdicts and witnesses stay bit-identical under any
+  /// budget; at 0 the set stores nothing and exploration degrades to raw
+  /// enumeration. Ignored unless dedup == kState.
+  std::uint64_t dedup_max_bytes = ~0ull;
+
+  /// Durable campaign checkpointing: when non-empty, the exploration
+  /// periodically publishes its frontier (the unexplored subtree roots as
+  /// directive prefixes), aggregate stats, and a config hash to this path
+  /// via an atomic tmp+fsync+rename write — a SIGKILLed exploration resumes
+  /// from the last checkpoint with tso::resume(), reproducing the
+  /// uninterrupted run's verdict, witness, and (dedup off) exact
+  /// schedule/truncated counts. Sequential only (threads == 1); rejected in
+  /// combination with on_complete hooks (process-local state a resume could
+  /// not reinstate) and sleep_sets (path context whose later entries a
+  /// materialized frontier node would miss). See docs/ROBUSTNESS.md.
+  std::string campaign_path;
+
+  /// Minimum milliseconds between periodic campaign checkpoints. A
+  /// checkpoint is also written before the first step (so a kill at any
+  /// point finds a resumable file) and when the time budget trips. The
+  /// cadence is self-pacing: when a write (fsync-bound) costs more than
+  /// the interval, the next one is deferred by a multiple of the measured
+  /// cost, bounding checkpoint overhead at ~20% of wall clock.
+  std::uint64_t checkpoint_interval_ms = 250;
+
+  /// Scenario id recorded in the campaign header so runtime::resume() can
+  /// resolve the builder through the registry. runtime::Scenario::explore
+  /// fills it in; raw tso::explore callers may leave it empty and resume
+  /// with an explicitly supplied builder.
+  std::string campaign_scenario;
+};
+
+/// Wall-clock knobs for resuming a campaign. Deliberately *not* part of the
+/// campaign config hash: a resume may pick a fresh time budget or
+/// checkpoint cadence without changing what is explored.
+struct ResumeOptions {
+  /// Watchdog for this leg of the campaign (0 = none). A leg that hits it
+  /// checkpoints and reports deadline_hit; resume again to continue.
+  std::uint64_t time_budget_ms = 0;
+  /// Checkpoint cadence for this leg.
+  std::uint64_t checkpoint_interval_ms = 250;
 };
 
 struct ExplorerResult : RunStats {
@@ -154,7 +199,10 @@ struct ExplorerResult : RunStats {
   std::uint64_t snapshots = 0;  ///< checkpoints taken at branch points
   std::uint64_t restores = 0;   ///< simulators revived from a checkpoint
   std::uint64_t dedup_hits = 0;    ///< subtrees pruned by the visited set
-  std::uint64_t dedup_states = 0;  ///< (fingerprint, budget) entries stored
+  std::uint64_t dedup_states = 0;  ///< (fingerprint, budget) inserts accepted
+  std::uint64_t dedup_entries = 0;    ///< live visited-set entries at the end
+  std::uint64_t dedup_bytes = 0;      ///< visited-set footprint at the end
+  std::uint64_t dedup_evictions = 0;  ///< entries the memory governor evicted
 
   /// RunStats fields plus the explorer-specific figures, as one JSON object.
   std::string to_json() const;
@@ -167,5 +215,20 @@ struct ExplorerResult : RunStats {
 ExplorerResult explore(std::size_t n_procs, SimConfig sim_config,
                        const ScenarioBuilder& build,
                        ExplorerConfig config = {});
+
+/// Continues (or reports) the campaign checkpointed at `campaign_path`. The
+/// explorer configuration is reconstructed from the file — the caller only
+/// supplies the scenario (which must match the recorded identity: process
+/// count, PSO flag, crash model; enforced via check.h together with the
+/// file's config hash) and fresh wall-clock knobs. A complete campaign
+/// returns the recorded result without re-exploring; an in-flight one
+/// explores the stored frontier nodes in DFS order, keeps checkpointing to
+/// the same path, and finishes exactly as the uninterrupted run would have:
+/// identical verdict and witness always, and identical schedule/truncated
+/// counts when dedup is off (a resumed visited set restarts empty, so dedup
+/// counts can only grow). See docs/ROBUSTNESS.md for the argument.
+ExplorerResult resume(const std::string& campaign_path, std::size_t n_procs,
+                      SimConfig sim_config, const ScenarioBuilder& build,
+                      const ResumeOptions& options = {});
 
 }  // namespace tpa::tso

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <utility>
 
+#include "trace/atomic_io.h"
 #include "util/check.h"
 
 namespace tpa::tso {
@@ -297,6 +298,37 @@ void JsonlTraceSink::on_event(Simulator&, Proc&, Event& e,
           << ",\"wt\":" << (e.rmr_wt ? 1 : 0)
           << ",\"wb\":" << (e.rmr_wb ? 1 : 0) << "}";
   *out_ << ",\"passage\":" << e.passage << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// JsonlFileTraceSink
+// ---------------------------------------------------------------------------
+
+JsonlFileTraceSink::JsonlFileTraceSink(std::string path)
+    : JsonlTraceSink(file_), path_(std::move(path)) {
+  file_.open(path_ + ".tmp", std::ios::binary | std::ios::trunc);
+  TPA_CHECK(file_.good(),
+            "jsonl sink: cannot open '" << path_ << ".tmp' for writing");
+}
+
+JsonlFileTraceSink::~JsonlFileTraceSink() {
+  try {
+    close();
+  } catch (const CheckFailure&) {
+    // Destructors must not throw; callers needing confirmation of the
+    // publication call close() themselves.
+  }
+}
+
+void JsonlFileTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  file_.flush();
+  TPA_CHECK(file_.good(), "jsonl sink: write to '" << path_ << ".tmp' failed");
+  file_.close();
+  // fsync happens on a fresh descriptor inside fsync_rename — fsync flushes
+  // the *inode*, so data written through this stream is covered.
+  trace::fsync_rename(path_ + ".tmp", path_);
 }
 
 }  // namespace tpa::tso

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -125,6 +127,29 @@ class JsonlTraceSink : public SimObserver {
 
  private:
   std::ostream* out_;
+};
+
+/// JsonlTraceSink writing to a file with atomic publication: lines stream
+/// to a sibling "<path>.tmp"; close() fsyncs it and renames it over `path`
+/// (trace/atomic_io.h), so a crash — or SIGKILL — at any point leaves
+/// either the previous file or the complete new one under the final name,
+/// never a torn trace. Destruction closes implicitly but swallows I/O
+/// errors (destructors must not throw); call close() when the publication
+/// must be confirmed.
+class JsonlFileTraceSink : public JsonlTraceSink {
+ public:
+  /// Opens "<path>.tmp" for writing; raises CheckFailure when it cannot.
+  explicit JsonlFileTraceSink(std::string path);
+  ~JsonlFileTraceSink() override;
+
+  /// Publishes the trace under the final path. Idempotent; raises
+  /// CheckFailure on I/O errors (the tmp file is removed).
+  void close();
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  bool closed_ = false;
 };
 
 }  // namespace tpa::tso

@@ -28,27 +28,56 @@ class ShardLock {
 
 }  // namespace
 
-VisitedSet::VisitedSet(bool concurrent) : concurrent_(concurrent) {
-  for (Shard& s : shards_) s.slots.resize(kInitialSlots);
+VisitedSet::VisitedSet(bool concurrent, std::uint64_t max_bytes)
+    : concurrent_(concurrent) {
+  std::size_t initial = kInitialSlots;
+  if (max_bytes != kUnlimitedBytes) {
+    // Largest power of two whose slot array fits in this shard's share of
+    // the budget. A share below one slot leaves the shard storage-free —
+    // at budget 0 the whole set degrades to raw enumeration.
+    const std::uint64_t budget_slots = max_bytes / kShards / sizeof(Slot);
+    std::size_t cap = 0;
+    while ((cap == 0 ? 1u : cap * 2) <= budget_slots)
+      cap = (cap == 0 ? 1 : cap * 2);
+    max_slots_per_shard_ = cap;
+    initial = cap < kInitialSlots ? cap : kInitialSlots;
+  }
+  for (Shard& s : shards_) s.slots.resize(initial);
 }
 
 bool VisitedSet::subsumed(const Fingerprint& fp, const Budget& b) const {
-  const Shard& s = shard(fp);
+  Shard& s = shard(fp);
   ShardLock lock(s.lock, concurrent_);
+  if (s.slots.empty()) return false;
   const std::size_t mask = s.slots.size() - 1;
   for (std::size_t i = static_cast<std::size_t>(fp.lo) & mask;;
        i = (i + 1) & mask) {
-    const Slot& slot = s.slots[i];
+    Slot& slot = s.slots[i];
     if (!slot.used) return false;  // chains are contiguous: fp is absent
-    if (slot.fp == fp && slot.budget.dominates(b)) return true;
+    if (slot.fp == fp && slot.budget.dominates(b)) {
+      slot.referenced = true;  // still pruning: survives the next sweep
+      return true;
+    }
   }
 }
 
 bool VisitedSet::insert(const Fingerprint& fp, const Budget& b) {
   Shard& s = shard(fp);
   ShardLock lock(s.lock, concurrent_);
+  if (s.slots.empty()) return false;  // budget 0: degraded to no storage
   // Growth happens before the probe so the claimed slot index stays valid.
-  if ((s.live + 1) * 10 > s.slots.size() * 7) rehash_grow(s);
+  // A shard at its byte-budget cap evicts cold entries instead of growing.
+  if ((s.live + 1) * 10 > s.slots.size() * 7) {
+    if (s.slots.size() * 2 <= max_slots_per_shard_) {
+      rehash_grow(s);
+    } else {
+      while ((s.live + 1) * 10 > s.slots.size() * 7 && evict_one(s)) {
+      }
+    }
+  }
+  // Probe loops terminate only while at least one slot stays empty; with a
+  // one-slot shard nothing can ever be stored.
+  if (s.live + 1 >= s.slots.size()) return false;
   const std::size_t mask = s.slots.size() - 1;
   Slot* reuse = nullptr;
   std::size_t i = static_cast<std::size_t>(fp.lo) & mask;
@@ -66,12 +95,14 @@ bool VisitedSet::insert(const Fingerprint& fp, const Budget& b) {
   }
   if (reuse != nullptr) {
     reuse->budget = b;
+    reuse->referenced = false;
     return true;
   }
   Slot& slot = s.slots[i];
   slot.fp = fp;
   slot.budget = b;
   slot.used = true;
+  slot.referenced = false;
   s.live++;
   return true;
 }
@@ -81,6 +112,24 @@ std::size_t VisitedSet::size() const {
   for (const Shard& s : shards_) {
     ShardLock lock(s.lock, concurrent_);
     total += s.live;
+  }
+  return total;
+}
+
+std::uint64_t VisitedSet::bytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    ShardLock lock(s.lock, concurrent_);
+    total += static_cast<std::uint64_t>(s.slots.size()) * sizeof(Slot);
+  }
+  return total;
+}
+
+std::uint64_t VisitedSet::evictions() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    ShardLock lock(s.lock, concurrent_);
+    total += s.evictions;
   }
   return total;
 }
@@ -95,6 +144,51 @@ void VisitedSet::rehash_grow(Shard& s) {
     while (s.slots[i].used) i = (i + 1) & mask;
     s.slots[i] = slot;
   }
+}
+
+void VisitedSet::erase_at(Shard& s, std::size_t i) {
+  // Standard linear-probing deletion: walk the chain after i and shift back
+  // every entry whose home position is not cyclically inside (i, j], so the
+  // invariant "chains are contiguous from the home slot" survives without
+  // tombstones.
+  const std::size_t mask = s.slots.size() - 1;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (!s.slots[j].used) break;
+    const std::size_t home = static_cast<std::size_t>(s.slots[j].fp.lo) & mask;
+    const bool home_between =
+        i <= j ? (home > i && home <= j) : (home > i || home <= j);
+    if (!home_between) {
+      s.slots[i] = s.slots[j];
+      i = j;
+    }
+  }
+  s.slots[i] = Slot{};
+  s.live--;
+}
+
+bool VisitedSet::evict_one(Shard& s) {
+  if (s.live == 0) return false;
+  // Second chance: a full first lap may only clear referenced bits, so two
+  // laps always find a victim while hot entries get one sweep of grace.
+  const std::size_t limit = s.slots.size() * 2;
+  std::size_t i = s.clock;
+  for (std::size_t n = 0; n < limit; ++n, i = (i + 1) % s.slots.size()) {
+    Slot& slot = s.slots[i];
+    if (!slot.used) continue;
+    if (slot.referenced) {
+      slot.referenced = false;
+      continue;
+    }
+    // The backward shift can move chain entries into lower indices, which
+    // the next sweep will revisit — acceptable clock drift.
+    erase_at(s, i);
+    s.evictions++;
+    s.clock = i;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace tpa::tso

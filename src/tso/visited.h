@@ -10,11 +10,23 @@
 //
 // Layout: power-of-two shards of open-addressed, linearly-probed flat slot
 // arrays. One (fingerprint, budget) pair per slot; incomparable budgets for
-// the same fingerprint occupy separate slots along the probe chain. There is
-// no deletion: when a new budget dominates a stored one for the same
-// fingerprint, the slot is overwritten in place — sound because dominance is
-// transitive, so every visit the old entry could prune, the new one prunes
-// too. A shard rehashes into twice the slots at 70% load.
+// the same fingerprint occupy separate slots along the probe chain. When a
+// new budget dominates a stored one for the same fingerprint, the slot is
+// overwritten in place — sound because dominance is transitive, so every
+// visit the old entry could prune, the new one prunes too. A shard rehashes
+// into twice the slots at 70% load.
+//
+// Memory governor: an optional byte budget caps the total slot-array
+// footprint. Each shard owns 1/kShards of the budget and stops growing at
+// its share; once a capped shard would exceed 70% load, it *evicts* instead
+// — a clock (second-chance) sweep over the slot array: entries whose
+// referenced bit was set by a subsumed() hit get one pass of grace, the
+// first un-referenced entry is removed via standard backward-shift deletion
+// (probe chains stay contiguous, no tombstones). Evicting an entry only
+// forfeits future pruning — the claim it recorded was true and remains
+// true — so verdicts and witnesses are bit-identical under any budget; only
+// dedup_hits/schedule counts change. At budget 0 no slots are allocated at
+// all and the explorer degrades to raw enumeration.
 //
 // Concurrency: in single-threaded explorations (the common case, and the
 // whole bench matrix) no atomics are touched at all. With `concurrent`
@@ -47,39 +59,61 @@ class VisitedSet {
     }
   };
 
+  /// No byte budget: shards grow freely (the pre-governor behavior).
+  static constexpr std::uint64_t kUnlimitedBytes = ~0ull;
+
   /// `concurrent` enables the per-shard spinlocks; leave it false for
-  /// single-threaded explorations and no lock is ever touched.
-  explicit VisitedSet(bool concurrent = false);
+  /// single-threaded explorations and no lock is ever touched. `max_bytes`
+  /// caps the summed slot-array footprint (see the memory governor above);
+  /// 0 stores nothing and every insert is refused.
+  explicit VisitedSet(bool concurrent = false,
+                      std::uint64_t max_bytes = kUnlimitedBytes);
 
   VisitedSet(const VisitedSet&) = delete;
   VisitedSet& operator=(const VisitedSet&) = delete;
 
   /// True if a stored entry for fp dominates b (the visit may be pruned).
+  /// Marks the matching entry referenced, shielding it from the next clock
+  /// sweep — entries that still prune are the ones worth keeping.
   bool subsumed(const Fingerprint& fp, const Budget& b) const;
 
   /// Records a fully explored, violation-free visit. Returns false when an
-  /// existing entry already dominates it (nothing stored); otherwise stores
-  /// it — overwriting a dominated same-fingerprint entry in place if the
-  /// probe chain holds one — and returns true.
+  /// existing entry already dominates it (nothing stored) or the byte
+  /// budget leaves no room (degraded mode); otherwise stores it —
+  /// overwriting a dominated same-fingerprint entry in place if the probe
+  /// chain holds one, evicting a cold entry if the shard is capped — and
+  /// returns true.
   bool insert(const Fingerprint& fp, const Budget& b);
 
   /// Live entries across all shards (exact when quiescent).
   std::size_t size() const;
+  /// Alias of size(), named for the stats surface (ExplorerResult).
+  std::size_t entries() const { return size(); }
+
+  /// Summed slot-array footprint in bytes. Never exceeds a configured
+  /// `max_bytes` (the governor caps capacity, not just live entries).
+  std::uint64_t bytes() const;
+
+  /// Entries removed by the clock eviction since construction.
+  std::uint64_t evictions() const;
 
  private:
   struct Slot {
     Fingerprint fp;
     Budget budget;
     bool used = false;
+    bool referenced = false;  ///< clock bit: hit by subsumed() recently
   };
 
   struct Shard {
     mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
-    std::vector<Slot> slots;  ///< size is always a power of two
+    std::vector<Slot> slots;  ///< size is always a power of two (or zero)
     std::size_t live = 0;
+    std::size_t clock = 0;  ///< next slot the eviction sweep inspects
+    std::uint64_t evictions = 0;
   };
 
-  static constexpr std::size_t kShards = 64;        // power of two
+  static constexpr std::size_t kShards = 64;          // power of two
   static constexpr std::size_t kInitialSlots = 1024;  // power of two
 
   Shard& shard(const Fingerprint& fp) const {
@@ -89,8 +123,18 @@ class VisitedSet {
   }
 
   static void rehash_grow(Shard& s);
+  /// Backward-shift deletion at slot `i`: repacks the following probe chain
+  /// so lookups never need tombstones.
+  static void erase_at(Shard& s, std::size_t i);
+  /// One clock sweep: clears referenced bits until it finds a cold entry,
+  /// evicts it, and returns true; false only when the shard is empty.
+  static bool evict_one(Shard& s);
 
   const bool concurrent_;
+  /// Per-shard slot cap from the byte budget (largest power of two whose
+  /// slot array fits in max_bytes / kShards); kNoCap when unlimited.
+  static constexpr std::size_t kNoCap = ~static_cast<std::size_t>(0);
+  std::size_t max_slots_per_shard_ = kNoCap;
   mutable std::array<Shard, kShards> shards_;
 };
 

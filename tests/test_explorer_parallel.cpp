@@ -134,6 +134,22 @@ TEST(ExplorerParallel, RespectsScheduleBudget) {
   EXPECT_FALSE(r.exhausted);
 }
 
+TEST(ExplorerParallel, TimeBudgetStopsParallelExploration) {
+  // A scope far too big to finish in the budget: the watchdog must stop the
+  // worker pool and report deadline_hit instead of an exhaustive proof.
+  const auto* s = find_scenario("bakery-tso-3p");
+  ASSERT_NE(s, nullptr);
+  ExplorerConfig cfg;
+  cfg.preemptions = 3;
+  cfg.threads = 2;
+  cfg.time_budget_ms = 50;
+  const ExplorerResult r = explore(s->n_procs, s->sim, s->build, cfg);
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_FALSE(r.exhausted)
+      << "a deadline-stopped run must not claim an exhaustive proof";
+  EXPECT_FALSE(r.violation_found) << r.violation;
+}
+
 TEST(ExplorerParallel, SleepSetsCutSchedulesWithoutChangingVerdicts) {
   // Safe scenarios: same (clean) verdict from strictly less work.
   for (const char* name : {"bakery-tso-2p", "mcs-2p"}) {
