@@ -34,6 +34,7 @@
 //                              recording events_reduction and verdicts_match
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -74,7 +75,7 @@ void BM_ParallelExplore(benchmark::State& state) {
   std::uint64_t schedules = 0;
   for (auto _ : state) {
     const auto r = s.explore(cfg);
-    benchmark::DoNotOptimize(r.violation_found);
+    benchmark::DoNotOptimize(r.verdict.found());
     schedules += r.schedules + r.truncated;
   }
   state.counters["schedules/s"] = benchmark::Counter(
@@ -91,7 +92,7 @@ void BM_SleepSets(benchmark::State& state) {
   std::uint64_t schedules = 0;
   for (auto _ : state) {
     const auto r = s.explore(cfg);
-    benchmark::DoNotOptimize(r.violation_found);
+    benchmark::DoNotOptimize(r.verdict.found());
     schedules += r.schedules + r.truncated;
   }
   state.counters["schedules/s"] = benchmark::Counter(
@@ -117,7 +118,7 @@ void BM_StateDedup(benchmark::State& state) {
   std::uint64_t steps = 0, schedules = 0;
   for (auto _ : state) {
     const auto r = s.explore(cfg);
-    benchmark::DoNotOptimize(r.violation_found);
+    benchmark::DoNotOptimize(r.verdict.found());
     steps += r.steps;
     schedules += r.schedules + r.truncated;
   }
@@ -149,7 +150,7 @@ void BM_CheckpointVsReplay(benchmark::State& state) {
   std::uint64_t events = 0, schedules = 0;
   for (auto _ : state) {
     const auto r = s.explore(cfg);
-    benchmark::DoNotOptimize(r.violation_found);
+    benchmark::DoNotOptimize(r.verdict.found());
     events += r.steps;
     schedules += r.schedules + r.truncated;
   }
@@ -313,9 +314,9 @@ int write_dedup_comparison(const char* path, int reps,
     const double wall_ratio =
         on.wall_ms / (off.wall_ms > 0 ? off.wall_ms : 1e-9);
     const bool match =
-        off.result.violation_found == on.result.violation_found &&
-        off.result.violation == on.result.violation &&
-        same_witness(off.result.witness, on.result.witness) &&
+        off.result.verdict.found() == on.result.verdict.found() &&
+        off.result.verdict.message == on.result.verdict.message &&
+        same_witness(off.result.verdict.witness, on.result.verdict.witness) &&
         off.result.exhausted == on.result.exhausted;
     all_match = all_match && match;
     const bool fast = max_wall_ratio < 0 || wall_ratio <= max_wall_ratio;
@@ -353,6 +354,113 @@ int write_dedup_comparison(const char* path, int reps,
   std::printf("dedup ablation -> %s (best 3p reduction %.2fx)\n", path,
               best_3p_reduction);
   return all_match && all_fast ? 0 : 1;
+}
+
+/// Liveness-off vs liveness-on (LivenessMode::kCheck) across clean scopes,
+/// written to BENCH_explorer_liveness.json. On a clean scope the checker
+/// must be a bystander: schedule/truncated counts stay identical (its
+/// verifications never fire thanks to the weak-fairness pre-filter) and the
+/// per-node progress-key + on-stack-index bookkeeping is the entire cost —
+/// `wall_ratio` pins it. With `max_wall_ratio` >= 0 the run doubles as a
+/// regression gate: nonzero exit when any scope exceeds it (the perf-smoke
+/// budget is 1.10, i.e. <= 10% overhead). A final detection scope records
+/// the tas-loop-2p starvation lasso end-to-end (found + shrunk), ungated on
+/// wall time.
+int write_liveness_comparison(const char* path, int reps,
+                              double max_wall_ratio) {
+  const DedupScope scopes[] = {
+      {"bakery-tso-3p", 2, 0, 200, false},
+      {"tournament-3p", 2, 0, 200, false},
+      {"ticket-3p", 2, 0, 600, false},
+  };
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"explorer-liveness\",\n  \"scopes\": [\n";
+  bool all_clean = true;
+  bool all_fast = true;
+  for (std::size_t i = 0; i < std::size(scopes); ++i) {
+    const DedupScope& scope = scopes[i];
+    const auto& s = scenario(scope.scenario);
+    tso::ExplorerConfig cfg;
+    cfg.preemptions = scope.preemptions;
+    cfg.max_steps = scope.max_steps;
+    cfg.dedup = tso::DedupMode::kState;
+    tso::ExplorerConfig cfg_on = cfg;
+    cfg_on.liveness = tso::LivenessMode::kCheck;
+    // The gated statistic is the *median of per-pair ratios*: each rep runs
+    // off then on back to back and contributes one on/off ratio, so slow
+    // load drift cancels inside the pair, and a load spike that lands on a
+    // couple of pairs is discarded by the median — where a ratio of
+    // best-of-N minima lets one spiked side bias the whole scope.
+    ModeResult off = run_mode(s, cfg);
+    ModeResult on = run_mode(s, cfg_on);
+    std::vector<double> ratios{on.wall_ms /
+                               (off.wall_ms > 0 ? off.wall_ms : 1e-9)};
+    for (int r = 1; r < reps; ++r) {
+      ModeResult o = run_mode(s, cfg);
+      ModeResult m = run_mode(s, cfg_on);
+      ratios.push_back(m.wall_ms / (o.wall_ms > 0 ? o.wall_ms : 1e-9));
+      if (o.wall_ms < off.wall_ms) off = std::move(o);
+      if (m.wall_ms < on.wall_ms) on = std::move(m);
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double wall_ratio = ratios[ratios.size() / 2];
+    const bool clean = !off.result.verdict.found() &&
+                       !on.result.verdict.found() &&
+                       off.result.schedules == on.result.schedules &&
+                       off.result.truncated == on.result.truncated;
+    all_clean = all_clean && clean;
+    const bool fast = max_wall_ratio < 0 || wall_ratio <= max_wall_ratio;
+    all_fast = all_fast && fast;
+
+    out << "  {\"scenario\":\"" << scope.scenario << "\""
+        << ",\"preemptions\":" << scope.preemptions
+        << ",\"max_steps\":" << scope.max_steps << ",\n   \"modes\": [\n";
+    emit_json(out, "off", off);
+    out << ",\n";
+    emit_json(out, "check", on);
+    out << "\n   ],\n   \"wall_ratio\": " << wall_ratio
+        << ",\n   \"counts_match\": " << (clean ? "true" : "false") << "\n  },"
+        << "\n";
+
+    std::printf(
+        "liveness %-16s pre=%d: wall %.0fms vs %.0fms (ratio %.2f%s), "
+        "counts %s\n",
+        scope.scenario, scope.preemptions, on.wall_ms, off.wall_ms,
+        wall_ratio, fast ? "" : " — TOO SLOW", clean ? "match" : "DIVERGED");
+  }
+
+  // Detection end-to-end: the unfair spin lock's starvation lasso is found,
+  // shrunk, and carries a valid cycle marker.
+  const auto& tas = scenario("tas-loop-2p");
+  tso::ExplorerConfig detect;
+  detect.preemptions = 4;
+  detect.dedup = tso::DedupMode::kState;
+  detect.liveness = tso::LivenessMode::kCheck;
+  const ModeResult found = run_mode_best_of(tas, detect, reps);
+  const bool starved =
+      found.result.verdict.kind == tso::VerdictKind::kStarvation &&
+      found.result.verdict.is_lasso() &&
+      found.result.verdict.cycle_start < found.result.verdict.witness.size();
+  all_clean = all_clean && starved;
+  out << "  {\"scenario\":\"tas-loop-2p\",\"preemptions\":4,\"modes\": [\n";
+  emit_json(out, "detect", found);
+  out << "\n   ],\n   \"verdict\":\""
+      << tso::to_string(found.result.verdict.kind)
+      << "\",\n   \"witness_directives\":"
+      << found.result.verdict.witness.size()
+      << ",\n   \"cycle_start\":" << found.result.verdict.cycle_start
+      << "\n  }\n";
+  out << "  ],\n  \"starvation_found\": " << (starved ? "true" : "false")
+      << ",\n  \"clean_counts_match\": " << (all_clean ? "true" : "false")
+      << ",\n  \"within_budget\": " << (all_fast ? "true" : "false")
+      << "\n}\n";
+  if (const int rc = publish_json(path, out.str()); rc != 0) return rc;
+  std::printf("liveness overhead -> %s (starvation lasso %s, %zu directives)\n",
+              path, starved ? "found" : "MISSING",
+              found.result.verdict.witness.size());
+  return all_clean && all_fast ? 0 : 1;
 }
 
 }  // namespace
@@ -398,11 +506,32 @@ int main(int argc, char** argv) {
     return write_dedup_comparison("BENCH_explorer_dedup.json", /*reps=*/3,
                                   threshold);
   }
+  // Same shape for the liveness checker (perf.LivenessWallClockGate): clean
+  // scopes must stay within the overhead budget, and the detection scope
+  // must produce the starvation lasso.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--liveness-gate";
+    if (arg.rfind(prefix, 0) != 0) continue;
+    double threshold = 1.10;
+    if (arg.size() > prefix.size() && arg[prefix.size()] == '=')
+      threshold = std::atof(arg.c_str() + prefix.size() + 1);
+    // 5 interleaved reps per scope: the gate compares ~5% real overhead
+    // against a 10% budget, so it needs tighter min-estimates than the
+    // ungated trend run below.
+    return write_liveness_comparison("BENCH_explorer_liveness.json",
+                                     /*reps=*/5, threshold);
+  }
 
   if (const int rc = write_comparison("BENCH_explorer.json"); rc != 0)
     return rc;
   if (const int rc = write_dedup_comparison("BENCH_explorer_dedup.json",
                                             /*reps=*/3, /*max_wall_ratio=*/-1);
+      rc != 0)
+    return rc;
+  if (const int rc =
+          write_liveness_comparison("BENCH_explorer_liveness.json",
+                                    /*reps=*/3, /*max_wall_ratio=*/-1);
       rc != 0)
     return rc;
   benchmark::Initialize(&argc, argv);

@@ -56,7 +56,7 @@ int main() {
         const auto r = run(n, f, b);
         t.add_row({fencing_name(f), std::to_string(n), std::to_string(b),
                    std::to_string(r.schedules), std::to_string(r.truncated),
-                   r.violation_found
+                   r.verdict.found()
                        ? "VIOLATION (witness schedule recorded)"
                        : (r.exhausted ? "safe (exhausted bound)"
                                       : "safe (budget hit)")});

@@ -33,10 +33,10 @@ void check_scenario(const char* name, int preemptions) {
   cfg.preemptions = preemptions;
   cfg.dedup = tpa::tso::DedupMode::kState;
   const auto r = s->explore(cfg);
-  if (r.violation_found) {
+  if (r.verdict.found()) {
     std::printf("  %-16s VIOLATED in %llu-step schedule (%s)\n", name,
-                static_cast<unsigned long long>(r.witness.size()),
-                tpa::runtime::violation_detail(r.violation).c_str());
+                static_cast<unsigned long long>(r.verdict.witness.size()),
+                tpa::runtime::violation_detail(r.verdict.message).c_str());
   } else {
     std::printf(
         "  %-16s safe: %llu schedules exhausted, %llu states deduped\n",

@@ -49,19 +49,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.schedules),
               static_cast<unsigned long long>(r.truncated),
               r.exhausted ? "yes" : "no");
-  if (!r.violation_found) {
+  if (!r.verdict.found()) {
     std::puts("verdict: no violation within the bound.");
     return 0;
   }
-  std::printf("\nVIOLATION: %s\n", r.violation.c_str());
+  std::printf("\nVIOLATION: %s\n", r.verdict.message.c_str());
   std::puts("\nreplaying the witness schedule, event by event:");
   try {
-    auto sim = tso::replay(static_cast<std::size_t>(n), {}, build, r.witness);
+    auto sim = tso::replay(static_cast<std::size_t>(n), {}, build, r.verdict.witness);
     (void)sim;
   } catch (const CheckFailure&) {
     // expected: the replay trips the same check. Show the trace by
     // replaying all but the final (fatal) directive.
-    auto prefix = r.witness;
+    auto prefix = r.verdict.witness;
     prefix.pop_back();
     auto sim = tso::replay(static_cast<std::size_t>(n), {}, build, prefix);
     for (const auto& e : sim->execution().events)

@@ -51,11 +51,12 @@ tso::LenientReplay Scenario::replay_lenient(
   return tso::replay_lenient(n_procs, sim, build, directives);
 }
 
-tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing) {
-  return [n, fencing](tso::Simulator& sim) {
+tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing,
+                                     int passages) {
+  return [n, fencing, passages](tso::Simulator& sim) {
     auto lock = std::make_shared<algos::BakeryLock>(sim, n, fencing);
     for (int p = 0; p < n; ++p)
-      sim.spawn(p, algos::run_passages(sim.proc(p), lock, 1));
+      sim.spawn(p, algos::run_passages(sim.proc(p), lock, passages));
   };
 }
 
@@ -123,6 +124,14 @@ const std::vector<Scenario>& scenario_registry() {
                   false, /*symmetric=*/true});
     v->push_back({"tas-2p", 2, {}, zoo_scenario("tas", 2, 1), false, false,
                   /*symmetric=*/true});
+    // The canonical *unfair* lock: safe (mutual exclusion holds, so it is
+    // not `violating` and the safety corpus ignores it) but starvable — one
+    // process can loop through full passages while the other spins in its
+    // entry section forever. Multiple passages make the winner a renewable
+    // client, which is what lets the abstract state recur and the fair
+    // starvation cycle close under LivenessMode::kCheck.
+    v->push_back({"tas-loop-2p", 2, {}, zoo_scenario("tas", 2, 4), false,
+                  false, /*symmetric=*/true, /*liveness_violating=*/true});
     return v;
   }();
   return *kAll;

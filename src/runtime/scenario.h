@@ -40,6 +40,12 @@ struct Scenario {
   /// anderson), pid-derived tournament paths, or pid-encoded values
   /// (recoverable) all break renaming invariance.
   bool symmetric = false;
+  /// A *liveness* violation (a fair starvation/livelock cycle) is expected
+  /// to be discoverable by the explorer's LivenessMode::kCheck. Deliberately
+  /// distinct from `violating`: the fuzzer and the safety-corpus
+  /// regeneration iterate `violating` scenarios and can only observe safety
+  /// failures, so a merely unfair lock must not be marked `violating`.
+  bool liveness_violating = false;
 
   /// A freshly built simulator for this scenario.
   std::unique_ptr<tso::Simulator> make_simulator() const;
@@ -67,9 +73,12 @@ struct Scenario {
 
 // ---- builder helpers ------------------------------------------------------
 
-/// n processes, one passage each, through a BakeryLock with the given
-/// fence placement.
-tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing);
+/// n processes, `passages` passages each, through a BakeryLock with the
+/// given fence placement. Multiple passages make processes renewable
+/// clients — the abstraction under which starvation-freedom certification
+/// (LivenessMode::kCheck) closes its cycles; see docs/LIVENESS.md.
+tso::ScenarioBuilder bakery_scenario(int n, algos::BakeryFencing fencing,
+                                     int passages = 1);
 
 /// n processes with recovery sections, one passage each, through a
 /// RecoverableLock (the RME crash-safety scenario).

@@ -91,6 +91,7 @@ std::uint64_t campaign_config_hash(const Campaign& c) {
   h = fnv1a_u64(h, static_cast<std::uint64_t>(c.max_crashes));
   h = fnv1a(h, tso::to_string(c.dedup));
   h = fnv1a(h, tso::to_string(c.symmetry));
+  h = fnv1a(h, tso::to_string(c.liveness));
   h = fnv1a_u64(h, c.dedup_max_bytes);
   h = fnv1a_u64(h, c.shrink ? 1 : 0);
   h = fnv1a_u64(h, c.checkpoint ? 1 : 0);
@@ -98,7 +99,7 @@ std::uint64_t campaign_config_hash(const Campaign& c) {
 }
 
 void write_campaign(std::ostream& os, const Campaign& c) {
-  os << "tpa-campaign v1\n";
+  os << "tpa-campaign v2\n";
   if (!c.scenario.empty()) os << "scenario " << c.scenario << "\n";
   os << "procs " << c.n_procs << "\n";
   os << "pso " << (c.pso ? 1 : 0) << "\n";
@@ -109,6 +110,7 @@ void write_campaign(std::ostream& os, const Campaign& c) {
   os << "max-crashes " << c.max_crashes << "\n";
   os << "dedup " << tso::to_string(c.dedup) << "\n";
   os << "symmetry " << tso::to_string(c.symmetry) << "\n";
+  os << "liveness " << tso::to_string(c.liveness) << "\n";
   os << "dedup-max-bytes " << c.dedup_max_bytes << "\n";
   os << "shrink " << (c.shrink ? 1 : 0) << "\n";
   os << "checkpoint " << (c.checkpoint ? 1 : 0) << "\n";
@@ -124,14 +126,17 @@ void write_campaign(std::ostream& os, const Campaign& c) {
   os << "dedup-evictions " << c.dedup_evictions << "\n";
   os << "complete " << (c.complete ? 1 : 0) << "\n";
   os << "exhausted " << (c.exhausted ? 1 : 0) << "\n";
-  if (c.violation_found) {
-    std::string msg = c.violation;
+  if (c.verdict.found()) {
+    os << "verdict " << tso::to_string(c.verdict.kind) << "\n";
+    std::string msg = c.verdict.message;
     for (char& ch : msg)
       if (ch == '\n' || ch == '\r') ch = ' ';
     os << "violation " << msg << "\n";
-    if (!c.witness.empty()) {
+    if (c.verdict.is_lasso())
+      os << "cycle-start " << c.verdict.cycle_start << "\n";
+    if (!c.verdict.witness.empty()) {
       os << "witness\n";
-      for (const auto& d : c.witness) write_directive(os, d);
+      for (const auto& d : c.verdict.witness) write_directive(os, d);
     }
   }
   for (const auto& node : c.frontier) {
@@ -147,7 +152,12 @@ Campaign read_campaign(std::istream& is) {
   std::string line;
   TPA_CHECK(static_cast<bool>(std::getline(is, line)),
             "campaign: empty input");
-  TPA_CHECK(chomp(line) == "tpa-campaign v1",
+  // v1 files predate the liveness config field: their hash cannot cover the
+  // liveness mode a resume needs, so they are stale, not parseable-as-v2.
+  TPA_CHECK(chomp(line) != "tpa-campaign v1",
+            "campaign: stale v1 file — the format gained the liveness "
+            "config field in v2; restart the campaign");
+  TPA_CHECK(chomp(line) == "tpa-campaign v2",
             "campaign: bad header '" << chomp(line) << "'");
 
   // Directive lines attach to whichever section is open: the witness, or
@@ -175,7 +185,7 @@ Campaign read_campaign(std::istream& is) {
     if (is_directive_key(key)) {
       const tso::Directive d = parse_directive(key, ls, line);
       if (section == Section::kWitness) {
-        c.witness.push_back(d);
+        c.verdict.witness.push_back(d);
       } else {
         TPA_CHECK(section == Section::kNode,
                   "campaign: directive line '" << line
@@ -228,6 +238,11 @@ Campaign read_campaign(std::istream& is) {
       TPA_CHECK(static_cast<bool>(ls >> name),
                 "campaign: bad symmetry line '" << line << "'");
       c.symmetry = tso::symmetry_mode_from_string(name);
+    } else if (key == "liveness") {
+      std::string name;
+      TPA_CHECK(static_cast<bool>(ls >> name),
+                "campaign: bad liveness line '" << line << "'");
+      c.liveness = tso::liveness_mode_from_string(name);
     } else if (key == "dedup-max-bytes") {
       TPA_CHECK(static_cast<bool>(ls >> c.dedup_max_bytes),
                 "campaign: bad dedup-max-bytes line '" << line << "'");
@@ -267,10 +282,24 @@ Campaign read_campaign(std::istream& is) {
       c.complete = read_flag(ls, "complete");
     } else if (key == "exhausted") {
       c.exhausted = read_flag(ls, "exhausted");
+    } else if (key == "verdict") {
+      std::string name;
+      TPA_CHECK(static_cast<bool>(ls >> name),
+                "campaign: bad verdict line '" << line << "'");
+      c.verdict.kind = tso::verdict_kind_from_string(name);
+      TPA_CHECK(c.verdict.found(),
+                "campaign: explicit 'verdict clean' line is not written — "
+                "the file is corrupt");
     } else if (key == "violation") {
       ls >> std::ws;
-      std::getline(ls, c.violation);
-      c.violation_found = true;
+      std::getline(ls, c.verdict.message);
+      // v2 always writes the verdict line before the violation message; a
+      // file carrying a message without a kind is malformed.
+      TPA_CHECK(c.verdict.found(),
+                "campaign: 'violation' line without a preceding 'verdict'");
+    } else if (key == "cycle-start") {
+      TPA_CHECK(static_cast<bool>(ls >> c.verdict.cycle_start),
+                "campaign: bad cycle-start line '" << line << "'");
     } else {
       TPA_FAIL("campaign: unknown key '" << key << "'");
     }
@@ -286,6 +315,12 @@ Campaign read_campaign(std::istream& is) {
                                           "nodes"
                                         : "incomplete campaign has an empty "
                                           "frontier"));
+  TPA_CHECK(!c.verdict.is_lasso() ||
+                c.verdict.cycle_start < c.verdict.witness.size(),
+            "campaign: cycle-start " << c.verdict.cycle_start
+                                     << " out of range for a witness of "
+                                     << c.verdict.witness.size()
+                                     << " directives");
   return c;
 }
 

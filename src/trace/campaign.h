@@ -1,4 +1,4 @@
-// Campaign file format v1 — the durable state of an exploration campaign.
+// Campaign file format v2 — the durable state of an exploration campaign.
 //
 // A campaign file is everything a fresh process needs to continue (or just
 // report) an exploration another process started: the scenario identity, the
@@ -58,6 +58,7 @@ struct Campaign {
   int max_crashes = 0;
   tso::DedupMode dedup = tso::DedupMode::kOff;
   tso::SymmetryMode symmetry = tso::SymmetryMode::kOff;
+  tso::LivenessMode liveness = tso::LivenessMode::kOff;
   std::uint64_t dedup_max_bytes = ~0ull;
   bool shrink = true;
   bool checkpoint = true;
@@ -78,9 +79,11 @@ struct Campaign {
   /// simply returns the recorded result.
   bool complete = false;
   bool exhausted = true;
-  bool violation_found = false;
-  std::string violation;                 ///< only when violation_found
-  std::vector<tso::Directive> witness;   ///< only when violation_found
+  /// The recorded outcome: kind, message, witness and (for liveness
+  /// verdicts) the lasso cycle entry. Clean unless the campaign ended in a
+  /// violation. raw_witness is not persisted — a campaign records only the
+  /// final (shrunk) witness.
+  tso::Verdict verdict;
 
   // -- remaining work -------------------------------------------------------
   std::vector<CampaignNode> frontier;  ///< empty iff complete
@@ -92,12 +95,16 @@ struct Campaign {
 /// verdict for a different exploration.
 std::uint64_t campaign_config_hash(const Campaign& c);
 
-/// Serializes the campaign in the line-oriented v1 text format (grammar in
-/// docs/ROBUSTNESS.md). The config-hash line is always recomputed.
+/// Serializes the campaign in the line-oriented v2 text format (grammar in
+/// docs/ROBUSTNESS.md). The config-hash line is always recomputed. v2 added
+/// the `liveness` config line (part of the hash) and the structured
+/// verdict/cycle-start terminal fields.
 void write_campaign(std::ostream& os, const Campaign& campaign);
 
 /// Parses write_campaign output; raises CheckFailure on malformed input or
-/// a config-hash mismatch.
+/// a config-hash mismatch. v1 files (no liveness line, pre-verdict terminal
+/// fields) are rejected with an explicit stale-version message: their hash
+/// does not cover the liveness mode a resume would need.
 Campaign read_campaign(std::istream& is);
 
 /// String-based conveniences over the stream versions.

@@ -85,11 +85,16 @@ bool Witness::has_crashes() const {
 }
 
 void write_witness(std::ostream& os, const Witness& witness) {
-  // Crash-free witnesses keep the v1 format byte-for-byte; the v2 header
-  // and crash-model line appear only when there is crash content, so old
-  // corpus files never churn.
+  // Crash-free safety witnesses keep the v1 format byte-for-byte; the v2
+  // header and crash-model line appear only when there is crash content, so
+  // old corpus files never churn. Liveness verdicts (and only they) bump
+  // the header to v3 and add the verdict / cycle-start lines.
   const bool crashes = witness.has_crashes();
-  os << (crashes ? "tpa-witness v2\n" : "tpa-witness v1\n");
+  const bool liveness = witness.verdict_kind != tso::VerdictKind::kSafety &&
+                        witness.verdict_kind != tso::VerdictKind::kClean;
+  os << (liveness  ? "tpa-witness v3\n"
+         : crashes ? "tpa-witness v2\n"
+                   : "tpa-witness v1\n");
   os << "scenario " << witness.scenario << "\n";
   os << "procs " << witness.n_procs << "\n";
   os << "pso " << (witness.pso ? 1 : 0) << "\n";
@@ -99,6 +104,10 @@ void write_witness(std::ostream& os, const Witness& witness) {
   for (char& c : msg)
     if (c == '\n' || c == '\r') c = ' ';
   os << "violation " << msg << "\n";
+  if (liveness) {
+    os << "verdict " << tso::to_string(witness.verdict_kind) << "\n";
+    if (witness.is_lasso()) os << "cycle-start " << witness.cycle_start << "\n";
+  }
   for (const auto& d : witness.directives) {
     switch (d.kind) {
       case tso::ActionKind::kDeliver:
@@ -136,9 +145,12 @@ Witness read_witness(std::istream& is) {
   TPA_CHECK(static_cast<bool>(std::getline(is, line)),
             "witness: empty input");
   line = chomp(line);
-  TPA_CHECK(line == "tpa-witness v1" || line == "tpa-witness v2",
+  TPA_CHECK(line == "tpa-witness v1" || line == "tpa-witness v2" ||
+                line == "tpa-witness v3",
             "witness: bad header '" << line << "'");
+  const bool v3 = line == "tpa-witness v3";
   bool saw_end = false;
+  bool saw_cycle_start = false;
   while (std::getline(is, line)) {
     line = chomp(line);
     if (line.empty() || line[0] == '#') continue;
@@ -168,6 +180,21 @@ Witness read_witness(std::istream& is) {
       TPA_CHECK(static_cast<bool>(ls >> name),
                 "witness: bad crash-model line '" << line << "'");
       w.crash_model = tso::crash_model_from_string(name);
+    } else if (key == "verdict") {
+      TPA_CHECK(v3, "witness: 'verdict' requires the v3 header");
+      std::string name;
+      TPA_CHECK(static_cast<bool>(ls >> name),
+                "witness: bad verdict line '" << line << "'");
+      w.verdict_kind = tso::verdict_kind_from_string(name);
+      TPA_CHECK(w.verdict_kind != tso::VerdictKind::kClean &&
+                    w.verdict_kind != tso::VerdictKind::kSafety,
+                "witness: v3 verdict must be a liveness kind, got '" << name
+                                                                    << "'");
+    } else if (key == "cycle-start") {
+      TPA_CHECK(v3, "witness: 'cycle-start' requires the v3 header");
+      TPA_CHECK(static_cast<bool>(ls >> w.cycle_start),
+                "witness: bad cycle-start line '" << line << "'");
+      saw_cycle_start = true;
     } else if (key == "d" || key == "c" || key == "x" || key == "r") {
       tso::Directive d;
       d.kind = key == "d"   ? tso::ActionKind::kDeliver
@@ -188,6 +215,15 @@ Witness read_witness(std::istream& is) {
   }
   TPA_CHECK(saw_end, "witness: missing 'end' terminator");
   TPA_CHECK(w.n_procs > 0, "witness: missing or zero 'procs'");
+  if (v3)
+    TPA_CHECK(w.verdict_kind != tso::VerdictKind::kSafety,
+              "witness: v3 requires a 'verdict' line");
+  if (saw_cycle_start)
+    TPA_CHECK(w.cycle_start < w.directives.size(),
+              "witness: cycle-start " << w.cycle_start
+                                      << " out of range (schedule has "
+                                      << w.directives.size()
+                                      << " directives)");
   return w;
 }
 

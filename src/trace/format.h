@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tso/event.h"
+#include "tso/run_stats.h"
 
 namespace tpa::trace {
 
@@ -47,9 +48,20 @@ struct Witness {
   tso::CrashModel crash_model = tso::CrashModel::kBufferLost;
   std::string violation;  ///< expected failure (or a recognizable part)
   std::vector<tso::Directive> directives;
+  /// What kind of violation the schedule demonstrates. Safety witnesses
+  /// (the whole pre-liveness corpus) leave the default; liveness witnesses
+  /// carry kStarvation / kLivelock / kDeadlock and serialize as v3.
+  tso::VerdictKind verdict_kind = tso::VerdictKind::kSafety;
+  /// For lasso witnesses: index into `directives` where the cycle begins —
+  /// [0, cycle_start) is the stem, [cycle_start, end) the cycle the replay
+  /// must re-close under the progress fingerprint. kNoCycle for stem-only
+  /// witnesses (safety, deadlock).
+  std::size_t cycle_start = tso::kNoCycle;
 
   /// True when any directive is a Crash or Recover.
   bool has_crashes() const;
+  /// True when the witness carries a cycle (a liveness lasso).
+  bool is_lasso() const { return cycle_start != tso::kNoCycle; }
 };
 
 /// Serializes a witness in the line-oriented text format:
@@ -66,11 +78,20 @@ struct Witness {
 /// Witnesses carrying crash directives are written as "tpa-witness v2" with
 /// an extra "crash-model <lost|flushed>" line and two more directive kinds,
 /// "x <proc>" (crash) and "r <proc>" (recover); crash-free witnesses stay
-/// byte-identical to the v1 format. Blank lines and lines starting with '#'
-/// are ignored by the reader, which accepts both versions.
+/// byte-identical to the v1 format.
+///
+/// Liveness witnesses are written as "tpa-witness v3", adding a
+/// "verdict <starvation|livelock|deadlock>" line after the violation and —
+/// for lassos — a "cycle-start <index>" line marking where the cycle
+/// begins; the replaying harness re-applies the cycle and asserts the
+/// progress fingerprint at the cycle entry equals the one at its end.
+/// Safety witnesses never get the v3 header, so the whole pre-liveness
+/// corpus stays byte-identical. Blank lines and lines starting with '#' are
+/// ignored by the reader, which accepts all three versions.
 void write_witness(std::ostream& os, const Witness& witness);
 
-/// Parses write_witness output; raises CheckFailure on malformed input.
+/// Parses write_witness output; raises CheckFailure on malformed input —
+/// including a v3 cycle-start at or past the end of the schedule.
 Witness read_witness(std::istream& is);
 
 /// String-based conveniences over the stream versions.

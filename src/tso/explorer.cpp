@@ -38,12 +38,21 @@ SymmetryMode symmetry_mode_from_string(const std::string& name) {
   TPA_FAIL("unknown SymmetryMode name '" << name << "'");
 }
 
+const char* to_string(LivenessMode m) {
+  return m == LivenessMode::kOff ? "off" : "check";
+}
+
+LivenessMode liveness_mode_from_string(const std::string& name) {
+  if (name == "off") return LivenessMode::kOff;
+  if (name == "check") return LivenessMode::kCheck;
+  TPA_FAIL("unknown LivenessMode name '" << name << "'");
+}
+
 std::string ExplorerResult::to_json() const {
   std::ostringstream os;
   os << "{";
   json_fields(os);
   os << ",\"exhausted\":" << (exhausted ? "true" : "false")
-     << ",\"violation_found\":" << (violation_found ? "true" : "false")
      << ",\"snapshots\":" << snapshots << ",\"restores\":" << restores
      << ",\"dedup_hits\":" << dedup_hits
      << ",\"dedup_states\":" << dedup_states
@@ -301,15 +310,24 @@ class Dfs {
         index_(index),
         camp_(camp),
         dedup_(config.dedup != DedupMode::kOff),
-        symmetric_(config.symmetric_processes == SymmetryMode::kCanonical) {}
+        symmetric_(config.symmetric_processes == SymmetryMode::kCanonical),
+        liveness_(config.liveness == LivenessMode::kCheck) {}
 
   void run_root() {
     dirs_.clear();
+    baseline_depth_ = kNoBaseline;
+    skips_since_check_ = kLiveKeyStride;
+    last_sched_.assign(n_, 0);
     dfs(fresh(), kNoProc, cfg_.preemptions, cfg_.max_crashes, {});
   }
 
   void run_from(const Node& node) {
     dirs_ = node.dirs;
+    baseline_depth_ = kNoBaseline;
+    skips_since_check_ = kLiveKeyStride;
+    last_sched_.assign(n_, 0);
+    for (std::size_t k = 0; k < dirs_.size(); ++k)
+      last_sched_[dirs_[k].proc] = k + 1;
     std::unique_ptr<Simulator> sim;
     if (cfg_.checkpoint && node.snap != nullptr) {
       sim = revive(*node.snap);
@@ -327,6 +345,7 @@ class Dfs {
         return;
       }
     }
+    if (liveness_) seed_onstack();
     dfs(std::move(sim), node.current, node.preemptions, node.crashes_left,
         node.sleep);
   }
@@ -369,6 +388,131 @@ class Dfs {
                       : sim.fingerprint(current);
   }
 
+  /// The liveness detector's key: the history-free progress fingerprint (so
+  /// abstract states can recur along a run), canonicalized under symmetry
+  /// exactly like state_key.
+  Fingerprint progress_key(const Simulator& sim, ProcId current) const {
+    return symmetric_ ? sim.fingerprint_progress_symmetric(current)
+                      : sim.fingerprint_progress(current);
+  }
+
+  /// Rebuilds the on-stack index for a frontier node's directive prefix:
+  /// the resumed Dfs must see the same stack ancestry the uninterrupted run
+  /// had at this node, or a cycle closing against a prefix state would go
+  /// undetected after a resume. Replays on an uncounted scratch simulator
+  /// (stats of the prefix were already charged before the checkpoint);
+  /// depth L is keyed *before* directive L applies, and the node's own key
+  /// (depth dirs_.size()) is pushed by dfs() itself. Seeded entries are
+  /// never popped: this Dfs never unwinds above its starting node.
+  /// Re-anchors the dirty-delta baseline after a sibling's simulator was
+  /// materialized: a snapshot revive ends in a full fingerprint rebuild at
+  /// this node's state, so the baseline is exactly here; a from-the-root
+  /// rebuild() replays without flushing, leaving the flushed state at the
+  /// initial machine — nowhere on this path, so the baseline is invalid
+  /// until the next keyed node re-establishes one.
+  void reanchor_baseline(bool revived, std::size_t depth, ProcId current,
+                         std::size_t n_vars) {
+    if (revived) {
+      baseline_depth_ = depth;
+      baseline_current_ = current;
+      baseline_nvars_ = n_vars;
+    } else {
+      baseline_depth_ = kNoBaseline;
+    }
+  }
+
+  void seed_onstack() {
+    onstack_.clear();
+    auto sim = std::make_unique<Simulator>(n_, sim_cfg_);
+    build_(*sim);
+    ProcId current = kNoProc;
+    for (std::size_t depth = 0; depth < dirs_.size(); ++depth) {
+      onstack_.push(progress_key(*sim, current), depth);
+      const Directive& d = dirs_[depth];
+      const bool ok = apply(*sim, d);
+      TPA_CHECK(ok, "liveness: on-stack seeding diverged at p" << d.proc);
+      if (d.kind != ActionKind::kCrash) current = d.proc;
+    }
+  }
+
+  /// Verifies the candidate cycle dirs_[cycle_start..] — the current node's
+  /// progress key matched the stack entry at that depth — by strictly
+  /// re-applying it once from the current state, and classifies it by
+  /// watching per-process sections (see replay_lasso for the shared
+  /// definition). Returns kClean both for genuine progress cycles and for
+  /// candidates that fail to re-close (hash collisions, control-point
+  /// aliasing) or fail the weak-fairness filter; only kStarvation /
+  /// kLivelock verdicts come back. The simulator is restored to its entry
+  /// state before returning, whatever the outcome.
+  VerdictKind verify_cycle(Simulator& sim, ProcId current,
+                           std::size_t cycle_start, const Fingerprint& key,
+                           std::string* msg) {
+    const std::shared_ptr<const SimSnapshot> snap = take_snapshot(sim);
+    std::vector<Status> status0(n_);
+    std::vector<char> enabled(n_, 0), scheduled(n_, 0), changed(n_, 0);
+    for (std::size_t q = 0; q < n_; ++q) {
+      status0[q] = sim.proc(static_cast<ProcId>(q)).status();
+      enabled[q] = can_act(sim, static_cast<ProcId>(q)) ? 1 : 0;
+    }
+    bool closed = true;
+    ProcId cur = current;
+    for (std::size_t k = cycle_start; k < dirs_.size() && closed; ++k) {
+      const Directive& d = dirs_[k];
+      bool ok = false;
+      try {
+        ok = apply(sim, d);
+      } catch (const CheckFailure&) {
+        ok = false;  // a safety raise here means this is no cycle
+      }
+      if (!ok) {
+        closed = false;
+        break;
+      }
+      if (d.kind != ActionKind::kCrash) cur = d.proc;
+      if (d.proc != kNoProc && static_cast<std::size_t>(d.proc) < n_)
+        scheduled[static_cast<std::size_t>(d.proc)] = 1;
+      for (std::size_t q = 0; q < n_; ++q)
+        if (sim.proc(static_cast<ProcId>(q)).status() != status0[q])
+          changed[q] = 1;
+    }
+    if (closed) closed = progress_key(sim, cur) == key;
+    if (closed) {
+      // Weak fairness: a cycle that perpetually ignores an enabled process
+      // describes an unfair scheduler, not the algorithm.
+      for (std::size_t q = 0; q < n_; ++q)
+        if (enabled[q] && !scheduled[q]) closed = false;
+    }
+    VerdictKind kind = VerdictKind::kClean;
+    if (closed) {
+      ProcId starved = kNoProc;
+      bool any_change = false;
+      for (std::size_t q = 0; q < n_; ++q) {
+        any_change |= changed[q] != 0;
+        if (status0[q] == Status::kEntry && !changed[q] && starved == kNoProc)
+          starved = static_cast<ProcId>(q);
+      }
+      const std::size_t len = dirs_.size() - cycle_start;
+      if (starved != kNoProc) {
+        kind = VerdictKind::kStarvation;
+        std::ostringstream os;
+        os << "liveness: fair cycle of " << len << " steps starves p"
+           << starved << " — in the entry section across the whole cycle "
+           << "while every enabled process is scheduled";
+        *msg = os.str();
+      } else if (!any_change) {
+        kind = VerdictKind::kLivelock;
+        std::ostringstream os;
+        os << "liveness: fair cycle of " << len
+           << " steps where no process changes section — collective "
+           << "livelock";
+        *msg = os.str();
+      }
+    }
+    sim.restore(*snap, build_);
+    result_.restores++;
+    return kind;
+  }
+
   /// Snapshot pooling: a branch point's snapshot dies as soon as its last
   /// sibling restores from it, so the DFS holds only O(depth) snapshots at
   /// a time and their ProcState vectors (buffers, op histories, passages)
@@ -404,9 +548,7 @@ class Dfs {
     c.frontier.clear();
     c.complete = false;
     c.exhausted = true;
-    c.violation_found = false;
-    c.violation.clear();
-    c.witness.clear();
+    c.verdict = {};
     const ExplorerResult& d = camp_->done;
     c.schedules += d.schedules + result_.schedules;
     c.steps += d.steps + result_.steps;
@@ -470,7 +612,7 @@ class Dfs {
   }
 
   bool stop() {
-    if (result_.violation_found) return true;
+    if (result_.verdict.found()) return true;
     if (shared_->beaten(index_)) return true;
     if (shared_->over_budget()) {
       result_.exhausted = false;
@@ -486,9 +628,17 @@ class Dfs {
   /// `dirs_` must already end with the violating directive (for step
   /// violations) or hold the complete schedule (for hook violations).
   void record_violation(const char* what) {
-    result_.violation_found = true;
-    result_.violation = what;
-    result_.witness = dirs_;
+    record_verdict(VerdictKind::kSafety, what, kNoCycle);
+  }
+
+  /// Generalized verdict recording: `dirs_` is the witness; liveness kinds
+  /// mark the lasso's cycle entry via `cycle_start`.
+  void record_verdict(VerdictKind kind, std::string what,
+                      std::size_t cycle_start) {
+    result_.verdict.kind = kind;
+    result_.verdict.message = std::move(what);
+    result_.verdict.witness = dirs_;
+    result_.verdict.cycle_start = cycle_start;
     shared_->claim(index_);
   }
 
@@ -516,6 +666,137 @@ class Dfs {
     const Options opt =
         enumerate_options(*sim, n_, current, preemptions, crashes_left);
 
+    // Liveness: if this node's progress key is already on the DFS stack,
+    // the suffix dirs_[depth..] is a candidate fair cycle — verify it by
+    // re-application and classify. Checked at *every* node (unlike dedup's
+    // branch/stride engagement): a cycle can close anywhere along a forced
+    // chain. Runs before the subsumed() prune so a revisit that would be
+    // pruned still gets its closure checked at this node.
+    //
+    // Liveness keying is throttled by a *dirty-delta baseline*: the
+    // explorer tracks which ancestor's state the simulator's incremental
+    // fingerprint was last flushed at, and proves "this node's progress
+    // state equals that ancestor's" by recomparing the dirtied live blobs
+    // — never flushing, never finalizing a key. Three node classes emerge:
+    //
+    //  - closes-on-baseline: the delta is empty, so this node revisits the
+    //    baseline ancestor's abstract state. The suffix dirs_[base..] is a
+    //    candidate fair cycle, checked by the same pre-filter + verifier
+    //    as a map hit; the key is finalized only when the candidate is
+    //    actually fair (rare). The spin chains that dominate forced
+    //    suffixes resolve here: a 1-read spin closes on its parent, a
+    //    2-read spin (tournament-style) settles into a skip/close
+    //    alternation — either way zero flushes and zero map traffic.
+    //  - skip: the delta is non-empty, fewer than kLiveKeyStride nodes
+    //    were skipped since the last check, and dedup is not flushing here
+    //    anyway — defer. Deferring is what lets short-period spins close
+    //    instead of dragging the baseline along phase by phase; a cycle
+    //    that would have closed at a skipped node closes at a later keyed
+    //    recurrence of its key instead. A real fair cycle repeats forever,
+    //    so a keying cadence of every <= kLiveKeyStride+1 unequal nodes
+    //    still meets it — detection shifts by at most a few periods (the
+    //    two cadences must realign, lcm-style), and the verified witness
+    //    may span multiple laps, which shrinking then trims.
+    //  - keyed (at the root, at every dedup node, and at least every
+    //    kLiveKeyStride+1 nodes in between): flush, finalize, and consult
+    //    the on-stack index. Aligning with dedup nodes makes most keys
+    //    piggyback on a flush the dedup key pays for regardless. The push
+    //    doubles as the lookup (one probe, not two): it binds this node's
+    //    key to this depth — displacing any shallower binding, so
+    //    descendants close against the *nearest* occurrence — and returns
+    //    the previous binding, which is exactly the candidate cycle's
+    //    start.
+    //
+    // The delta comparison stays valid across the flushes other machinery
+    // interleaves: a dedup key at a stride node consumes the delta, and a
+    // restore between siblings rebuilds from scratch — both re-anchor the
+    // baseline at the node that caused them, and both sites update the
+    // explorer's bookkeeping. Variable allocation moves the baseline
+    // outside the dirty lists, so the var count is compared across the
+    // step as well. A stale anchor (should one slip through) cannot
+    // produce a false verdict: every candidate is re-applied strictly and
+    // must re-close under the finalized key before it is reported.
+    //
+    // The pops below only run on the paths that complete this subtree;
+    // every `return false` in between is a sticky stop (violation, budget,
+    // deadline, beaten) after which this Dfs never recurses again, so a
+    // stale binding can never be consulted.
+    Fingerprint pkey{};
+    std::size_t pkey_prev = OnStackMap::kNotOnStack;
+    bool pkey_pushed = false;
+    const std::size_t node_depth = dirs_.size();
+    const std::size_t node_nvars = sim->n_vars();
+    const bool dedup_here =
+        dedup_ && (opt.options.size() + opt.crash_cand.size() > 1 ||
+                   node_depth % kChainStride == 0);
+    if (liveness_) {
+      std::size_t anc = OnStackMap::kNotOnStack;
+      bool have_pkey = false;
+      bool checked = false;
+      if (baseline_depth_ < node_depth && current == baseline_current_ &&
+          node_nvars == baseline_nvars_ &&
+          sim->progress_unchanged_since_baseline()) {
+        anc = baseline_depth_;
+        checked = true;
+        // The flushed caches describe a progress state this node was just
+        // proven to share, so the baseline label can move here: windows
+        // stay one period wide (the nearest occurrence, not the oldest),
+        // which keeps candidate cycles single-lap and the fairness filter
+        // tight.
+        baseline_depth_ = node_depth;
+      } else if (!dedup_here && skips_since_check_ < kLiveKeyStride) {
+        skips_since_check_++;
+      } else {
+        pkey = progress_key(*sim, current);
+        have_pkey = true;
+        baseline_depth_ = node_depth;
+        baseline_current_ = current;
+        baseline_nvars_ = node_nvars;
+        pkey_prev = onstack_.push(pkey, node_depth);
+        pkey_pushed = true;
+        if (pkey_prev != OnStackMap::kNotOnStack && pkey_prev < node_depth)
+          anc = pkey_prev;
+        checked = true;
+      }
+      if (checked) {
+        skips_since_check_ = 0;
+        if (anc != OnStackMap::kNotOnStack) {
+          // Cheap weak-fairness pre-filter before the expensive snapshot +
+          // re-application: can_act() reads only fields the progress blob
+          // captures, so the enabled set at the cycle's entry equals the
+          // enabled set at its closing end — opt.cand, already enumerated.
+          // A closure that never schedules some enabled process (the
+          // ubiquitous spin-loop revisit) is unfair and rejected from the
+          // directive suffix alone; without this filter verification
+          // dominates the wall clock on clean scopes (~20x, not the
+          // budgeted <10%).
+          // "p was scheduled in dirs_[anc..)" == "p's most recent directive
+          // is at depth >= anc" — last_sched_ keeps exactly that (as
+          // depth+1, 0 = never), maintained O(1) per step with an undo on
+          // backtrack, so the filter costs O(|cand|) however wide the
+          // candidate window has grown.
+          bool maybe_fair = node_depth - anc >= opt.cand.size();
+          for (std::size_t c = 0; maybe_fair && c < opt.cand.size(); ++c)
+            maybe_fair = last_sched_[opt.cand[c]] > anc;
+          if (maybe_fair) {
+            if (!have_pkey) {
+              pkey = progress_key(*sim, current);
+              baseline_depth_ = node_depth;
+              baseline_current_ = current;
+              baseline_nvars_ = node_nvars;
+            }
+            std::string msg;
+            const VerdictKind kind =
+                verify_cycle(*sim, current, anc, pkey, &msg);
+            if (kind != VerdictKind::kClean) {
+              record_verdict(kind, std::move(msg), anc);
+              return false;
+            }
+          }
+        }
+      }
+    }
+
     // Dedup engages at *branch* nodes (two or more children) and at every
     // kChainStride-th depth along forced chains, not at every node. A chain
     // node's subtree is determined by its single forced move, so a
@@ -533,22 +814,44 @@ class Dfs {
     Fingerprint key{};
     const VisitedSet::Budget budget{preemptions, crashes_left,
                                     cfg_.max_steps - dirs_.size()};
-    const bool dedup_here =
-        dedup_ && (opt.options.size() + opt.crash_cand.size() > 1 ||
-                   dirs_.size() % kChainStride == 0);
     if (dedup_here) {
       key = state_key(*sim, current);
+      if (liveness_) {
+        // The dedup key's flush consumed the dirty delta: the baseline the
+        // liveness fast path compares against is now this node.
+        baseline_depth_ = node_depth;
+        baseline_current_ = current;
+        baseline_nvars_ = node_nvars;
+      }
       if (shared_->visited->subsumed(key, budget)) {
         // A previous visit fully explored this state, violation-free, with
         // at least our remaining budgets: nothing below can be new, and
         // nothing below can violate — so pruning cannot change the verdict
         // or the first-in-DFS-order witness.
         result_.dedup_hits++;
+        if (pkey_pushed) onstack_.pop(pkey, pkey_prev);
         return true;
       }
     }
 
     if (opt.cand.empty()) {
+      // Liveness: no candidate can act, yet some process has neither run to
+      // completion nor crashed away — a deadlock, not a complete schedule.
+      // (A crashed process with a recovery section would still be a
+      // candidate, so its absence here is terminal.) The stem alone is the
+      // witness: there is no cycle to mark.
+      if (liveness_) {
+        for (std::size_t q = 0; q < n_; ++q) {
+          const Proc& proc = sim->proc(static_cast<ProcId>(q));
+          if (!proc.done() && !proc.crashed()) {
+            std::ostringstream os;
+            os << "liveness: deadlock — p" << q << " has not completed but "
+               << "no process can take a step";
+            record_verdict(VerdictKind::kDeadlock, os.str(), kNoCycle);
+            return false;
+          }
+        }
+      }
       result_.schedules++;  // a complete schedule: everyone done & drained
       shared_->charge();
       if (cfg_.on_complete) {
@@ -560,6 +863,7 @@ class Dfs {
         }
       }
       if (dedup_here) record_visited(key, budget);
+      if (pkey_pushed) onstack_.pop(pkey, pkey_prev);
       return true;
     }
 
@@ -616,8 +920,11 @@ class Dfs {
       if (cfg_.sleep_sets)
         for (const SleepEntry& e : sleep)
           if (independent(e.sig, sigs[i])) child_sleep.push_back(e);
-      if (sim == nullptr)  // a previous child consumed it
+      if (sim == nullptr) {  // a previous child consumed it
         sim = snap != nullptr ? revive(*snap) : rebuild();
+        if (liveness_) reanchor_baseline(snap != nullptr, node_depth, current,
+                                         node_nvars);
+      }
       const Directive d = make_directive(*sim, p);
       try {
         const bool ok = apply(*sim, d);
@@ -628,10 +935,13 @@ class Dfs {
         return false;
       }
       dirs_.push_back(d);
+      const std::size_t prev_sched = last_sched_[p];
+      last_sched_[p] = dirs_.size();
       const int cost = (opt.current_runnable && p != current) ? 1 : 0;
       const bool child_complete = dfs(std::move(sim), p, preemptions - cost,
                                       crashes_left, std::move(child_sleep));
       dirs_.pop_back();
+      last_sched_[p] = prev_sched;
       sim = nullptr;
       // An incomplete child means a sticky stop condition (violation,
       // budget, deadline, beaten) ended it mid-subtree: this subtree is not
@@ -653,8 +963,11 @@ class Dfs {
         return false;
       }
       if (camp_ != nullptr) levels_.back().next = opt.options.size() + j + 1;
-      if (sim == nullptr)  // a previous child consumed it
+      if (sim == nullptr) {  // a previous child consumed it
         sim = snap != nullptr ? revive(*snap) : rebuild();
+        if (liveness_) reanchor_baseline(snap != nullptr, node_depth, current,
+                                         node_nvars);
+      }
       const Directive d{ActionKind::kCrash, p};
       try {
         const bool ok = apply(*sim, d);
@@ -665,14 +978,18 @@ class Dfs {
         return false;
       }
       dirs_.push_back(d);
+      const std::size_t prev_sched = last_sched_[p];
+      last_sched_[p] = dirs_.size();
       const bool child_complete =
           dfs(std::move(sim), current, preemptions, crashes_left - 1, {});
       dirs_.pop_back();
+      last_sched_[p] = prev_sched;
       sim = nullptr;
       if (!child_complete) return false;
     }
 
     if (camp_ != nullptr) levels_.pop_back();
+    if (pkey_pushed) onstack_.pop(pkey, pkey_prev);
     if (dedup_here) record_visited(key, budget);
     return true;
   }
@@ -686,12 +1003,35 @@ class Dfs {
   CampaignRecorder* camp_ = nullptr;
   bool dedup_ = false;
   bool symmetric_ = false;
+  bool liveness_ = false;
   /// Recycled branch-point snapshots (see take_snapshot).
   std::vector<std::unique_ptr<SimSnapshot>> snap_pool_;
   std::vector<Directive> dirs_;
   ExplorerResult result_;
   /// Campaign mode: one entry per open branch point of the recursion.
   std::vector<Level> levels_;
+  /// Liveness mode: progress key → depth of the nearest stack occurrence.
+  OnStackMap onstack_;
+  /// Where the simulator's flushed fingerprint baseline sits on the
+  /// current DFS path: the ancestor's depth, scheduled process, and
+  /// variable count. Together with the dirty-delta check these prove a
+  /// node revisits the baseline ancestor's progress state without
+  /// flushing or finalizing a key (see the liveness classes in dfs()).
+  /// kNoBaseline marks "not on this path" (fresh root, replayed rebuild).
+  static constexpr std::size_t kNoBaseline = ~std::size_t{0};
+  std::size_t baseline_depth_ = kNoBaseline;
+  ProcId baseline_current_ = kNoProc;
+  std::size_t baseline_nvars_ = 0;
+  /// Consecutive nodes on the path that were neither keyed nor checked
+  /// against the baseline. Keying engages when it reaches kLiveKeyStride —
+  /// or sooner at a dedup node, where the key's flush is already paid —
+  /// bounding unkeyed runs. Starts saturated so roots are always keyed.
+  static constexpr std::size_t kLiveKeyStride = 3;
+  std::size_t skips_since_check_ = kLiveKeyStride;
+  /// last_sched_[p] = 1 + depth of p's most recent directive on the current
+  /// path (0 = not yet scheduled); the child loops save/restore around each
+  /// recursion. Powers the O(|cand|) weak-fairness pre-filter.
+  std::vector<std::size_t> last_sched_;
 };
 
 /// Explores a campaign's frontier nodes in DFS order, each in a fresh Dfs.
@@ -719,10 +1059,8 @@ ExplorerResult run_campaign_nodes(std::size_t n_procs, const SimConfig& eff,
     total.dedup_hits += sub.dedup_hits;
     total.dedup_states += sub.dedup_states;
     camp->done = total;
-    if (sub.violation_found) {
-      total.violation_found = true;
-      total.violation = std::move(sub.violation);
-      total.witness = std::move(sub.witness);
+    if (sub.verdict.found()) {
+      total.verdict = std::move(sub.verdict);
       break;
     }
     if (!sub.exhausted) {
@@ -802,9 +1140,9 @@ class FrontierBuilder {
   }
 
   void violation(std::vector<Directive> witness, const char* what) {
-    result_.violation_found = true;
-    result_.violation = what;
-    result_.witness = std::move(witness);
+    result_.verdict.kind = VerdictKind::kSafety;
+    result_.verdict.message = what;
+    result_.verdict.witness = std::move(witness);
     done_ = true;
   }
 
@@ -934,7 +1272,7 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
   const auto target = static_cast<std::size_t>(config.threads) * 8;
   std::vector<Node> frontier = fb.build(target);
   ExplorerResult result = fb.take_result();
-  if (result.violation_found || frontier.empty()) return result;
+  if (result.verdict.found() || frontier.empty()) return result;
 
   std::vector<ExplorerResult> sub(frontier.size());
   parallel_for_index(
@@ -947,8 +1285,8 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
         } catch (const CheckFailure& e) {
           // A diverged prefix replay: the builder is schedule-dependent.
           // Surface it loudly as a (deterministically claimed) violation.
-          sub[i].violation_found = true;
-          sub[i].violation = e.what();
+          sub[i].verdict.kind = VerdictKind::kSafety;
+          sub[i].verdict.message = e.what();
           shared->claim(i);
         }
       });
@@ -963,13 +1301,10 @@ ExplorerResult explore_parallel(std::size_t n_procs, SimConfig sim_config,
     result.dedup_hits += sub[i].dedup_hits;
     result.dedup_states += sub[i].dedup_states;
     if (!sub[i].exhausted) result.exhausted = false;
-    if (sub[i].violation_found && i < winner) winner = i;
+    if (sub[i].verdict.found() && i < winner) winner = i;
   }
-  if (winner != std::numeric_limits<std::size_t>::max()) {
-    result.violation_found = true;
-    result.violation = std::move(sub[winner].violation);
-    result.witness = std::move(sub[winner].witness);
-  }
+  if (winner != std::numeric_limits<std::size_t>::max())
+    result.verdict = std::move(sub[winner].verdict);
   if (shared->over.load(std::memory_order_relaxed)) result.exhausted = false;
   return result;
 }
@@ -1022,6 +1357,7 @@ trace::Campaign campaign_identity(std::size_t n_procs, const SimConfig& sim,
   c.max_crashes = cfg.max_crashes;
   c.dedup = cfg.dedup;
   c.symmetry = cfg.symmetric_processes;
+  c.liveness = cfg.liveness;
   c.dedup_max_bytes = cfg.dedup_max_bytes;
   c.shrink = cfg.shrink;
   c.checkpoint = cfg.checkpoint;
@@ -1065,6 +1401,20 @@ ExplorerResult explore_impl(std::size_t n_procs, SimConfig sim_config,
               "symmetric_processes requires dedup = DedupMode::kState (it "
               "only canonicalizes visited-set fingerprints)");
     validate_symmetric_scenario(n_procs, eff, build);
+  }
+  if (config.liveness == LivenessMode::kCheck) {
+    // Cycle detection rides on the state graph the visited set materializes;
+    // without dedup the DFS would also re-traverse convergent paths and the
+    // on-stack map alone could not bound the work.
+    TPA_CHECK(config.dedup == DedupMode::kState,
+              "liveness: fair-cycle detection requires dedup = "
+              "DedupMode::kState (the visited set materializes the state "
+              "graph the cycles live on)");
+    // Parallel workers revive mid-tree from snapshots: they hold neither
+    // the DFS stack nor the prefix states a cycle could close into.
+    TPA_CHECK(config.threads <= 1,
+              "liveness: cycle detection needs the sequential DFS stack — "
+              "run with threads == 1");
   }
   const bool campaign = !config.campaign_path.empty();
   if (campaign) {
@@ -1145,12 +1495,28 @@ ExplorerResult explore_impl(std::size_t n_procs, SimConfig sim_config,
     result.dedup_evictions = shared.visited->evictions();
   }
   if (campaign) result.dedup_evictions += camp.base.dedup_evictions;
-  if (result.violation_found && config.shrink && !result.witness.empty()) {
-    ShrinkOutcome shrunk = shrink_witness(n_procs, eff, build,
-                                          result.witness, config.on_complete);
-    if (shrunk.witness.size() < result.witness.size()) {
-      result.raw_witness = std::move(result.witness);
-      result.witness = std::move(shrunk.witness);
+  Verdict& v = result.verdict;
+  if (v.found() && config.shrink && !v.witness.empty()) {
+    if (v.is_lasso()) {
+      // Lasso witnesses shrink stem and cycle independently; the oracle
+      // checks the cycle still closes under the progress fingerprint and
+      // the verdict kind is preserved (see tso/fuzz.h).
+      LassoShrinkOutcome shrunk = shrink_lasso(n_procs, eff, build, v.witness,
+                                               v.cycle_start, v.kind);
+      if (shrunk.witness.size() < v.witness.size()) {
+        v.raw_witness = std::move(v.witness);
+        v.witness = std::move(shrunk.witness);
+        v.cycle_start = shrunk.cycle_start;
+      }
+    } else if (v.kind == VerdictKind::kSafety) {
+      // Deadlock witnesses stay unshrunk: their oracle is "no enabled
+      // transition", which lenient replay cannot observe as a CheckFailure.
+      ShrinkOutcome shrunk = shrink_witness(n_procs, eff, build, v.witness,
+                                            config.on_complete);
+      if (shrunk.witness.size() < v.witness.size()) {
+        v.raw_witness = std::move(v.witness);
+        v.witness = std::move(shrunk.witness);
+      }
     }
   }
   if (campaign && !result.deadline_hit) {
@@ -1170,9 +1536,7 @@ ExplorerResult explore_impl(std::size_t n_procs, SimConfig sim_config,
     fin.dedup_evictions = result.dedup_evictions;
     fin.complete = true;
     fin.exhausted = result.exhausted;
-    fin.violation_found = result.violation_found;
-    fin.violation = result.violation;
-    fin.witness = result.witness;
+    fin.verdict = result.verdict;
     trace::write_campaign_file(config.campaign_path, fin);
   }
   return result;
@@ -1209,9 +1573,7 @@ ExplorerResult resume(const std::string& campaign_path, std::size_t n_procs,
     r.dedup_states = c.dedup_states;
     r.dedup_evictions = c.dedup_evictions;
     r.exhausted = c.exhausted;
-    r.violation_found = c.violation_found;
-    r.violation = c.violation;
-    r.witness = c.witness;
+    r.verdict = c.verdict;
     return r;
   }
   // The explorer configuration comes from the file — only wall-clock knobs
@@ -1228,6 +1590,7 @@ ExplorerResult resume(const std::string& campaign_path, std::size_t n_procs,
   cfg.checkpoint = c.checkpoint;
   cfg.dedup = c.dedup;
   cfg.symmetric_processes = c.symmetry;
+  cfg.liveness = c.liveness;
   cfg.dedup_max_bytes = c.dedup_max_bytes;
   cfg.campaign_path = campaign_path;
   cfg.checkpoint_interval_ms = options.checkpoint_interval_ms;

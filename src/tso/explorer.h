@@ -64,6 +64,25 @@ enum class SymmetryMode : std::uint8_t {
 const char* to_string(SymmetryMode m);
 SymmetryMode symmetry_mode_from_string(const std::string& name);
 
+/// Liveness verdicts on the explored state graph: detect *fair cycles* —
+/// lasso-shaped runs whose cycle revisits a machine state while every
+/// non-crashed runnable process gets scheduled (weak fairness) — and
+/// classify them as starvation (a process waits in Try across the whole
+/// cycle without reaching CS) or livelock (nobody makes Enter/CS/Exit
+/// progress); a pre-completion state with no enabled transition is a
+/// deadlock. Cycle detection keys on Simulator::fingerprint_progress — the
+/// machine state minus the monotone op-history component — on the DFS
+/// stack, so it requires DedupMode::kState (the visited set materializes
+/// the state graph) and composes with symmetry (canonical progress keys).
+/// See docs/LIVENESS.md for semantics and soundness preconditions.
+enum class LivenessMode : std::uint8_t {
+  kOff,    ///< safety only — bit-identical to the pre-liveness explorer
+  kCheck,  ///< also detect fair cycles and deadlocks, with lasso witnesses
+};
+
+const char* to_string(LivenessMode m);
+LivenessMode liveness_mode_from_string(const std::string& name);
+
 struct ExplorerConfig {
   /// Preemptive context switches allowed per schedule (switching away from
   /// a process that can still act). Switches away from a blocked/finished
@@ -139,6 +158,15 @@ struct ExplorerConfig {
   /// enforced via check.h.
   SymmetryMode symmetric_processes = SymmetryMode::kOff;
 
+  /// Fair-cycle detection (see LivenessMode). Off by default: when on,
+  /// starvation/livelock/deadlock verdicts are reported with lasso
+  /// witnesses; when off, verdicts, witnesses and counts are bit-identical
+  /// to the pre-liveness explorer. Requires dedup == kState and is
+  /// sequential only (threads == 1) — parallel workers revive mid-tree from
+  /// snapshots without the DFS stack a cycle check needs; both enforced via
+  /// check.h.
+  LivenessMode liveness = LivenessMode::kOff;
+
   /// Byte budget for the dedup visited set (the memory governor; see
   /// tso/visited.h). Capped shards evict cold entries instead of growing,
   /// so long explorations hold a bounded working set. Evicting only
@@ -188,13 +216,10 @@ struct ResumeOptions {
 struct ExplorerResult : RunStats {
   // From RunStats: schedules (complete schedules explored), steps (machine
   // events executed — restores replay none), truncated (schedules cut off at
-  // max_steps), deadline_hit (config.time_budget_ms ran out).
-  bool violation_found = false;
-  std::string violation;            ///< failure message (first found)
-  std::vector<Directive> witness;   ///< schedule reproducing the violation
-                                    ///< (shrunk when config.shrink is set)
-  std::vector<Directive> raw_witness;  ///< pre-shrink witness (empty if
-                                       ///< shrinking is off or a no-op)
+  // max_steps), deadline_hit (config.time_budget_ms ran out), and verdict —
+  // the structured outcome (kind, message, witness/raw_witness, lasso
+  // cycle_start). verdict.witness replays the violation via tso::replay
+  // (shrunk when config.shrink is set).
   bool exhausted = true;            ///< false if max_schedules was hit
   std::uint64_t snapshots = 0;  ///< checkpoints taken at branch points
   std::uint64_t restores = 0;   ///< simulators revived from a checkpoint

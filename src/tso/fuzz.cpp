@@ -15,8 +15,7 @@ std::string FuzzResult::to_json() const {
   std::ostringstream os;
   os << "{";
   json_fields(os);
-  os << ",\"violation_found\":" << (violation_found ? "true" : "false")
-     << ",\"violating_run\":" << violating_run << ",\"schedule_digest\":"
+  os << ",\"violating_run\":" << violating_run << ",\"schedule_digest\":"
      << schedule_digest << "}";
   return os.str();
 }
@@ -224,6 +223,166 @@ ShrinkOutcome shrink_witness(std::size_t n_procs, SimConfig sim_config,
   return out;
 }
 
+namespace {
+
+/// The explorer's enabledness predicate: a process that can take some
+/// machine step right now. Used by the weak-fairness filter.
+bool can_act(const Simulator& sim, ProcId p) {
+  const Proc& proc = sim.proc(p);
+  if (proc.crashed()) return sim.has_recovery(p);
+  return (!proc.done() && proc.has_pending()) || !proc.buffer().empty();
+}
+
+}  // namespace
+
+LassoReplay replay_lasso(std::size_t n_procs, SimConfig sim_config,
+                         const ScenarioBuilder& build,
+                         const std::vector<Directive>& stem,
+                         const std::vector<Directive>& cycle) {
+  LassoReplay r;
+  LenientReplay base = replay_lenient(n_procs, sim_config, build, stem);
+  r.stem = std::move(base.applied);
+  if (base.violated || cycle.empty()) return r;  // not a liveness lasso
+  Simulator& sim = *base.sim;
+  const std::size_t n = sim.num_procs();
+  // The scheduled process is part of the explorer's on-stack key, so the
+  // oracle folds it in too: the process of the last non-crash directive
+  // (crashes do not transfer scheduling).
+  ProcId current = kNoProc;
+  for (const Directive& d : r.stem)
+    if (d.kind != ActionKind::kCrash) current = d.proc;
+  const Fingerprint entry = sim.fingerprint_progress(current);
+  std::vector<Status> status0(n);
+  std::vector<char> enabled(n, 0), scheduled(n, 0), changed(n, 0);
+  for (std::size_t q = 0; q < n; ++q) {
+    status0[q] = sim.proc(static_cast<ProcId>(q)).status();
+    enabled[q] = can_act(sim, static_cast<ProcId>(q)) ? 1 : 0;
+  }
+  for (const Directive& d : cycle) {
+    bool ok = false;
+    try {
+      ok = apply_directive(sim, d);
+    } catch (const CheckFailure&) {
+      return r;  // a safety violation inside the cycle is not a lasso
+    }
+    if (!ok) return r;  // the cycle must apply strictly
+    if (d.kind != ActionKind::kCrash) current = d.proc;
+    if (d.proc != kNoProc && static_cast<std::size_t>(d.proc) < n)
+      scheduled[static_cast<std::size_t>(d.proc)] = 1;
+    for (std::size_t q = 0; q < n; ++q)
+      if (sim.proc(static_cast<ProcId>(q)).status() != status0[q])
+        changed[q] = 1;
+  }
+  const Fingerprint back = sim.fingerprint_progress(current);
+  if (!(back == entry)) return r;  // does not re-close the abstract state
+  // Weak fairness: every process enabled at the cycle entry must be
+  // scheduled somewhere in the cycle, or the lasso describes an unfair
+  // scheduler and proves nothing about the algorithm.
+  for (std::size_t q = 0; q < n; ++q)
+    if (enabled[q] && !scheduled[q]) return r;
+  r.closes = true;
+  // Classification by section-watching: a closing cycle restores every
+  // status, so any observed change means a full passage through the
+  // critical section happened (progress). A process parked in Entry for the
+  // whole cycle is starved; nobody moving at all is a livelock.
+  bool starved = false;
+  bool any_change = false;
+  for (std::size_t q = 0; q < n; ++q) {
+    any_change |= changed[q] != 0;
+    if (status0[q] == Status::kEntry && !changed[q]) starved = true;
+  }
+  r.kind = starved ? VerdictKind::kStarvation
+                   : (any_change ? VerdictKind::kClean
+                                 : VerdictKind::kLivelock);
+  return r;
+}
+
+LassoShrinkOutcome shrink_lasso(std::size_t n_procs, SimConfig sim_config,
+                                const ScenarioBuilder& build,
+                                std::vector<Directive> witness,
+                                std::size_t cycle_start, VerdictKind kind) {
+  LassoShrinkOutcome out;
+  if (cycle_start >= witness.size()) {  // no cycle part: nothing to shrink
+    out.cycle_start = cycle_start;
+    out.witness = std::move(witness);
+    return out;
+  }
+  auto b = witness.begin();
+  std::vector<Directive> stem(b, b + static_cast<std::ptrdiff_t>(cycle_start));
+  std::vector<Directive> cycle(b + static_cast<std::ptrdiff_t>(cycle_start),
+                               witness.end());
+  // Accept a candidate only if the cycle still closes *and* classifies as
+  // the same kind — a starvation witness must not degrade into a livelock
+  // or a mere progress cycle mid-shrink.
+  auto accepts = [&](const std::vector<Directive>& st,
+                     const std::vector<Directive>& cy,
+                     std::vector<Directive>* applied_stem) {
+    out.replays++;
+    LassoReplay r = replay_lasso(n_procs, sim_config, build, st, cy);
+    if (!r.closes || r.kind != kind) return false;
+    if (applied_stem != nullptr) *applied_stem = std::move(r.stem);
+    return true;
+  };
+  std::vector<Directive> applied;
+  if (!accepts(stem, cycle, &applied)) {
+    out.cycle_start = cycle_start;
+    out.witness = std::move(witness);  // not reproducible: hands off
+    return out;
+  }
+  stem = std::move(applied);  // drop stem directives that never applied
+  // ddmin one component while holding the other fixed. Stem candidates go
+  // through the lenient replay, so an accepted candidate may shed even more
+  // directives than the removed chunk; cycle candidates are strict.
+  auto ddmin = [&](std::vector<Directive>& seq, bool is_stem) {
+    bool shrunk_any = false;
+    std::size_t chunk = std::max<std::size_t>(1, seq.size() / 2);
+    while (true) {
+      bool removed = false;
+      for (std::size_t start = 0; start < seq.size();) {
+        const std::size_t stop = std::min(seq.size(), start + chunk);
+        std::vector<Directive> cand(
+            seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(start));
+        cand.insert(cand.end(),
+                    seq.begin() + static_cast<std::ptrdiff_t>(stop),
+                    seq.end());
+        bool ok;
+        if (is_stem) {
+          std::vector<Directive> app;
+          ok = accepts(cand, cycle, &app);
+          if (ok) seq = std::move(app);
+        } else {
+          ok = accepts(stem, cand, nullptr);
+          if (ok) seq = std::move(cand);
+        }
+        if (ok) {
+          removed = true;
+          shrunk_any = true;  // re-test the same start against the new seq
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        if (!removed) break;  // 1-minimal within this component
+      } else {
+        chunk = std::max<std::size_t>(1, chunk / 2);
+      }
+    }
+    return shrunk_any;
+  };
+  // Cycle first (it is what makes the witness a lasso), then the stem, and
+  // around again: a shorter stem can land on a state from which more of the
+  // cycle is removable.
+  while (true) {
+    bool any = ddmin(cycle, /*is_stem=*/false);
+    if (ddmin(stem, /*is_stem=*/true)) any = true;
+    if (!any) break;
+  }
+  out.witness = std::move(stem);
+  out.cycle_start = out.witness.size();
+  out.witness.insert(out.witness.end(), cycle.begin(), cycle.end());
+  return out;
+}
+
 FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
                 const ScenarioBuilder& build, const FuzzConfig& config) {
   FuzzResult result;
@@ -348,17 +507,17 @@ FuzzResult fuzz(std::size_t n_procs, SimConfig sim_config,
     result.schedule_digest *= 0x100000001b3ULL;
 
     if (out.violated) {
-      result.violation_found = true;
-      result.violation = out.violation;
+      result.verdict.kind = VerdictKind::kSafety;
+      result.verdict.message = out.violation;
       result.violating_run = run;
-      result.raw_witness = std::move(out.schedule);
+      result.verdict.raw_witness = std::move(out.schedule);
       if (config.shrink) {
         ShrinkOutcome shrunk =
-            shrink_witness(n_procs, run_cfg, build, result.raw_witness,
+            shrink_witness(n_procs, run_cfg, build, result.verdict.raw_witness,
                            config.on_complete);
-        result.witness = std::move(shrunk.witness);
+        result.verdict.witness = std::move(shrunk.witness);
       } else {
-        result.witness = result.raw_witness;
+        result.verdict.witness = result.verdict.raw_witness;
       }
       return result;
     }

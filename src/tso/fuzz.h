@@ -61,6 +61,50 @@ ShrinkOutcome shrink_witness(std::size_t n_procs, SimConfig sim_config,
                              std::vector<Directive> witness,
                              const ScheduleHook& on_complete = {});
 
+/// The result of replaying a lasso candidate (stem + cycle) against the
+/// liveness oracle: does the cycle strictly apply from the stem's end state,
+/// re-close under the progress fingerprint, and pass the weak-fairness
+/// filter — and if so, what verdict kind does it classify as?
+struct LassoReplay {
+  bool closes = false;  ///< strict cycle application + fingerprint closure
+                        ///< + weak fairness all hold
+  VerdictKind kind = VerdictKind::kClean;  ///< kStarvation, kLivelock, or
+                                           ///< kClean (a progress cycle)
+  std::vector<Directive> stem;  ///< stem directives that actually applied
+};
+
+/// Replays `stem` leniently, then applies `cycle` strictly once and checks
+/// it returns to the stem-end state under Simulator::fingerprint_progress
+/// (with the scheduled process folded in, exactly the explorer's on-stack
+/// key). A closing cycle is classified by watching per-process sections
+/// during the application: starvation if some process sits in Try (Entry)
+/// across the whole cycle, livelock if no process makes any
+/// Enter/CS/Exit transition; a cycle where someone progresses is kClean.
+/// This is the oracle lasso shrinking and v3 witness replay share.
+LassoReplay replay_lasso(std::size_t n_procs, SimConfig sim_config,
+                         const ScenarioBuilder& build,
+                         const std::vector<Directive>& stem,
+                         const std::vector<Directive>& cycle);
+
+struct LassoShrinkOutcome {
+  std::vector<Directive> witness;  ///< shrunk stem + cycle, concatenated
+  std::size_t cycle_start = 0;     ///< cycle entry index into `witness`
+  std::uint64_t replays = 0;       ///< oracle invocations spent
+};
+
+/// ddmin generalized to lassos: shrinks the cycle first, then the stem,
+/// each to a 1-minimal fixpoint, accepting a candidate only if the cycle
+/// still closes under the progress fingerprint *and* the classification
+/// kind is preserved (a starvation witness never degrades into a mere
+/// livelock or progress cycle, and vice versa). The returned witness
+/// replays deterministically: replay_lasso(stem, cycle) closes with the
+/// same kind. If the input does not reproduce at all, it is returned
+/// unchanged.
+LassoShrinkOutcome shrink_lasso(std::size_t n_procs, SimConfig sim_config,
+                                const ScenarioBuilder& build,
+                                std::vector<Directive> witness,
+                                std::size_t cycle_start, VerdictKind kind);
+
 struct FuzzConfig {
   std::uint64_t seed = 0x5eedULL;
   std::uint64_t runs = 1'000;       ///< fuzz iterations (upper bound)
@@ -92,11 +136,11 @@ struct FuzzConfig {
 struct FuzzResult : RunStats {
   // From RunStats: schedules (runs actually executed), steps (machine events
   // executed across all runs), truncated (runs that neither completed nor
-  // violated within max_steps), deadline_hit (time_budget_ms ran out).
-  bool violation_found = false;
-  std::string violation;
-  std::vector<Directive> witness;      ///< shrunk (when config.shrink)
-  std::vector<Directive> raw_witness;  ///< as recorded in the violating run
+  // violated within max_steps), deadline_hit (time_budget_ms ran out), and
+  // verdict — kind/message plus the witness (shrunk when config.shrink) and
+  // raw_witness (as recorded in the violating run). The fuzzer only ever
+  // reports kClean or kSafety: liveness kinds need the explorer's state
+  // graph.
   std::uint64_t violating_run = 0;     ///< 0-based index of the hit
   /// FNV-1a digest over every applied directive of every run: two fuzz
   /// passes with equal configs explore byte-identical schedules.

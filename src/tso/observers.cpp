@@ -225,17 +225,27 @@ void AwarenessObserver::restore(const ObserverSnapshot* snap) {
 }
 
 // ---------------------------------------------------------------------------
-// ExclusionChecker
+// ProgressObserver / ExclusionChecker
 // ---------------------------------------------------------------------------
 
-void ExclusionChecker::on_pending(const Simulator& sim, const Proc& p) {
+void ProgressObserver::on_pending(const Simulator& sim, const Proc& p) {
   if (p.pending().kind != OpKind::kCs) return;
+  cs_enabled_.clear();
   for (std::size_t q = 0; q < sim.num_procs(); ++q) {
     const Proc& other = sim.proc(static_cast<ProcId>(q));
-    if (other.id() == p.id()) continue;
-    if (other.has_pending() && other.pending().kind == OpKind::kCs) {
+    if (other.has_pending() && other.pending().kind == OpKind::kCs)
+      cs_enabled_.push_back(other.id());
+  }
+  on_cs_enabled(sim, p);
+}
+
+void ProgressObserver::on_cs_enabled(const Simulator&, const Proc&) {}
+
+void ExclusionChecker::on_cs_enabled(const Simulator&, const Proc& p) {
+  for (const ProcId other : cs_enabled()) {
+    if (other != p.id()) {
       TPA_FAIL("mutual exclusion violated: CS enabled for both p"
-               << p.id() << " and p" << other.id());
+               << p.id() << " and p" << other);
     }
   }
 }

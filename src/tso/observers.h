@@ -5,7 +5,10 @@
 //                     models of cost/model.h (DSM, CC-WT, CC-WB)
 //   AwarenessObserver awareness sets (Definition 1), including the
 //                     issue-time snapshot subtlety of buffered writes
-//   ExclusionChecker  asserts at most one enabled CS transition at a time
+//   ProgressObserver  per-process progress labels: which processes have
+//                     their CS transition enabled right now
+//   ExclusionChecker  ProgressObserver subclass asserting the safety half:
+//                     at most one enabled CS transition at a time
 //   TraceRecorder     the replayable event trace + directive schedule
 //   JsonlTraceSink    structured observability: one JSON object per
 //                     directive/event, streamed to an ostream
@@ -91,10 +94,40 @@ class AwarenessObserver : public SimObserver {
   std::vector<std::unordered_map<VarId, DynBitset>> issue_aw_;
 };
 
-class ExclusionChecker : public SimObserver {
+/// Watches per-process progress labels: whenever some process' critical-
+/// section transition becomes enabled, it sweeps the simulator and exposes
+/// *every* process whose CS transition is currently enabled. This is the
+/// liveness layer's notion of "who is at the door of the critical section"
+/// — the same Entry/CS/Exit section structure the explorer's fair-cycle
+/// classifier watches — packaged as a composable observer so checkers can
+/// build on it. Stateless across checkpoints: the label set is recomputed
+/// at every trigger, so snapshot/restore need no payload.
+class ProgressObserver : public SimObserver {
+ public:
+  const char* name() const override { return "progress"; }
+  void on_pending(const Simulator& sim, const Proc& p) override;
+
+  /// Processes whose CS transition was enabled at the last trigger, in
+  /// process order. Only meaningful inside/after an on_cs_enabled sweep.
+  const std::vector<ProcId>& cs_enabled() const { return cs_enabled_; }
+
+ protected:
+  /// Invoked when p's CS transition becomes enabled, after cs_enabled()
+  /// has been refreshed (it always contains at least p itself).
+  virtual void on_cs_enabled(const Simulator& sim, const Proc& p);
+
+ private:
+  std::vector<ProcId> cs_enabled_;
+};
+
+/// The safety half of mutual exclusion, on top of the progress labels: two
+/// simultaneously enabled CS transitions are a violation.
+class ExclusionChecker : public ProgressObserver {
  public:
   const char* name() const override { return "exclusion"; }
-  void on_pending(const Simulator& sim, const Proc& p) override;
+
+ protected:
+  void on_cs_enabled(const Simulator& sim, const Proc& p) override;
 };
 
 class TraceRecorder : public SimObserver {

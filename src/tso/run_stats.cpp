@@ -3,12 +3,37 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace tpa::tso {
+
+const char* to_string(VerdictKind k) {
+  switch (k) {
+    case VerdictKind::kClean: return "clean";
+    case VerdictKind::kSafety: return "safety";
+    case VerdictKind::kStarvation: return "starvation";
+    case VerdictKind::kLivelock: return "livelock";
+    case VerdictKind::kDeadlock: return "deadlock";
+  }
+  TPA_FAIL("unknown VerdictKind " << static_cast<int>(k));
+}
+
+VerdictKind verdict_kind_from_string(const std::string& name) {
+  if (name == "clean") return VerdictKind::kClean;
+  if (name == "safety") return VerdictKind::kSafety;
+  if (name == "starvation") return VerdictKind::kStarvation;
+  if (name == "livelock") return VerdictKind::kLivelock;
+  if (name == "deadlock") return VerdictKind::kDeadlock;
+  TPA_FAIL("unknown VerdictKind name '"
+           << name << "' (want clean|safety|starvation|livelock|deadlock)");
+}
 
 void RunStats::json_fields(std::ostream& out) const {
   out << "\"schedules\":" << schedules << ",\"steps\":" << steps
       << ",\"truncated\":" << truncated
-      << ",\"deadline_hit\":" << (deadline_hit ? "true" : "false");
+      << ",\"deadline_hit\":" << (deadline_hit ? "true" : "false")
+      << ",\"verdict\":\"" << to_string(verdict.kind) << "\""
+      << ",\"violation_found\":" << (verdict.found() ? "true" : "false");
 }
 
 std::string RunStats::to_json() const {

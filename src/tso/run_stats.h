@@ -1,18 +1,66 @@
-// RunStats — the accounting every schedule-space pass shares.
+// RunStats — the accounting and verdict every schedule-space pass shares.
 //
 // Both the exhaustive explorer (tso/explorer.h) and the randomized fuzzer
 // (tso/fuzz.h) drive many short-lived simulators and report the same core
 // figures: schedules finished, machine events (steps) executed, schedules
 // cut off at the per-run step cap, and whether a wall-clock budget ended the
-// pass early. ExplorerResult and FuzzResult derive from this struct so
-// benches and tests read one shape instead of copying fields between two.
+// pass early — plus one structured Verdict: what (if anything) went wrong
+// and the directive schedule that reproduces it. ExplorerResult and
+// FuzzResult derive from this struct so benches and tests read one shape
+// instead of copying fields between two.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
+
+#include "tso/event.h"
 
 namespace tpa::tso {
+
+/// What a pass concluded about the scenario. kClean means every explored
+/// schedule satisfied all checked properties; the other kinds carry a
+/// witness schedule that reproduces the failure deterministically.
+enum class VerdictKind : std::uint8_t {
+  kClean,       ///< no violation within the explored bound
+  kSafety,      ///< a CheckFailure: exclusion, crash-safety, hook invariant
+  kStarvation,  ///< fair cycle where some process waits in Try without CS
+  kLivelock,    ///< fair cycle with no Enter/CS/Exit progress by anyone
+  kDeadlock,    ///< pre-completion state with no enabled transition
+};
+
+const char* to_string(VerdictKind k);
+
+/// Inverse of to_string(VerdictKind); throws CheckFailure on unknown names.
+VerdictKind verdict_kind_from_string(const std::string& name);
+
+/// Sentinel for Verdict::cycle_start / trace::Witness::cycle_start: the
+/// witness is a plain finite schedule, not a lasso.
+inline constexpr std::size_t kNoCycle = static_cast<std::size_t>(-1);
+
+/// The structured outcome of a pass: kind, human-readable message, and the
+/// reproducing schedule. For liveness kinds the witness is a *lasso* —
+/// directives [0, cycle_start) are the stem reaching the cycle entry state,
+/// directives [cycle_start, size) are a cycle that returns to it (the
+/// progress fingerprint at cycle entry equals the one after the last
+/// directive; replay re-asserts this).
+struct Verdict {
+  VerdictKind kind = VerdictKind::kClean;
+  std::string message;              ///< failure detail (first found)
+  std::vector<Directive> witness;   ///< schedule reproducing the violation
+                                    ///< (shrunk when shrinking is on)
+  std::vector<Directive> raw_witness;  ///< pre-shrink witness (empty if
+                                       ///< shrinking is off or a no-op)
+  std::size_t cycle_start = kNoCycle;  ///< lasso cycle entry index, or
+                                       ///< kNoCycle for finite witnesses
+
+  /// Any non-clean kind.
+  bool found() const { return kind != VerdictKind::kClean; }
+  /// The witness is stem + cycle (liveness kinds other than deadlock).
+  bool is_lasso() const { return cycle_start != kNoCycle; }
+};
 
 struct RunStats {
   /// Complete schedules finished (explorer) / fuzz runs executed (fuzzer).
@@ -26,12 +74,17 @@ struct RunStats {
   std::uint64_t truncated = 0;
   /// The configured wall-clock budget ran out before the pass finished.
   bool deadline_hit = false;
+  /// What the pass concluded, with the reproducing schedule if anything
+  /// failed. Shared by explorer and fuzzer so campaign files, benches and
+  /// tests read one shape.
+  Verdict verdict;
 
-  /// Emits the four fields as `"key":value` pairs (no braces), for embedding
-  /// into a larger JSON object.
+  /// Emits the stats fields plus the verdict kind (and, for non-clean
+  /// verdicts, `violation_found`) as `"key":value` pairs (no braces), for
+  /// embedding into a larger JSON object.
   void json_fields(std::ostream& out) const;
 
-  /// The four fields as a self-contained JSON object.
+  /// The fields as a self-contained JSON object.
   std::string to_json() const;
 };
 

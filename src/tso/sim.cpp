@@ -857,13 +857,14 @@ std::uint64_t fp_var_component(const Variable& v, const ProcId* rename) {
   return h;
 }
 
-/// One process' blob: control flags, incarnation count, write buffer in
-/// FIFO order, the parked pending op, and the op-result history hash (the
-/// coroutine-frame surrogate — the control location and every local are a
-/// deterministic function of the op-result stream). Deliberately free of
-/// process ids, so a renaming permutes blob *positions*, never contents.
-std::uint64_t fp_proc_blob(const Proc& p, bool program_valid,
-                           bool has_recovery) {
+/// One process' *live* blob: control flags, incarnation count, write buffer
+/// in FIFO order, and the parked pending op — everything of the full blob
+/// except the op-result history hash. Deliberately free of process ids, so
+/// a renaming permutes blob *positions*, never contents. This is the
+/// progress-fingerprint component: the history hash grows monotonically, so
+/// leaving it out is exactly what lets abstract states repeat along a run.
+std::uint64_t fp_proc_blob_live(const Proc& p, bool program_valid,
+                                bool has_recovery) {
   std::uint64_t h = kFpBasis;
   h = fp_fold(h, (static_cast<std::uint64_t>(p.status()) << 8) |
                      (static_cast<std::uint64_t>(p.mode()) << 6) |
@@ -885,16 +886,36 @@ std::uint64_t fp_proc_blob(const Proc& p, bool program_valid,
     h = fp_fold(h, static_cast<std::uint64_t>(p.pending().value));
     h = fp_fold(h, static_cast<std::uint64_t>(p.pending().expected));
   }
-  h = fp_fold(h, p.op_history_hash());
   return h;
 }
 
+/// The full blob: live blob plus the op-result history hash (the
+/// coroutine-frame surrogate — the control location and every local are a
+/// deterministic function of the op-result stream) folded last, so both
+/// hashes come out of one pass over the process.
+inline std::uint64_t fp_proc_blob_full(std::uint64_t live, const Proc& p) {
+  return fp_fold(live, p.op_history_hash());
+}
+
+std::uint64_t fp_proc_blob(const Proc& p, bool program_valid,
+                           bool has_recovery) {
+  return fp_proc_blob_full(fp_proc_blob_live(p, program_valid, has_recovery),
+                           p);
+}
+
+/// Domain tag mixed into progress fingerprints, so a progress key can never
+/// collide with a full-state key even for states with empty histories.
+constexpr std::uint64_t kFpProgressDomain = 0x70726f6772657373ULL;  // ascii
+
 /// The shared finalizer: accumulators plus everything that is global to the
 /// state — config bits the transition relation consults, the component
-/// counts, and the scheduler's current process.
+/// counts, and the scheduler's current process. `domain` separates the
+/// progress key space (0 = full-state fingerprints, byte-identical to the
+/// pre-liveness scheme).
 Fingerprint fp_finalize(const SimConfig& cfg, std::size_t n_vars,
                         std::size_t n_procs, std::uint64_t x, std::uint64_t s,
-                        std::uint64_t current_code) {
+                        std::uint64_t current_code,
+                        std::uint64_t domain = 0) {
   FpMix m;
   m.mix((static_cast<std::uint64_t>(cfg.pso) << 1) |
         static_cast<std::uint64_t>(cfg.crash_model ==
@@ -904,6 +925,7 @@ Fingerprint fp_finalize(const SimConfig& cfg, std::size_t n_vars,
   m.mix(x);
   m.mix(s);
   m.mix(current_code);
+  if (domain != 0) m.mix(domain);
   return {m.lo, m.hi};
 }
 
@@ -935,11 +957,17 @@ void Simulator::fp_grow_var() {
   fp_var_stale_.push_back(0);
   fp_x_ ^= fp_tag_x(fp_var_tag(v), h);
   fp_s_ += fp_tag_s(fp_var_tag(v), h);
+  // Variables carry no history, so their component is shared verbatim with
+  // the progress lanes.
+  fp_lx_ ^= fp_tag_x(fp_var_tag(v), h);
+  fp_ls_ += fp_tag_s(fp_var_tag(v), h);
 }
 
 void Simulator::fp_rebuild() const {
   fp_x_ = 0;
   fp_s_ = 0;
+  fp_lx_ = 0;
+  fp_ls_ = 0;
   fp_var_.resize(vars_.size());
   fp_var_stale_.assign(vars_.size(), 0);
   fp_dirty_vars_.clear();
@@ -948,16 +976,23 @@ void Simulator::fp_rebuild() const {
     fp_var_[v] = h;
     fp_x_ ^= fp_tag_x(fp_var_tag(v), h);
     fp_s_ += fp_tag_s(fp_var_tag(v), h);
+    fp_lx_ ^= fp_tag_x(fp_var_tag(v), h);
+    fp_ls_ += fp_tag_s(fp_var_tag(v), h);
   }
   fp_proc_.resize(procs_.size());
+  fp_proc_live_.resize(procs_.size());
   fp_proc_stale_.assign(procs_.size(), 0);
   fp_dirty_procs_.clear();
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const std::uint64_t h =
-        fp_proc_blob(*procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    const std::uint64_t live = fp_proc_blob_live(
+        *procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    const std::uint64_t h = fp_proc_blob_full(live, *procs_[i]);
     fp_proc_[i] = h;
+    fp_proc_live_[i] = live;
     fp_x_ ^= fp_tag_x(fp_proc_tag(i), h);
     fp_s_ += fp_tag_s(fp_proc_tag(i), h);
+    fp_lx_ ^= fp_tag_x(fp_proc_tag(i), live);
+    fp_ls_ += fp_tag_s(fp_proc_tag(i), live);
   }
 }
 
@@ -967,9 +1002,13 @@ void Simulator::fp_flush() const {
     const std::uint64_t tag = fp_var_tag(i);
     fp_x_ ^= fp_tag_x(tag, fp_var_[i]);
     fp_s_ -= fp_tag_s(tag, fp_var_[i]);
+    fp_lx_ ^= fp_tag_x(tag, fp_var_[i]);
+    fp_ls_ -= fp_tag_s(tag, fp_var_[i]);
     fp_var_[i] = fp_var_component(vars_[i], nullptr);
     fp_x_ ^= fp_tag_x(tag, fp_var_[i]);
     fp_s_ += fp_tag_s(tag, fp_var_[i]);
+    fp_lx_ ^= fp_tag_x(tag, fp_var_[i]);
+    fp_ls_ += fp_tag_s(tag, fp_var_[i]);
     fp_var_stale_[i] = 0;
   }
   fp_dirty_vars_.clear();
@@ -978,10 +1017,16 @@ void Simulator::fp_flush() const {
     const std::uint64_t tag = fp_proc_tag(i);
     fp_x_ ^= fp_tag_x(tag, fp_proc_[i]);
     fp_s_ -= fp_tag_s(tag, fp_proc_[i]);
-    fp_proc_[i] =
-        fp_proc_blob(*procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    fp_lx_ ^= fp_tag_x(tag, fp_proc_live_[i]);
+    fp_ls_ -= fp_tag_s(tag, fp_proc_live_[i]);
+    const std::uint64_t live = fp_proc_blob_live(
+        *procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    fp_proc_live_[i] = live;
+    fp_proc_[i] = fp_proc_blob_full(live, *procs_[i]);
     fp_x_ ^= fp_tag_x(tag, fp_proc_[i]);
     fp_s_ += fp_tag_s(tag, fp_proc_[i]);
+    fp_lx_ ^= fp_tag_x(tag, live);
+    fp_ls_ += fp_tag_s(tag, live);
     fp_proc_stale_[i] = 0;
   }
   fp_dirty_procs_.clear();
@@ -1055,6 +1100,84 @@ Fingerprint Simulator::fingerprint_symmetric(ProcId current) const {
     fp_rank_[static_cast<std::size_t>(fp_order_[pos])] =
         static_cast<ProcId>(pos);
   return fingerprint_oracle(current, fp_rank_.data());
+}
+
+Fingerprint Simulator::fingerprint_progress(ProcId current) const {
+  fp_flush();
+  const Fingerprint out =
+      fp_finalize(config_, vars_.size(), procs_.size(), fp_lx_, fp_ls_,
+                  fp_pid(current, nullptr), kFpProgressDomain);
+  if (config_.fingerprint == FingerprintMode::kAudit) {
+    const Fingerprint oracle = fingerprint_progress_oracle(current);
+    TPA_CHECK(out == oracle,
+              "incremental progress fingerprint diverged from the full "
+              "re-walk oracle (seq=" << seq_ << ", current=p" << current
+                                     << ")");
+  }
+  return out;
+}
+
+bool Simulator::progress_unchanged_since_baseline() const {
+  if (!fp_dirty_vars_.empty()) return false;
+  for (const ProcId p : fp_dirty_procs_) {
+    const auto i = static_cast<std::size_t>(p);
+    if (fp_proc_blob_live(*procs_[i], programs_[i].valid(),
+                          recovery_[i] != nullptr) != fp_proc_live_[i])
+      return false;
+  }
+  return true;
+}
+
+Fingerprint Simulator::fingerprint_progress_oracle(ProcId current,
+                                                   const ProcId* rename) const {
+  std::uint64_t x = 0, s = 0;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const std::uint64_t h = fp_var_component(vars_[v], rename);
+    x ^= fp_tag_x(fp_var_tag(v), h);
+    s += fp_tag_s(fp_var_tag(v), h);
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const std::uint64_t h = fp_proc_blob_live(
+        *procs_[i], programs_[i].valid(), recovery_[i] != nullptr);
+    const std::size_t pos =
+        rename != nullptr ? static_cast<std::size_t>(rename[i]) : i;
+    x ^= fp_tag_x(fp_proc_tag(pos), h);
+    s += fp_tag_s(fp_proc_tag(pos), h);
+  }
+  return fp_finalize(config_, vars_.size(), procs_.size(), x, s,
+                     fp_pid(current, rename), kFpProgressDomain);
+}
+
+Fingerprint Simulator::fingerprint_progress_symmetric(ProcId current) const {
+  fp_flush();
+  const std::size_t n = procs_.size();
+  // Same canonicalization as fingerprint_symmetric, but the signature sorts
+  // on the *live* blob: two processes with equal abstract state but distinct
+  // op histories must land in the same canonical slot, or a renamed revisit
+  // of an abstract state would hash differently and cycles through it would
+  // be missed.
+  fp_wref_.assign(n, kFpBasis);
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const ProcId w = vars_[v].last_writer;
+    if (w != kNoProc)
+      fp_wref_[static_cast<std::size_t>(w)] =
+          fp_fold(fp_wref_[static_cast<std::size_t>(w)], v);
+  }
+  fp_order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) fp_order_[i] = static_cast<ProcId>(i);
+  std::sort(fp_order_.begin(), fp_order_.end(), [&](ProcId a, ProcId b) {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (fp_proc_live_[ia] != fp_proc_live_[ib])
+      return fp_proc_live_[ia] < fp_proc_live_[ib];
+    if (fp_wref_[ia] != fp_wref_[ib]) return fp_wref_[ia] < fp_wref_[ib];
+    return (a == current) < (b == current);
+  });
+  fp_rank_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    fp_rank_[static_cast<std::size_t>(fp_order_[pos])] =
+        static_cast<ProcId>(pos);
+  return fingerprint_progress_oracle(current, fp_rank_.data());
 }
 
 // ---------------------------------------------------------------------------

@@ -137,6 +137,7 @@ struct Fingerprint {
   bool operator==(const Fingerprint&) const = default;
 };
 
+
 /// A full checkpoint of the simulator (and its observers) at a quiescent
 /// point between scheduler steps. Move-only; share via shared_ptr when the
 /// same checkpoint seeds several branches. Restoring re-runs the scenario
@@ -343,6 +344,53 @@ class Simulator {
   /// Only sound on declared-symmetric scenarios; see docs/EXPLORER.md.
   Fingerprint fingerprint_symmetric(ProcId current = kNoProc) const;
 
+  /// The *progress* fingerprint: fingerprint() minus the per-process
+  /// op-result history component. The history hash grows monotonically
+  /// (every spin-loop iteration appends op results), so full-state
+  /// fingerprints never repeat along a run — dropping exactly that
+  /// component yields an abstraction under which a spinning process or a
+  /// completed lock passage returns to an earlier state. Fair-cycle
+  /// detection (ExplorerConfig::liveness) keys its DFS on-stack map on this
+  /// value; soundness comes from re-applying any candidate cycle and
+  /// checking the key re-closes, so a hash-collision false cycle is
+  /// rejected rather than reported (see docs/LIVENESS.md). Maintained by
+  /// the same dirty-tracking machinery as fingerprint(), O(1) per event; a
+  /// distinct domain tag keeps progress and full keys from ever colliding
+  /// across key spaces.
+  Fingerprint fingerprint_progress(ProcId current = kNoProc) const;
+
+  /// True when no progress-visible component has changed since the last
+  /// flush/rebuild of the incremental-fingerprint baseline: no variable was
+  /// dirtied, and every dirtied process' recomputed live blob equals its
+  /// baseline value — i.e. only op histories grew. Read-only: neither
+  /// flushes nor moves the baseline, so chained calls keep comparing
+  /// against the same state. Callers must separately rule out variable
+  /// *allocation* (compare n_vars() across the step): a fresh variable
+  /// enters the baseline at allocation time, not through the dirty lists.
+  /// This is what makes per-node liveness keying affordable — along forced
+  /// spin chains the explorer proves "this step changed no progress state"
+  /// from the dirty delta alone, never finalizing a key (see the fast path
+  /// in explorer.cpp).
+  bool progress_unchanged_since_baseline() const;
+
+  /// Number of allocated variables (a component count of every
+  /// fingerprint).
+  std::size_t n_vars() const { return vars_.size(); }
+
+  /// Debug oracle for fingerprint_progress, recomputed from scratch;
+  /// `rename` as in fingerprint_oracle. Always equal to
+  /// fingerprint_progress() when `rename` is null.
+  Fingerprint fingerprint_progress_oracle(ProcId current = kNoProc,
+                                          const ProcId* rename =
+                                              nullptr) const;
+
+  /// Canonical progress fingerprint under process-symmetry: like
+  /// fingerprint_symmetric(), but both the sort signatures and the final
+  /// walk use the history-free blobs — two abstractly-equal states whose
+  /// histories differ must canonicalize identically, or cycles on the
+  /// canonical key space would be missed.
+  Fingerprint fingerprint_progress_symmetric(ProcId current = kNoProc) const;
+
   /// Checkpoints the complete machine + observer state. Call only between
   /// scheduler steps (never from inside an observer callback).
   SimSnapshot snapshot() const;
@@ -407,8 +455,14 @@ class Simulator {
   // commutative group operations, so a changed component folds out in O(1).
   mutable std::vector<std::uint64_t> fp_var_;   ///< per-variable components
   mutable std::vector<std::uint64_t> fp_proc_;  ///< per-process blob hashes
+  /// History-free per-process blob hashes (the progress-fingerprint lane).
+  /// A full blob is fp_fold(live blob, op_history_hash), so both are
+  /// computed in one pass and share the dirty tracking below.
+  mutable std::vector<std::uint64_t> fp_proc_live_;
   mutable std::uint64_t fp_x_ = 0;
   mutable std::uint64_t fp_s_ = 0;
+  mutable std::uint64_t fp_lx_ = 0;  ///< progress-lane XOR accumulator
+  mutable std::uint64_t fp_ls_ = 0;  ///< progress-lane SUM accumulator
   mutable std::vector<VarId> fp_dirty_vars_;
   mutable std::vector<ProcId> fp_dirty_procs_;
   mutable std::vector<std::uint8_t> fp_var_stale_;

@@ -39,11 +39,133 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "tso/sim.h"
 
 namespace tpa::tso {
+
+/// Hash adapter for 128-bit fingerprints: both words are already mixed, so
+/// a cheap combine suffices.
+struct FpHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The liveness detector's DFS-stack index: progress-fingerprint → depth of
+/// the *nearest* stack occurrence. Revisiting a key that is on the stack
+/// closes a candidate fair cycle.
+///
+/// Nearest-ancestor semantics: push() records the new depth and returns the
+/// previous binding (kNotOnStack when the key was absent); pop() restores
+/// it on unwind. So when a rejected progress cycle's head stays on the
+/// stack, a deeper revisit still closes against the *closest* occurrence —
+/// the shortest candidate cycle — not the shallowest.
+class OnStackMap {
+ public:
+  static constexpr std::size_t kNotOnStack = ~static_cast<std::size_t>(0);
+
+  /// Binds fp → depth; returns the depth it was previously bound to, or
+  /// kNotOnStack. Pass that value back to pop() when unwinding.
+  std::size_t push(const Fingerprint& fp, std::size_t depth) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    std::size_t i = probe_start(fp);
+    while (slots_[i].depth != kNotOnStack) {
+      if (slots_[i].fp == fp) {
+        const std::size_t prev = slots_[i].depth;
+        slots_[i].depth = depth;
+        return prev;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = {fp, depth};
+    ++size_;
+    return kNotOnStack;
+  }
+
+  /// Restores the binding push() displaced (erases when it was absent).
+  void pop(const Fingerprint& fp, std::size_t prev) {
+    if (slots_.empty()) return;
+    std::size_t i = probe_start(fp);
+    while (slots_[i].depth != kNotOnStack && !(slots_[i].fp == fp))
+      i = (i + 1) & mask_;
+    if (slots_[i].depth == kNotOnStack) return;  // absent: nothing to undo
+    if (prev != kNotOnStack) {
+      slots_[i].depth = prev;
+      return;
+    }
+    erase_at(i);
+    --size_;
+  }
+
+  /// Depth of the nearest stack occurrence, or kNotOnStack.
+  std::size_t find(const Fingerprint& fp) const {
+    if (slots_.empty()) return kNotOnStack;
+    std::size_t i = probe_start(fp);
+    while (slots_[i].depth != kNotOnStack) {
+      if (slots_[i].fp == fp) return slots_[i].depth;
+      i = (i + 1) & mask_;
+    }
+    return kNotOnStack;
+  }
+
+  std::size_t size() const { return size_; }
+  void clear() {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  // This index sits on the DFS hot path (three lookups per node), so it is
+  // a flat, linearly-probed open-addressed array like VisitedSet's shards —
+  // node-based std::unordered_map costs a measurable fraction of the whole
+  // exploration here. depth == kNotOnStack marks an empty slot; no real
+  // binding can carry it (depths are bounded by the schedule length).
+  struct Slot {
+    Fingerprint fp;
+    std::size_t depth = kNotOnStack;
+  };
+
+  std::size_t probe_start(const Fingerprint& fp) const {
+    return FpHash{}(fp)&mask_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.depth == kNotOnStack) continue;
+      std::size_t i = probe_start(s.fp);
+      while (slots_[i].depth != kNotOnStack) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  /// Backward-shift deletion: keeps probe chains contiguous without
+  /// tombstones (same scheme as VisitedSet eviction).
+  void erase_at(std::size_t i) {
+    std::size_t j = i;
+    while (true) {
+      slots_[i].depth = kNotOnStack;
+      std::size_t home;
+      do {
+        j = (j + 1) & mask_;
+        if (slots_[j].depth == kNotOnStack) return;
+        home = probe_start(slots_[j].fp);
+      } while (i <= j ? (i < home && home <= j) : (i < home || home <= j));
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
 
 class VisitedSet {
  public:

@@ -34,6 +34,7 @@
 #include "runtime/scenario.h"
 #include "trace/campaign.h"
 #include "tso/explorer.h"
+#include "tso/fuzz.h"
 #include "util/check.h"
 
 namespace {
@@ -53,6 +54,12 @@ struct Scope {
   std::uint64_t dedup_max_bytes;  ///< ~0: dedup off; else kState + budget
   int kills;                      ///< SIGKILL rounds before the final leg
   std::uint64_t max_sleep_ms;     ///< cap on the randomized kill delay
+  /// Liveness checking (implies state dedup). Parity for these scopes is
+  /// verdict *kind* plus lasso validity, not byte equality: the liveness
+  /// keying cadence restarts at every resume root, so an interrupted
+  /// campaign may close a different — equally real — fair cycle than the
+  /// uninterrupted run.
+  bool liveness = false;
 };
 
 // Every registry scenario appears at a scope sized for a few seconds of
@@ -76,6 +83,7 @@ constexpr Scope kScopes[] = {
     {"recoverable-nofence-2p", 2, 1, ~0ull, 6, 50},
     {"recoverable-2p", 1, 1, ~0ull, 8, 120},
     {"tas-2p", 2, 0, 64 * 1024, 8, 50},
+    {"tas-loop-2p", 4, 0, ~0ull, 6, 50, true},
 };
 
 // The checkpoint cadence. Writes serialize the full frontier and fsync, so
@@ -100,6 +108,10 @@ ExplorerConfig scope_config(const Scope& scope) {
   if (scope.dedup_max_bytes != ~0ull) {
     cfg.dedup = DedupMode::kState;
     cfg.dedup_max_bytes = scope.dedup_max_bytes;
+  }
+  if (scope.liveness) {
+    cfg.dedup = DedupMode::kState;
+    cfg.liveness = tpa::tso::LivenessMode::kCheck;
   }
   return cfg;
 }
@@ -214,23 +226,50 @@ int run_scope(const Scope& scope, const std::string& dir, std::mt19937& rng) {
     fail(scope, "final leg did not complete the campaign");
     return killed;
   }
-  if (done.violation_found != ref.violation_found ||
-      done.violation != ref.violation) {
-    fail(scope, "verdict diverged: '" + done.violation + "' vs reference '" +
-                    ref.violation + "'");
+  if (scope.liveness) {
+    // Kind parity + replayability (see the Scope field comment for why not
+    // byte parity): both the interrupted and the reference run must find
+    // the same class of verdict, and each recorded lasso must replay as a
+    // strictly-closing fair cycle of that class on a fresh simulator.
+    if (done.verdict.kind != ref.verdict.kind) {
+      fail(scope, std::string("liveness verdict kind diverged: ") +
+                      tpa::tso::to_string(done.verdict.kind) +
+                      " vs reference " + tpa::tso::to_string(ref.verdict.kind));
+      return killed;
+    }
+    const tpa::tso::Verdict* lassos[] = {&done.verdict, &ref.verdict};
+    for (const tpa::tso::Verdict* v : lassos) {
+      if (!v->is_lasso()) {
+        fail(scope, "liveness verdict without a lasso witness");
+        return killed;
+      }
+      const auto at = v->witness.begin() +
+                      static_cast<std::ptrdiff_t>(v->cycle_start);
+      const std::vector<tpa::tso::Directive> stem(v->witness.begin(), at);
+      const std::vector<tpa::tso::Directive> cycle(at, v->witness.end());
+      const tpa::tso::LassoReplay rep =
+          tpa::tso::replay_lasso(s->n_procs, s->sim, s->build, stem, cycle);
+      if (!rep.closes || rep.kind != v->kind) {
+        fail(scope, "recorded lasso does not replay as its verdict kind");
+        return killed;
+      }
+    }
+  } else if (done.verdict.found() != ref.verdict.found() ||
+             done.verdict.message != ref.verdict.message) {
+    fail(scope, "verdict diverged: '" + done.verdict.message + "' vs reference '" +
+                    ref.verdict.message + "'");
     return killed;
-  }
-  if (!same_directives(done.witness, ref.witness)) {
+  } else if (!same_directives(done.verdict.witness, ref.verdict.witness)) {
     fail(scope, "witness diverged from the uninterrupted run");
     return killed;
   }
-  if (done.exhausted != ref.exhausted) {
+  if (!scope.liveness && done.exhausted != ref.exhausted) {
     fail(scope, "exhausted flag diverged");
     return killed;
   }
   // Exact count parity holds whenever dedup is off; under the governor a
   // resumed visited set restarts empty, so only the verdict is pinned.
-  if (scope.dedup_max_bytes == ~0ull &&
+  if (scope.dedup_max_bytes == ~0ull && !scope.liveness &&
       (done.schedules != ref.schedules || done.truncated != ref.truncated)) {
     fail(scope, "counts diverged: " + std::to_string(done.schedules) + "/" +
                     std::to_string(done.truncated) + " vs reference " +
@@ -243,7 +282,7 @@ int run_scope(const Scope& scope, const std::string& dir, std::mt19937& rng) {
               scope.scenario, scope.preemptions, scope.max_crashes,
               scope.dedup_max_bytes != ~0ull ? " governed" : "", killed,
               static_cast<unsigned long long>(done.schedules),
-              done.violation_found ? " (violation reproduced)" : "");
+              done.verdict.found() ? " (violation reproduced)" : "");
   std::remove(path.c_str());
   return killed;
 }

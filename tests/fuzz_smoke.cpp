@@ -29,11 +29,11 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
   cfg.time_budget_ms = 1'500;
   const tso::FuzzResult hit =
       tso::fuzz(broken->n_procs, broken->sim, broken->build, cfg);
-  ASSERT_TRUE(hit.violation_found)
+  ASSERT_TRUE(hit.verdict.found())
       << "the fence-free bakery must fall within the smoke budget";
-  ASSERT_FALSE(hit.witness.empty());
+  ASSERT_FALSE(hit.verdict.witness.empty());
   EXPECT_TRUE(tso::replay_lenient(broken->n_procs, broken->sim, broken->build,
-                                  hit.witness)
+                                  hit.verdict.witness)
                   .violated)
       << "smoke witness must replay";
 
@@ -45,7 +45,7 @@ TEST(FuzzSmoke, SeededPassFindsKnownViolationAndStaysQuietOnSafeLock) {
   quiet.time_budget_ms = 500;
   const tso::FuzzResult ok =
       tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
-  EXPECT_FALSE(ok.violation_found) << ok.violation;
+  EXPECT_FALSE(ok.verdict.found()) << ok.verdict.message;
   EXPECT_GT(ok.schedules, 0u);
 }
 
@@ -65,16 +65,16 @@ TEST(FuzzSmoke, CrashInjectionBreaksFenceFreeRecoverableLockOnly) {
   cfg.max_crashes = 1;
   const tso::FuzzResult hit =
       tso::fuzz(broken->n_procs, broken->sim, broken->build, cfg);
-  ASSERT_TRUE(hit.violation_found)
+  ASSERT_TRUE(hit.verdict.found())
       << "the fence-free recoverable lock must fall under crash injection";
-  ASSERT_FALSE(hit.witness.empty());
-  EXPECT_TRUE(std::any_of(hit.witness.begin(), hit.witness.end(),
+  ASSERT_FALSE(hit.verdict.witness.empty());
+  EXPECT_TRUE(std::any_of(hit.verdict.witness.begin(), hit.verdict.witness.end(),
                           [](const tso::Directive& d) {
                             return d.kind == tso::ActionKind::kCrash;
                           }))
       << "the shrunk witness must retain a crash directive";
   EXPECT_TRUE(tso::replay_lenient(broken->n_procs, broken->sim, broken->build,
-                                  hit.witness)
+                                  hit.verdict.witness)
                   .violated)
       << "crash smoke witness must replay";
 
@@ -84,7 +84,7 @@ TEST(FuzzSmoke, CrashInjectionBreaksFenceFreeRecoverableLockOnly) {
   quiet.time_budget_ms = 500;
   const tso::FuzzResult ok =
       tso::fuzz(safe->n_procs, safe->sim, safe->build, quiet);
-  EXPECT_FALSE(ok.violation_found) << ok.violation;
+  EXPECT_FALSE(ok.verdict.found()) << ok.verdict.message;
   EXPECT_GT(ok.schedules, 0u);
 }
 
@@ -102,23 +102,23 @@ TEST(FuzzSmoke, StateDedupKeepsVerdictsAndWitnessesBitIdentical) {
   on.dedup = tso::DedupMode::kState;
   const tso::ExplorerResult a = broken->explore(off);
   const tso::ExplorerResult b = broken->explore(on);
-  ASSERT_TRUE(a.violation_found && b.violation_found);
-  EXPECT_EQ(a.violation, b.violation);
-  ASSERT_EQ(a.witness.size(), b.witness.size());
-  for (std::size_t i = 0; i < a.witness.size(); ++i) {
-    EXPECT_EQ(a.witness[i].kind, b.witness[i].kind) << i;
-    EXPECT_EQ(a.witness[i].proc, b.witness[i].proc) << i;
-    EXPECT_EQ(a.witness[i].var, b.witness[i].var) << i;
+  ASSERT_TRUE(a.verdict.found() && b.verdict.found());
+  EXPECT_EQ(a.verdict.message, b.verdict.message);
+  ASSERT_EQ(a.verdict.witness.size(), b.verdict.witness.size());
+  for (std::size_t i = 0; i < a.verdict.witness.size(); ++i) {
+    EXPECT_EQ(a.verdict.witness[i].kind, b.verdict.witness[i].kind) << i;
+    EXPECT_EQ(a.verdict.witness[i].proc, b.verdict.witness[i].proc) << i;
+    EXPECT_EQ(a.verdict.witness[i].var, b.verdict.witness[i].var) << i;
   }
-  EXPECT_THROW((void)broken->replay(b.witness), CheckFailure)
+  EXPECT_THROW((void)broken->replay(b.verdict.witness), CheckFailure)
       << "the dedup run's witness must still replay to the violation";
 
   const auto* safe = runtime::find_scenario("bakery-tso-2p");
   ASSERT_NE(safe, nullptr);
   const tso::ExplorerResult sa = safe->explore(off);
   const tso::ExplorerResult sb = safe->explore(on);
-  EXPECT_FALSE(sa.violation_found) << sa.violation;
-  EXPECT_FALSE(sb.violation_found) << sb.violation;
+  EXPECT_FALSE(sa.verdict.found()) << sa.verdict.message;
+  EXPECT_FALSE(sb.verdict.found()) << sb.verdict.message;
   EXPECT_TRUE(sa.exhausted && sb.exhausted);
   EXPECT_GT(sb.dedup_hits, 0u) << "pruning must fire on the safe scope";
   EXPECT_LT(sb.steps, sa.steps)

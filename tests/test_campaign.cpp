@@ -44,13 +44,13 @@ class CampaignFile {
 
 void expect_same_outcome(const ExplorerResult& a, const ExplorerResult& b,
                          const char* what, bool counts = true) {
-  EXPECT_EQ(a.violation_found, b.violation_found) << what;
-  EXPECT_EQ(a.violation, b.violation) << what;
-  ASSERT_EQ(a.witness.size(), b.witness.size()) << what;
-  for (std::size_t i = 0; i < a.witness.size(); ++i) {
-    EXPECT_EQ(a.witness[i].kind, b.witness[i].kind) << what << " dir " << i;
-    EXPECT_EQ(a.witness[i].proc, b.witness[i].proc) << what << " dir " << i;
-    EXPECT_EQ(a.witness[i].var, b.witness[i].var) << what << " dir " << i;
+  EXPECT_EQ(a.verdict.found(), b.verdict.found()) << what;
+  EXPECT_EQ(a.verdict.message, b.verdict.message) << what;
+  ASSERT_EQ(a.verdict.witness.size(), b.verdict.witness.size()) << what;
+  for (std::size_t i = 0; i < a.verdict.witness.size(); ++i) {
+    EXPECT_EQ(a.verdict.witness[i].kind, b.verdict.witness[i].kind) << what << " dir " << i;
+    EXPECT_EQ(a.verdict.witness[i].proc, b.verdict.witness[i].proc) << what << " dir " << i;
+    EXPECT_EQ(a.verdict.witness[i].var, b.verdict.witness[i].var) << what << " dir " << i;
   }
   EXPECT_EQ(a.exhausted, b.exhausted) << what;
   if (counts) {
@@ -125,17 +125,17 @@ TEST(CampaignFormat, RoundTripsTerminalViolatingRecord) {
   c.n_procs = 2;
   c.complete = true;
   c.exhausted = false;
-  c.violation_found = true;
-  c.violation = "exclusion: p0 and p1 both in CS";
-  c.witness = {{tso::ActionKind::kDeliver, 0}, {tso::ActionKind::kDeliver, 1}};
+  c.verdict.kind = tso::VerdictKind::kSafety;
+  c.verdict.message = "exclusion: p0 and p1 both in CS";
+  c.verdict.witness = {{tso::ActionKind::kDeliver, 0}, {tso::ActionKind::kDeliver, 1}};
 
   const trace::Campaign r =
       trace::campaign_from_string(trace::campaign_to_string(c));
   EXPECT_TRUE(r.complete);
   EXPECT_FALSE(r.exhausted);
-  EXPECT_TRUE(r.violation_found);
-  EXPECT_EQ(r.violation, c.violation);
-  ASSERT_EQ(r.witness.size(), 2u);
+  EXPECT_TRUE(r.verdict.found());
+  EXPECT_EQ(r.verdict.message, c.verdict.message);
+  ASSERT_EQ(r.verdict.witness.size(), 2u);
   EXPECT_TRUE(r.frontier.empty());
 }
 
@@ -176,7 +176,7 @@ TEST(Campaign, TerminalRecordMatchesPlainExploreAndResumeReturnsIt) {
   ExplorerConfig cfg;
   cfg.preemptions = 2;
   const ExplorerResult plain = s->explore(cfg);
-  ASSERT_FALSE(plain.violation_found) << plain.violation;
+  ASSERT_FALSE(plain.verdict.found()) << plain.verdict.message;
 
   CampaignFile file("terminal");
   cfg.campaign_path = file.path();
@@ -205,7 +205,7 @@ TEST(Campaign, ViolatingCampaignStoresTheShrunkWitness) {
   ExplorerConfig cfg;
   cfg.preemptions = 2;
   const ExplorerResult plain = s->explore(cfg);
-  ASSERT_TRUE(plain.violation_found);
+  ASSERT_TRUE(plain.verdict.found());
 
   CampaignFile file("violating");
   cfg.campaign_path = file.path();
@@ -214,18 +214,18 @@ TEST(Campaign, ViolatingCampaignStoresTheShrunkWitness) {
 
   const trace::Campaign rec = trace::read_campaign_file(file.path());
   EXPECT_TRUE(rec.complete);
-  EXPECT_TRUE(rec.violation_found);
-  ASSERT_EQ(rec.witness.size(), plain.witness.size());
-  for (std::size_t i = 0; i < rec.witness.size(); ++i)
-    EXPECT_EQ(rec.witness[i].proc, plain.witness[i].proc) << "dir " << i;
+  EXPECT_TRUE(rec.verdict.found());
+  ASSERT_EQ(rec.verdict.witness.size(), plain.verdict.witness.size());
+  for (std::size_t i = 0; i < rec.verdict.witness.size(); ++i)
+    EXPECT_EQ(rec.verdict.witness[i].proc, plain.verdict.witness[i].proc) << "dir " << i;
 
   // The stored witness replays to the recorded violation.
   try {
-    s->replay(rec.witness);
+    s->replay(rec.verdict.witness);
     FAIL() << "stored witness did not reproduce the violation";
   } catch (const CheckFailure& e) {
     EXPECT_EQ(runtime::violation_detail(e.what()),
-              runtime::violation_detail(rec.violation));
+              runtime::violation_detail(rec.verdict.message));
   }
 }
 
@@ -270,7 +270,7 @@ TEST(Campaign, CrashBudgetCampaignReproducesVerdictAcrossLegs) {
   cfg.preemptions = 2;
   cfg.max_crashes = 1;
   const ExplorerResult plain = s->explore(cfg);
-  ASSERT_TRUE(plain.violation_found);
+  ASSERT_TRUE(plain.verdict.found());
 
   CampaignFile file("crashes");
   cfg.campaign_path = file.path();
@@ -343,7 +343,7 @@ TEST(Campaign, RegistryResumeNeedsARecordedScenarioId) {
   EXPECT_THROW(runtime::resume(file.path()), CheckFailure);
   const ExplorerResult r = tso::resume(file.path(), s->n_procs, s->sim,
                                        s->build);
-  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.verdict.found());
 }
 
 // ---- the visited-set memory governor ------------------------------------
@@ -401,7 +401,7 @@ TEST(MemoryGovernor, BudgetedWitnessIsBitIdentical) {
   ExplorerConfig off;
   off.preemptions = 2;
   const ExplorerResult raw = s->explore(off);
-  ASSERT_TRUE(raw.violation_found);
+  ASSERT_TRUE(raw.verdict.found());
 
   ExplorerConfig capped;
   capped.preemptions = 2;

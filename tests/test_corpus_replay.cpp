@@ -69,6 +69,15 @@ TEST(CorpusReplay, CorpusIsNotEmpty) {
       << "the checked-in corpus should cover the known violations";
 }
 
+/// Splits a lasso witness at its recorded cycle entry.
+void split_lasso(const trace::Witness& w, std::vector<tso::Directive>* stem,
+                 std::vector<tso::Directive>* cycle) {
+  const auto at =
+      w.directives.begin() + static_cast<std::ptrdiff_t>(w.cycle_start);
+  stem->assign(w.directives.begin(), at);
+  cycle->assign(at, w.directives.end());
+}
+
 TEST(CorpusReplay, EveryWitnessStillReproducesItsViolation) {
   for (const auto& [path, w] : load_corpus()) {
     SCOPED_TRACE(path.filename().string());
@@ -78,6 +87,22 @@ TEST(CorpusReplay, EveryWitnessStillReproducesItsViolation) {
     ASSERT_EQ(s->sim.pso, w.pso);
     ASSERT_FALSE(w.directives.empty());
 
+    if (w.is_lasso()) {
+      // A v3 lasso replays through the liveness oracle: the cycle must
+      // strictly apply, re-close under the progress fingerprint (entry
+      // state == end state), and classify as the recorded verdict kind.
+      std::vector<tso::Directive> stem, cycle;
+      split_lasso(w, &stem, &cycle);
+      const tso::LassoReplay r = tso::replay_lasso(
+          w.n_procs, replay_config(*s, w), s->build, stem, cycle);
+      EXPECT_TRUE(r.closes)
+          << "lasso witness no longer closes — regression or intentional "
+             "fix (regenerate via TPA_REGEN_CORPUS, see docs/LIVENESS.md)";
+      EXPECT_EQ(r.kind, w.verdict_kind);
+      EXPECT_EQ(r.stem.size(), stem.size())
+          << "stored lassos are shrunk, so the whole stem must apply";
+      continue;
+    }
     const tso::LenientReplay r = tso::replay_lenient(
         w.n_procs, replay_config(*s, w), s->build, w.directives);
     EXPECT_TRUE(r.violated)
@@ -101,6 +126,22 @@ TEST(CorpusReplay, WitnessesAreLocallyMinimal) {
     for (std::size_t i = 0; i < w.directives.size(); ++i) {
       std::vector<tso::Directive> cand = w.directives;
       cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (w.is_lasso()) {
+        // Minimality for lassos: dropping any single directive — from the
+        // stem or the cycle — must stop the lasso from closing with the
+        // recorded verdict kind.
+        trace::Witness c = w;
+        c.directives = std::move(cand);
+        if (i < w.cycle_start) c.cycle_start--;
+        std::vector<tso::Directive> stem, cycle;
+        split_lasso(c, &stem, &cycle);
+        const tso::LassoReplay r = tso::replay_lasso(
+            w.n_procs, replay_config(*s, w), s->build, stem, cycle);
+        EXPECT_FALSE(r.closes && r.kind == w.verdict_kind)
+            << "directive " << i << " is removable — the lasso is stale "
+               "(regenerate to keep the corpus minimal)";
+        continue;
+      }
       EXPECT_FALSE(tso::replay_lenient(w.n_procs, replay_config(*s, w),
                                        s->build, cand)
                        .violated)
@@ -126,18 +167,45 @@ TEST(CorpusRegen, RegenerateAllWitnessFiles) {
       cfg.max_crashes = 1;
     }
     const tso::FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
-    ASSERT_TRUE(r.violation_found) << s.name;
+    ASSERT_TRUE(r.verdict.found()) << s.name;
     trace::Witness w;
     w.scenario = s.name;
     w.n_procs = s.n_procs;
     w.pso = s.sim.pso;
     w.crash_model = s.sim.crash_model;
-    w.violation = violation_detail(r.violation);
-    w.directives = r.witness;
+    w.violation = violation_detail(r.verdict.message);
+    w.directives = r.verdict.witness;
     const fs::path path =
         fs::path(TPA_CORPUS_DIR) / (s.name + ".witness");
     // Atomic tmp-then-rename: an interrupted regen never leaves a
     // truncated witness under the final name.
+    trace::write_witness_file(path.string(), w);
+  }
+  // Liveness corpus: fair-cycle violations are invisible to the fuzzer, so
+  // liveness_violating scenarios regenerate through the explorer's cycle
+  // detector instead, and serialize as v3 lassos. Symmetry stays off so the
+  // shrunk lasso re-closes under the plain (concrete) progress fingerprint
+  // the replay harness uses.
+  for (const auto& s : runtime::scenario_registry()) {
+    if (!s.liveness_violating) continue;
+    tso::ExplorerConfig cfg;
+    cfg.dedup = tso::DedupMode::kState;
+    cfg.liveness = tso::LivenessMode::kCheck;
+    cfg.shrink = true;
+    cfg.preemptions = 4;
+    const tso::ExplorerResult r = tso::explore(s.n_procs, s.sim, s.build, cfg);
+    ASSERT_TRUE(r.verdict.found()) << s.name;
+    ASSERT_TRUE(r.verdict.is_lasso()) << s.name;
+    trace::Witness w;
+    w.scenario = s.name;
+    w.n_procs = s.n_procs;
+    w.pso = s.sim.pso;
+    w.crash_model = s.sim.crash_model;
+    w.violation = violation_detail(r.verdict.message);
+    w.directives = r.verdict.witness;
+    w.verdict_kind = r.verdict.kind;
+    w.cycle_start = r.verdict.cycle_start;
+    const fs::path path = fs::path(TPA_CORPUS_DIR) / (s.name + ".witness");
     trace::write_witness_file(path.string(), w);
   }
 }

@@ -225,7 +225,7 @@ TEST(CrashExplorer, ProvesRecoverableLockCrashSafeForSmallScope) {
     cfg.preemptions = 1;
     cfg.max_crashes = 1;
     const auto r = tso::explore(s->n_procs, sim, s->build, cfg);
-    EXPECT_FALSE(r.violation_found) << r.violation;
+    EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
     EXPECT_TRUE(r.exhausted) << "the scope must be fully explored (a proof)";
     EXPECT_FALSE(r.deadline_hit);
     if (model == CrashModel::kBufferLost) {
@@ -245,13 +245,13 @@ TEST(CrashExplorer, RefutesFenceFreeVariantWithShrunkCrashWitness) {
   cfg.preemptions = 1;
   cfg.max_crashes = 1;
   const auto r = tso::explore(s->n_procs, s->sim, s->build, cfg);
-  ASSERT_TRUE(r.violation_found);
+  ASSERT_TRUE(r.verdict.found());
   EXPECT_EQ(r.schedules, 40u) << "DFS order is deterministic";
-  EXPECT_NE(r.violation.find("mutual exclusion violated"), std::string::npos)
-      << r.violation;
-  ASSERT_EQ(r.witness.size(), 17u);
+  EXPECT_NE(r.verdict.message.find("mutual exclusion violated"), std::string::npos)
+      << r.verdict.message;
+  ASSERT_EQ(r.verdict.witness.size(), 17u);
   const auto count_kind = [&r](ActionKind k) {
-    return std::count_if(r.witness.begin(), r.witness.end(),
+    return std::count_if(r.verdict.witness.begin(), r.verdict.witness.end(),
                          [k](const Directive& d) { return d.kind == k; });
   };
   EXPECT_EQ(count_kind(ActionKind::kCrash), 1);
@@ -260,11 +260,11 @@ TEST(CrashExplorer, RefutesFenceFreeVariantWithShrunkCrashWitness) {
   // The shrunk witness replays deterministically, and is 1-minimal: no
   // single directive (crash and recover included) can be dropped.
   const auto replay =
-      tso::replay_lenient(s->n_procs, s->sim, s->build, r.witness);
+      tso::replay_lenient(s->n_procs, s->sim, s->build, r.verdict.witness);
   EXPECT_TRUE(replay.violated);
-  EXPECT_EQ(replay.applied.size(), r.witness.size());
-  for (std::size_t i = 0; i < r.witness.size(); ++i) {
-    std::vector<Directive> cand = r.witness;
+  EXPECT_EQ(replay.applied.size(), r.verdict.witness.size());
+  for (std::size_t i = 0; i < r.verdict.witness.size(); ++i) {
+    std::vector<Directive> cand = r.verdict.witness;
     cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
     EXPECT_FALSE(tso::replay_lenient(s->n_procs, s->sim, s->build, cand)
                      .violated)
@@ -279,14 +279,14 @@ TEST(CrashExplorer, CrashWitnessRoundTripsThroughTheV2Format) {
   cfg.preemptions = 1;
   cfg.max_crashes = 1;
   const auto r = tso::explore(s->n_procs, s->sim, s->build, cfg);
-  ASSERT_TRUE(r.violation_found);
+  ASSERT_TRUE(r.verdict.found());
 
   trace::Witness w;
   w.scenario = s->name;
   w.n_procs = s->n_procs;
   w.crash_model = s->sim.crash_model;
-  w.violation = runtime::violation_detail(r.violation);
-  w.directives = r.witness;
+  w.violation = runtime::violation_detail(r.verdict.message);
+  w.directives = r.verdict.witness;
   const std::string text = trace::witness_to_string(w);
   EXPECT_NE(text.find("tpa-witness v2"), std::string::npos)
       << "crash-bearing witnesses use the v2 header";
@@ -324,7 +324,7 @@ TEST(CrashExplorer, MaxCrashesZeroKeepsScheduleCountsBitIdentical) {
     cfg.preemptions = static_cast<int>(pre);
     cfg.max_crashes = 0;
     const auto r = tso::explore(s->n_procs, s->sim, s->build, cfg);
-    EXPECT_FALSE(r.violation_found) << r.violation;
+    EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
     EXPECT_EQ(r.schedules, schedules) << "pre=" << pre;
     EXPECT_EQ(r.truncated, truncated) << "pre=" << pre;
     EXPECT_TRUE(r.exhausted);
@@ -335,9 +335,9 @@ TEST(CrashExplorer, MaxCrashesZeroKeepsScheduleCountsBitIdentical) {
   cfg.preemptions = 2;
   cfg.max_crashes = 0;
   const auto r = tso::explore(b->n_procs, b->sim, b->build, cfg);
-  EXPECT_TRUE(r.violation_found);
+  EXPECT_TRUE(r.verdict.found());
   EXPECT_EQ(r.schedules, 53u);
-  EXPECT_EQ(r.witness.size(), 16u);
+  EXPECT_EQ(r.verdict.witness.size(), 16u);
 }
 
 TEST(CrashExplorer, WatchdogStopsLongExplorations) {
@@ -351,7 +351,7 @@ TEST(CrashExplorer, WatchdogStopsLongExplorations) {
   EXPECT_TRUE(r.deadline_hit);
   EXPECT_FALSE(r.exhausted)
       << "a deadline-stopped exploration must not claim a proof";
-  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.verdict.found());
 }
 
 TEST(CrashExplorer, CheckpointingDoesNotChangeCrashExploration) {
@@ -366,11 +366,11 @@ TEST(CrashExplorer, CheckpointingDoesNotChangeCrashExploration) {
   const auto a = tso::explore(s->n_procs, s->sim, s->build, with);
   const auto b = tso::explore(s->n_procs, s->sim, s->build, without);
   EXPECT_EQ(a.schedules, b.schedules);
-  EXPECT_EQ(a.violation_found, b.violation_found);
-  ASSERT_EQ(a.witness.size(), b.witness.size());
-  for (std::size_t i = 0; i < a.witness.size(); ++i) {
-    EXPECT_EQ(a.witness[i].kind, b.witness[i].kind) << i;
-    EXPECT_EQ(a.witness[i].proc, b.witness[i].proc) << i;
+  EXPECT_EQ(a.verdict.found(), b.verdict.found());
+  ASSERT_EQ(a.verdict.witness.size(), b.verdict.witness.size());
+  for (std::size_t i = 0; i < a.verdict.witness.size(); ++i) {
+    EXPECT_EQ(a.verdict.witness[i].kind, b.verdict.witness[i].kind) << i;
+    EXPECT_EQ(a.verdict.witness[i].proc, b.verdict.witness[i].proc) << i;
   }
   EXPECT_GT(a.restores, 0u) << "checkpointing must actually engage";
   EXPECT_EQ(b.restores, 0u);
@@ -391,7 +391,7 @@ TEST(CrashFuzz, CrashKnobsDoNotPerturbTheRngStreamWhenDisabled) {
   const auto ra = tso::fuzz(s->n_procs, s->sim, s->build, a);
   const auto rb = tso::fuzz(s->n_procs, s->sim, s->build, b);
   EXPECT_EQ(ra.schedule_digest, rb.schedule_digest);
-  EXPECT_EQ(ra.violation_found, rb.violation_found);
+  EXPECT_EQ(ra.verdict.found(), rb.verdict.found());
 }
 
 // ---- atomic witness files -------------------------------------------------

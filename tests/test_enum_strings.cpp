@@ -67,6 +67,32 @@ TEST(EnumStrings, SymmetryModeRoundTripsAndNamesAreUnique) {
   EXPECT_EQ(seen.size(), 2u) << "update when SymmetryMode grows";
 }
 
+TEST(EnumStrings, VerdictKindRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto k : {tso::VerdictKind::kClean, tso::VerdictKind::kSafety,
+                 tso::VerdictKind::kStarvation, tso::VerdictKind::kLivelock,
+                 tso::VerdictKind::kDeadlock}) {
+    const std::string name = tso::to_string(k);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::verdict_kind_from_string(name), k) << name;
+  }
+  EXPECT_EQ(seen.size(), 5u) << "update when VerdictKind grows";
+  EXPECT_THROW(tso::verdict_kind_from_string("fairness"), CheckFailure);
+}
+
+TEST(EnumStrings, LivenessModeRoundTripsAndNamesAreUnique) {
+  std::set<std::string> seen;
+  for (auto m : {tso::LivenessMode::kOff, tso::LivenessMode::kCheck}) {
+    const std::string name = tso::to_string(m);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(tso::liveness_mode_from_string(name), m) << name;
+  }
+  EXPECT_EQ(seen.size(), 2u) << "update when LivenessMode grows";
+  EXPECT_THROW(tso::liveness_mode_from_string("on"), CheckFailure);
+}
+
 TEST(EnumStrings, FingerprintModeRoundTripsAndNamesAreUnique) {
   std::set<std::string> seen;
   for (auto m :

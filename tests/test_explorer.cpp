@@ -35,15 +35,15 @@ TEST(Explorer, FenceFreeBakeryViolationFoundAutomatically) {
   ExplorerConfig cfg;
   cfg.preemptions = 1;  // a single preemption already suffices
   const auto r = explore(2, {}, build, cfg);
-  ASSERT_TRUE(r.violation_found)
+  ASSERT_TRUE(r.verdict.found())
       << "a fence-free read/write lock cannot be correct under TSO";
-  EXPECT_NE(r.violation.find("mutual exclusion violated"), std::string::npos)
-      << r.violation;
-  ASSERT_FALSE(r.witness.empty());
+  EXPECT_NE(r.verdict.message.find("mutual exclusion violated"), std::string::npos)
+      << r.verdict.message;
+  ASSERT_FALSE(r.verdict.witness.empty());
 
   // The witness schedule must reproduce the violation deterministically.
   EXPECT_THROW(
-      tso::replay(2, {}, build, r.witness),
+      tso::replay(2, {}, build, r.verdict.witness),
       CheckFailure);
 }
 
@@ -52,7 +52,7 @@ TEST(Explorer, ProperlyFencedBakeryIsExhaustivelySafe) {
   ExplorerConfig cfg;
   cfg.preemptions = 2;
   const auto r = explore(2, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_TRUE(r.exhausted);
   EXPECT_GT(r.schedules, 100u)
       << "two processes with two preemptions yield many schedules";
@@ -73,7 +73,7 @@ TEST(Explorer, ZooLocksSafeAtSmallScope) {
     cfg.preemptions = 2;
     cfg.max_schedules = 200'000;
     const auto r = explore(n, {}, build, cfg);
-    EXPECT_FALSE(r.violation_found) << name << ": " << r.violation;
+    EXPECT_FALSE(r.verdict.found()) << name << ": " << r.verdict.message;
   }
 }
 
@@ -82,7 +82,7 @@ TEST(Explorer, ThreeProcessesOnePreemption) {
   ExplorerConfig cfg;
   cfg.preemptions = 1;
   const auto r = explore(3, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_TRUE(r.exhausted);
 }
 
@@ -91,7 +91,7 @@ TEST(Explorer, FenceFreeViolationAlsoAtThreeProcesses) {
   ExplorerConfig cfg;
   cfg.preemptions = 1;
   const auto r = explore(3, {}, build, cfg);
-  EXPECT_TRUE(r.violation_found);
+  EXPECT_TRUE(r.verdict.found());
 }
 
 TEST(Explorer, AdaptiveLocksSafeAtThreeProcs) {
@@ -109,7 +109,7 @@ TEST(Explorer, AdaptiveLocksSafeAtThreeProcs) {
     cfg.preemptions = 1;
     cfg.max_schedules = 500'000;
     const auto r = explore(n, {}, build, cfg);
-    EXPECT_FALSE(r.violation_found) << name << ": " << r.violation;
+    EXPECT_FALSE(r.verdict.found()) << name << ": " << r.verdict.message;
     EXPECT_TRUE(r.exhausted) << name;
   }
 }
@@ -132,7 +132,7 @@ TEST(Explorer, ZeroPreemptionsIsSequential) {
   ExplorerConfig cfg;
   cfg.preemptions = 0;
   const auto r = explore(2, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.verdict.found());
   EXPECT_TRUE(r.exhausted);
   EXPECT_EQ(r.schedules, 2u);
 }

@@ -190,21 +190,21 @@ TEST(DedupAblation, VerdictsAndWitnessesAreBitIdenticalOnEveryScenario) {
     on.dedup = DedupMode::kState;
     const ExplorerResult a = s.explore(off);
     const ExplorerResult b = s.explore(on);
-    EXPECT_EQ(a.violation_found, b.violation_found) << s.name;
-    EXPECT_EQ(a.violation, b.violation) << s.name;
-    EXPECT_TRUE(same_schedule(a.witness, b.witness)) << s.name;
-    EXPECT_TRUE(same_schedule(a.raw_witness, b.raw_witness)) << s.name;
+    EXPECT_EQ(a.verdict.found(), b.verdict.found()) << s.name;
+    EXPECT_EQ(a.verdict.message, b.verdict.message) << s.name;
+    EXPECT_TRUE(same_schedule(a.verdict.witness, b.verdict.witness)) << s.name;
+    EXPECT_TRUE(same_schedule(a.verdict.raw_witness, b.verdict.raw_witness)) << s.name;
     EXPECT_EQ(a.exhausted, b.exhausted) << s.name;
     EXPECT_LE(b.schedules, a.schedules) << s.name;
-    if (!a.violation_found) {
+    if (!a.verdict.found()) {
       // On safe scopes the whole tree is walked: pruning must have fired
       // somewhere, and the pruned run never explores *more*.
       EXPECT_GT(b.dedup_states, 0u) << s.name;
       EXPECT_LE(b.steps, a.steps) << s.name;
     }
-    if (a.violation_found) {
+    if (a.verdict.found()) {
       // The (identical) witness still replays to the violation.
-      EXPECT_THROW((void)s.replay(b.witness), CheckFailure) << s.name;
+      EXPECT_THROW((void)s.replay(b.verdict.witness), CheckFailure) << s.name;
     }
   }
 }
@@ -219,9 +219,9 @@ TEST(DedupAblation, ParallelDedupMatchesSequentialDedup) {
     const ExplorerResult seq = s->explore(cfg);
     cfg.threads = 4;
     const ExplorerResult par = s->explore(cfg);
-    EXPECT_EQ(seq.violation_found, par.violation_found) << name;
-    EXPECT_EQ(seq.violation, par.violation) << name;
-    EXPECT_TRUE(same_schedule(seq.witness, par.witness)) << name;
+    EXPECT_EQ(seq.verdict.found(), par.verdict.found()) << name;
+    EXPECT_EQ(seq.verdict.message, par.verdict.message) << name;
+    EXPECT_TRUE(same_schedule(seq.verdict.witness, par.verdict.witness)) << name;
   }
 }
 
@@ -238,9 +238,9 @@ TEST(DedupAblation, SymmetryCanonicalizationPrunesMoreNotDifferently) {
   const ExplorerResult a = s->explore(off);
   const ExplorerResult b = s->explore(dedup);
   const ExplorerResult c = s->explore(sym);
-  EXPECT_FALSE(a.violation_found) << a.violation;
-  EXPECT_FALSE(b.violation_found) << b.violation;
-  EXPECT_FALSE(c.violation_found) << c.violation;
+  EXPECT_FALSE(a.verdict.found()) << a.verdict.message;
+  EXPECT_FALSE(b.verdict.found()) << b.verdict.message;
+  EXPECT_FALSE(c.verdict.found()) << c.verdict.message;
   EXPECT_TRUE(a.exhausted && b.exhausted && c.exhausted);
   EXPECT_LT(b.steps, a.steps) << "dedup must reduce executed events";
   EXPECT_LE(c.dedup_states, b.dedup_states)
@@ -317,7 +317,7 @@ TEST(DedupRejections, StructuralProbeCatchesVisiblyAsymmetricScenarios) {
   ExplorerConfig wide_cfg = sym;
   wide_cfg.preemptions = 1;
   const ExplorerResult wide_result = tso::explore(7, {}, wide, wide_cfg);
-  EXPECT_FALSE(wide_result.violation_found) << wide_result.violation;
+  EXPECT_FALSE(wide_result.verdict.found()) << wide_result.verdict.message;
   EXPECT_TRUE(wide_result.exhausted);
   EXPECT_GT(wide_result.dedup_hits, 0u);
 }

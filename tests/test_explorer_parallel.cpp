@@ -40,14 +40,14 @@ TEST(ExplorerParallel, CountsMatchSequentialOnSafeScenarios) {
     ExplorerConfig cfg;
     cfg.preemptions = c.preemptions;
     const ExplorerResult seq = explore(s->n_procs, s->sim, s->build, cfg);
-    ASSERT_FALSE(seq.violation_found) << seq.violation;
+    ASSERT_FALSE(seq.verdict.found()) << seq.verdict.message;
     ASSERT_TRUE(seq.exhausted);
     for (int threads : {1, 2, 4}) {
       ExplorerConfig pcfg = cfg;
       pcfg.threads = threads;
       const ExplorerResult par =
           explore(s->n_procs, s->sim, s->build, pcfg);
-      EXPECT_EQ(par.violation_found, seq.violation_found)
+      EXPECT_EQ(par.verdict.found(), seq.verdict.found())
           << c.scenario << " threads=" << threads;
       EXPECT_EQ(par.schedules, seq.schedules)
           << c.scenario << " threads=" << threads
@@ -67,7 +67,7 @@ TEST(ExplorerParallel, ThreeProcessCountsMatchSequential) {
   ExplorerConfig cfg;
   cfg.preemptions = 1;
   const ExplorerResult seq = explore(3, {}, build, cfg);
-  ASSERT_FALSE(seq.violation_found) << seq.violation;
+  ASSERT_FALSE(seq.verdict.found()) << seq.verdict.message;
   for (int threads : {2, 4}) {
     ExplorerConfig pcfg = cfg;
     pcfg.threads = threads;
@@ -88,25 +88,25 @@ TEST(ExplorerParallel, ViolationIsFoundAndDeterministicAcrossThreadCounts) {
     ExplorerConfig pcfg = cfg;
     pcfg.threads = threads;
     const ExplorerResult r = explore(s->n_procs, s->sim, s->build, pcfg);
-    ASSERT_TRUE(r.violation_found) << "threads=" << threads;
-    EXPECT_NE(r.violation.find("mutual exclusion violated"),
+    ASSERT_TRUE(r.verdict.found()) << "threads=" << threads;
+    EXPECT_NE(r.verdict.message.find("mutual exclusion violated"),
               std::string::npos)
-        << r.violation;
-    ASSERT_FALSE(r.witness.empty());
+        << r.verdict.message;
+    ASSERT_FALSE(r.verdict.witness.empty());
     // Every reported witness replays deterministically.
-    EXPECT_THROW(tso::replay(s->n_procs, s->sim, s->build, r.witness),
+    EXPECT_THROW(tso::replay(s->n_procs, s->sim, s->build, r.verdict.witness),
                  CheckFailure)
         << "threads=" << threads;
     // And the parallel run is reproducible: same config, same witness.
     const ExplorerResult again =
         explore(s->n_procs, s->sim, s->build, pcfg);
-    ASSERT_TRUE(again.violation_found);
-    ASSERT_EQ(again.witness.size(), r.witness.size())
+    ASSERT_TRUE(again.verdict.found());
+    ASSERT_EQ(again.verdict.witness.size(), r.verdict.witness.size())
         << "threads=" << threads << " must be reproducible";
-    for (std::size_t i = 0; i < r.witness.size(); ++i) {
-      EXPECT_EQ(again.witness[i].kind, r.witness[i].kind) << i;
-      EXPECT_EQ(again.witness[i].proc, r.witness[i].proc) << i;
-      EXPECT_EQ(again.witness[i].var, r.witness[i].var) << i;
+    for (std::size_t i = 0; i < r.verdict.witness.size(); ++i) {
+      EXPECT_EQ(again.verdict.witness[i].kind, r.verdict.witness[i].kind) << i;
+      EXPECT_EQ(again.verdict.witness[i].proc, r.verdict.witness[i].proc) << i;
+      EXPECT_EQ(again.verdict.witness[i].var, r.verdict.witness[i].var) << i;
     }
   }
 }
@@ -119,7 +119,7 @@ TEST(ExplorerParallel, ThreeProcessViolationFoundAtAllThreadCounts) {
     cfg.preemptions = 1;
     cfg.threads = threads;
     const ExplorerResult r = explore(s->n_procs, s->sim, s->build, cfg);
-    EXPECT_TRUE(r.violation_found) << "threads=" << threads;
+    EXPECT_TRUE(r.verdict.found()) << "threads=" << threads;
   }
 }
 
@@ -147,7 +147,7 @@ TEST(ExplorerParallel, TimeBudgetStopsParallelExploration) {
   EXPECT_TRUE(r.deadline_hit);
   EXPECT_FALSE(r.exhausted)
       << "a deadline-stopped run must not claim an exhaustive proof";
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
 }
 
 TEST(ExplorerParallel, SleepSetsCutSchedulesWithoutChangingVerdicts) {
@@ -162,8 +162,8 @@ TEST(ExplorerParallel, SleepSetsCutSchedulesWithoutChangingVerdicts) {
     pruned.sleep_sets = true;
     const ExplorerResult slept =
         explore(s->n_procs, s->sim, s->build, pruned);
-    EXPECT_FALSE(plain.violation_found) << name;
-    EXPECT_FALSE(slept.violation_found)
+    EXPECT_FALSE(plain.verdict.found()) << name;
+    EXPECT_FALSE(slept.verdict.found())
         << name << ": pruning must not invent violations";
     EXPECT_TRUE(slept.exhausted) << name;
     EXPECT_LT(slept.schedules, plain.schedules)
@@ -177,10 +177,10 @@ TEST(ExplorerParallel, SleepSetsCutSchedulesWithoutChangingVerdicts) {
   cfg.sleep_sets = true;
   const ExplorerResult r =
       explore(broken->n_procs, broken->sim, broken->build, cfg);
-  ASSERT_TRUE(r.violation_found)
+  ASSERT_TRUE(r.verdict.found())
       << "sleep sets skipped the fence-free bakery violation";
   EXPECT_THROW(
-      tso::replay(broken->n_procs, broken->sim, broken->build, r.witness),
+      tso::replay(broken->n_procs, broken->sim, broken->build, r.verdict.witness),
       CheckFailure);
 }
 
@@ -199,7 +199,7 @@ TEST(ExplorerParallel, SleepSetsComposeWithParallelExploration) {
         << "threads=" << threads
         << ": sleep sets thread through frontier prefixes";
     EXPECT_EQ(par.truncated, seq.truncated) << "threads=" << threads;
-    EXPECT_FALSE(par.violation_found);
+    EXPECT_FALSE(par.verdict.found());
   }
 }
 

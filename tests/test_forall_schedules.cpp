@@ -46,7 +46,7 @@ TEST(ForAllSchedules, AnalyzerAgreesOnEverySchedule) {
       TPA_CHECK(rep.ok, rep.detail);
     };
     const auto r = tso::explore(n, {}, build, cfg);
-    EXPECT_FALSE(r.violation_found) << name << ": " << r.violation;
+    EXPECT_FALSE(r.verdict.found()) << name << ": " << r.verdict.message;
     EXPECT_TRUE(r.exhausted) << name;
     EXPECT_GT(r.schedules, 10u) << name;
   }
@@ -88,7 +88,7 @@ TEST(ForAllSchedules, Lemma4HoldsForEveryScheduleOfDisjointProcs) {
     }
   };
   const auto r = tso::explore(n, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_TRUE(r.exhausted);
   EXPECT_GT(r.schedules, 50u);
 }
@@ -110,7 +110,7 @@ TEST(ForAllSchedules, ContentionBoundsOnEverySchedule) {
     }
   };
   const auto r = tso::explore(n, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_TRUE(r.exhausted);
 }
 

@@ -7,6 +7,7 @@
 #include "trace/format.h"
 #include "tso/schedulers.h"
 #include "tso/sim.h"
+#include "util/check.h"
 
 namespace tpa {
 namespace {
@@ -73,6 +74,101 @@ TEST(Format, Summary) {
   const std::string s = trace::summarize(exec);
   EXPECT_NE(s.find("2 participating processes"), std::string::npos);
   EXPECT_NE(s.find("events"), std::string::npos);
+}
+
+// ---- witness format v3 (liveness lassos) ----------------------------------
+
+trace::Witness sample_lasso() {
+  trace::Witness w;
+  w.scenario = "tas-loop-2p";
+  w.n_procs = 2;
+  w.violation = "fair cycle of 4 steps starves p0";
+  w.verdict_kind = tso::VerdictKind::kStarvation;
+  w.cycle_start = 2;
+  w.directives = {{tso::ActionKind::kDeliver, 0},
+                  {tso::ActionKind::kDeliver, 1},
+                  {tso::ActionKind::kDeliver, 1},
+                  {tso::ActionKind::kCommit, 1, tso::kNoVar}};
+  return w;
+}
+
+TEST(WitnessV3, LassoRoundTripsThroughTheV3Format) {
+  const trace::Witness w = sample_lasso();
+  const std::string text = trace::witness_to_string(w);
+  EXPECT_NE(text.find("tpa-witness v3"), std::string::npos) << text;
+  EXPECT_NE(text.find("verdict starvation"), std::string::npos) << text;
+  EXPECT_NE(text.find("cycle-start 2"), std::string::npos) << text;
+
+  const trace::Witness back = trace::witness_from_string(text);
+  EXPECT_EQ(back.scenario, w.scenario);
+  EXPECT_EQ(back.n_procs, w.n_procs);
+  EXPECT_EQ(back.verdict_kind, w.verdict_kind);
+  EXPECT_EQ(back.cycle_start, w.cycle_start);
+  EXPECT_TRUE(back.is_lasso());
+  ASSERT_EQ(back.directives.size(), w.directives.size());
+  for (std::size_t i = 0; i < w.directives.size(); ++i) {
+    EXPECT_EQ(back.directives[i].kind, w.directives[i].kind) << i;
+    EXPECT_EQ(back.directives[i].proc, w.directives[i].proc) << i;
+  }
+}
+
+TEST(WitnessV3, DeadlockWitnessIsV3ButStemOnly) {
+  trace::Witness w = sample_lasso();
+  w.verdict_kind = tso::VerdictKind::kDeadlock;
+  w.cycle_start = tso::kNoCycle;
+  const std::string text = trace::witness_to_string(w);
+  EXPECT_NE(text.find("tpa-witness v3"), std::string::npos) << text;
+  EXPECT_NE(text.find("verdict deadlock"), std::string::npos) << text;
+  EXPECT_EQ(text.find("cycle-start"), std::string::npos) << text;
+  const trace::Witness back = trace::witness_from_string(text);
+  EXPECT_EQ(back.verdict_kind, tso::VerdictKind::kDeadlock);
+  EXPECT_FALSE(back.is_lasso());
+}
+
+TEST(WitnessV3, SafetyWitnessesNeverGetTheV3Header) {
+  // The whole pre-liveness corpus must stay byte-identical: a safety
+  // witness serializes as v1 even though the Witness struct now carries the
+  // verdict fields.
+  trace::Witness w = sample_lasso();
+  w.verdict_kind = tso::VerdictKind::kSafety;
+  w.cycle_start = tso::kNoCycle;
+  const std::string text = trace::witness_to_string(w);
+  EXPECT_NE(text.find("tpa-witness v1"), std::string::npos) << text;
+  EXPECT_EQ(text.find("verdict"), std::string::npos) << text;
+}
+
+TEST(WitnessV3, ReaderRejectsMalformedLivenessLines) {
+  const std::string v3 = trace::witness_to_string(sample_lasso());
+  // cycle-start at or past the end of the schedule.
+  {
+    std::string bad = v3;
+    const auto pos = bad.find("cycle-start 2");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, std::string("cycle-start 2").size(), "cycle-start 4");
+    EXPECT_THROW(trace::witness_from_string(bad), CheckFailure);
+  }
+  // verdict / cycle-start keys without the v3 header.
+  {
+    std::string bad = v3;
+    const auto pos = bad.find("tpa-witness v3");
+    bad.replace(pos, std::string("tpa-witness v3").size(), "tpa-witness v1");
+    EXPECT_THROW(trace::witness_from_string(bad), CheckFailure);
+  }
+  // a v3 header with no verdict line.
+  {
+    std::string bad = v3;
+    const auto pos = bad.find("verdict starvation\n");
+    bad.erase(pos, std::string("verdict starvation\n").size());
+    EXPECT_THROW(trace::witness_from_string(bad), CheckFailure);
+  }
+  // a v3 verdict must be a liveness kind.
+  {
+    std::string bad = v3;
+    const auto pos = bad.find("verdict starvation");
+    bad.replace(pos, std::string("verdict starvation").size(),
+                "verdict safety");
+    EXPECT_THROW(trace::witness_from_string(bad), CheckFailure);
+  }
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ TEST(Fuzz, SeededFuzzIsDeterministic) {
   cfg.runs = 40;
   const FuzzResult a = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
   const FuzzResult b = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
-  EXPECT_FALSE(a.violation_found) << a.violation;
+  EXPECT_FALSE(a.verdict.found()) << a.verdict.message;
   EXPECT_EQ(a.schedules, 40u);
   EXPECT_EQ(a.schedules, b.schedules);
   EXPECT_EQ(a.schedule_digest, b.schedule_digest)
@@ -56,22 +56,22 @@ TEST(Fuzz, FindsFenceFreeBakeryViolation) {
   cfg.seed = 7;
   cfg.runs = 500;
   const FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
-  ASSERT_TRUE(r.violation_found)
+  ASSERT_TRUE(r.verdict.found())
       << "randomized schedules hit the fence-free bakery quickly";
-  EXPECT_NE(r.violation.find("mutual exclusion violated"), std::string::npos)
-      << r.violation;
-  ASSERT_FALSE(r.witness.empty());
-  ASSERT_FALSE(r.raw_witness.empty());
-  EXPECT_LE(r.witness.size(), r.raw_witness.size());
+  EXPECT_NE(r.verdict.message.find("mutual exclusion violated"), std::string::npos)
+      << r.verdict.message;
+  ASSERT_FALSE(r.verdict.witness.empty());
+  ASSERT_FALSE(r.verdict.raw_witness.empty());
+  EXPECT_LE(r.verdict.witness.size(), r.verdict.raw_witness.size());
 
   // The shrunk witness replays strictly: every directive applies and the
   // violation reproduces.
   const LenientReplay replay =
-      tso::replay_lenient(s.n_procs, s.sim, s.build, r.witness);
+      tso::replay_lenient(s.n_procs, s.sim, s.build, r.verdict.witness);
   EXPECT_TRUE(replay.violated) << "shrunk witness must still violate";
-  EXPECT_EQ(replay.applied.size(), r.witness.size())
+  EXPECT_EQ(replay.applied.size(), r.verdict.witness.size())
       << "every directive of a shrunk witness must apply";
-  EXPECT_THROW(tso::replay(s.n_procs, s.sim, s.build, r.witness),
+  EXPECT_THROW(tso::replay(s.n_procs, s.sim, s.build, r.verdict.witness),
                CheckFailure);
 }
 
@@ -85,13 +85,13 @@ TEST(Fuzz, ShrinkerProducesLocallyMinimalWitness) {
   fcfg.runs = 500;
   fcfg.shrink = false;
   const FuzzResult found = tso::fuzz(s.n_procs, s.sim, s.build, fcfg);
-  ASSERT_TRUE(found.violation_found);
+  ASSERT_TRUE(found.verdict.found());
 
   const ShrinkOutcome shrunk =
-      tso::shrink_witness(s.n_procs, s.sim, s.build, found.witness);
+      tso::shrink_witness(s.n_procs, s.sim, s.build, found.verdict.witness);
   EXPECT_GT(shrunk.replays, 0u);
   ASSERT_FALSE(shrunk.witness.empty());
-  EXPECT_LT(shrunk.witness.size(), found.witness.size())
+  EXPECT_LT(shrunk.witness.size(), found.verdict.witness.size())
       << "seed 3's raw witness carries removable slack";
   EXPECT_NE(shrunk.violation.find("mutual exclusion violated"),
             std::string::npos)
@@ -114,16 +114,18 @@ TEST(Fuzz, ExplorerWitnessIsShrunkByDefault) {
   tso::ExplorerConfig ecfg;
   ecfg.preemptions = 1;  // shrink defaults to on
   const auto r = tso::explore(s.n_procs, s.sim, s.build, ecfg);
-  ASSERT_TRUE(r.violation_found);
-  ASSERT_FALSE(r.witness.empty());
-  EXPECT_THROW(tso::replay(s.n_procs, s.sim, s.build, r.witness),
+  ASSERT_TRUE(r.verdict.found());
+  ASSERT_FALSE(r.verdict.witness.empty());
+  EXPECT_THROW(tso::replay(s.n_procs, s.sim, s.build, r.verdict.witness),
                CheckFailure);
   // The reported witness is locally minimal (here the DFS-first witness is
   // often already tight, in which case shrinking was a verified no-op and
   // raw_witness stays empty).
-  if (!r.raw_witness.empty()) EXPECT_LT(r.witness.size(), r.raw_witness.size());
-  for (std::size_t i = 0; i < r.witness.size(); ++i) {
-    std::vector<Directive> cand = r.witness;
+  if (!r.verdict.raw_witness.empty()) {
+    EXPECT_LT(r.verdict.witness.size(), r.verdict.raw_witness.size());
+  }
+  for (std::size_t i = 0; i < r.verdict.witness.size(); ++i) {
+    std::vector<Directive> cand = r.verdict.witness;
     cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
     EXPECT_FALSE(tso::replay_lenient(s.n_procs, s.sim, s.build, cand).violated)
         << "explorer witness not 1-minimal at directive " << i;
@@ -138,14 +140,14 @@ TEST(Fuzz, FindsPsoExploitAgainstTsoFencedBakery) {
   cfg.seed = 11;
   cfg.runs = 3'000;
   const FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
-  ASSERT_TRUE(r.violation_found)
+  ASSERT_TRUE(r.verdict.found())
       << "PSO commit reordering breaks the TSO fence placement";
-  EXPECT_NE(r.violation.find("mutual exclusion violated"), std::string::npos)
-      << r.violation;
+  EXPECT_NE(r.verdict.message.find("mutual exclusion violated"), std::string::npos)
+      << r.verdict.message;
   // The witness must use an out-of-order commit (a named, non-head var) —
   // otherwise it would be a TSO schedule and the placement would be buggy.
   const LenientReplay replay =
-      tso::replay_lenient(s.n_procs, s.sim, s.build, r.witness);
+      tso::replay_lenient(s.n_procs, s.sim, s.build, r.verdict.witness);
   EXPECT_TRUE(replay.violated);
 }
 
@@ -216,7 +218,7 @@ TEST(Fuzz, TimeBudgetBoundsThePass) {
   cfg.runs = ~0ULL;  // effectively unbounded: only the clock stops it
   cfg.time_budget_ms = 100;
   const FuzzResult r = tso::fuzz(s.n_procs, s.sim, s.build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_GT(r.schedules, 0u);
 }
 

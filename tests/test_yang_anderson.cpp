@@ -30,7 +30,7 @@ TEST(YangAnderson, ExhaustivelySafeAtSmallScope) {
   cfg.preemptions = 2;
   cfg.max_schedules = 500'000;
   const auto r = tso::explore(n, {}, build, cfg);
-  EXPECT_FALSE(r.violation_found) << r.violation;
+  EXPECT_FALSE(r.verdict.found()) << r.verdict.message;
   EXPECT_TRUE(r.exhausted);
 }
 

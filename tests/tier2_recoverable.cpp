@@ -52,14 +52,14 @@ TEST_F(Tier2, FencedRecoverableLockIsCrashSafeAtThreeProcesses) {
   const auto two =
       recoverable(2, algos::RecoverableFencing::kFull, "recoverable-2p");
   const auto r2 = two.explore(cfg);
-  ASSERT_FALSE(r2.violation_found) << r2.violation;
+  ASSERT_FALSE(r2.verdict.found()) << r2.verdict.message;
   ASSERT_TRUE(r2.exhausted);
 
   const auto three =
       recoverable(3, algos::RecoverableFencing::kFull, "recoverable-3p");
   const auto r3 = three.explore(cfg);
-  EXPECT_FALSE(r3.violation_found)
-      << "crash-safety broken at 3p: " << r3.violation;
+  EXPECT_FALSE(r3.verdict.found())
+      << "crash-safety broken at 3p: " << r3.verdict.message;
   EXPECT_TRUE(r3.exhausted) << "raise max_schedules: the scope was cut off";
   EXPECT_GT(r3.dedup_hits, 0u);
 }
@@ -74,9 +74,9 @@ TEST_F(Tier2, FenceFreeRecoverableLockStillFallsAtThreeProcesses) {
   const auto broken =
       recoverable(3, algos::RecoverableFencing::kNone, "recoverable-nofence-3p");
   const auto r = broken.explore(cfg);
-  ASSERT_TRUE(r.violation_found)
+  ASSERT_TRUE(r.verdict.found())
       << "the fence-free recoverable lock must fall at 3p too";
-  EXPECT_THROW((void)broken.replay(r.witness), CheckFailure)
+  EXPECT_THROW((void)broken.replay(r.verdict.witness), CheckFailure)
       << "the witness must replay deterministically";
 }
 
